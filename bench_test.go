@@ -1,0 +1,101 @@
+package vpir
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// Every table and figure of the paper's evaluation has a benchmark that
+// regenerates it. Runs are truncated (benchInsts dynamic instructions per
+// benchmark) so `go test -bench=.` stays fast; use cmd/vpir-bench for the
+// full-length numbers recorded in EXPERIMENTS.md.
+const benchInsts = 100_000
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := RunExperiment(id, 1, benchInsts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, id) {
+			b.Fatalf("experiment %s produced no table", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)   { benchExperiment(b, "table6") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Raw simulator throughput: simulated cycles and instructions per second
+// for each pipeline variant, on the compress kernel.
+func benchMachine(b *testing.B, cfg core.Config) {
+	b.Helper()
+	w, err := workload.Get("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles, insts uint64
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(p, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		s := m.Stats()
+		cycles += s.Cycles
+		insts += s.Committed
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
+}
+
+func BenchmarkMachineBase(b *testing.B) { benchMachine(b, core.DefaultConfig()) }
+func BenchmarkMachineIR(b *testing.B)   { benchMachine(b, core.IRChoice(false)) }
+func BenchmarkMachineVP(b *testing.B) {
+	benchMachine(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1))
+}
+
+// Functional emulator throughput.
+func BenchmarkEmulator(b *testing.B) {
+	w, err := workload.Get("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		c := emu.New(p)
+		if _, err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		insts += c.InstCount
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}

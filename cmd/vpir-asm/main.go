@@ -1,0 +1,64 @@
+// Command vpir-asm assembles a source file for the simulator's MIPS-like
+// ISA and prints a listing (address, encoding, disassembly), or runs it on
+// the functional emulator with -run.
+//
+// Usage:
+//
+//	vpir-asm prog.s          # listing
+//	vpir-asm -run prog.s     # assemble + execute functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vpir-sim/vpir/internal/asm"
+	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program on the functional emulator")
+	maxInsts := flag.Uint64("maxinsts", 100_000_000, "instruction limit for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vpir-asm [-run] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpir-asm: %v\n", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
+	if *run {
+		c := emu.New(p)
+		halted, err := c.Run(*maxInsts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpir-asm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(c.Output.String())
+		if !halted {
+			fmt.Fprintf(os.Stderr, "vpir-asm: instruction limit reached (%d)\n", *maxInsts)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "\n[%d instructions, exit %d]\n", c.InstCount, c.ExitCode)
+		return
+	}
+
+	fmt.Printf("; %s: %d instructions, %d data bytes, entry %#x\n",
+		flag.Arg(0), len(p.Text), len(p.Data), p.Entry)
+	for i, w := range p.Text {
+		pc := prog.TextBase + uint32(4*i)
+		in := isa.Decode(w)
+		fmt.Printf("%08x  %08x  %s\n", pc, w, isa.Disasm(&in, pc))
+	}
+}

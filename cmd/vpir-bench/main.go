@@ -1,0 +1,57 @@
+// Command vpir-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vpir-bench                 # every table and figure, full-length runs
+//	vpir-bench -exp fig6       # one experiment
+//	vpir-bench -scale 4        # 4x longer workloads
+//	vpir-bench -maxinsts 50000 # truncated runs (quick look)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/vpir-sim/vpir/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig3..fig10) or 'all'")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions per run (0 = full)")
+	serial := flag.Bool("serial", false, "run benchmarks sequentially")
+	flag.Parse()
+
+	r := harness.NewRunner()
+	r.Scale = *scale
+	r.MaxInsts = *maxInsts
+	r.Parallel = !*serial
+
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		tables, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vpir-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, err := harness.Find(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpir-bench: %v\n", err)
+		os.Exit(2)
+	}
+	run(e)
+}

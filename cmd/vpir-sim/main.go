@@ -1,0 +1,96 @@
+// Command vpir-sim runs one benchmark (or an assembly file) on the timing
+// simulator under a chosen configuration and prints the statistics.
+//
+// Usage:
+//
+//	vpir-sim -bench compress -tech ir
+//	vpir-sim -bench go -tech vp -scheme lvp -resolution nsb -vlat 1
+//	vpir-sim -file prog.s -tech base
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vpir-sim/vpir"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (go, m88ksim, ijpeg, perl, vortex, gcc, compress)")
+	file := flag.String("file", "", "assembly source file to run instead of a benchmark")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	tech := flag.String("tech", "base", "technique: base, vp, ir")
+	scheme := flag.String("scheme", "magic", "vp scheme: magic or lvp")
+	resolution := flag.String("resolution", "sb", "vp branch resolution: sb or nsb")
+	reexec := flag.String("reexec", "me", "vp re-execution policy: me or nme")
+	vlat := flag.Int("vlat", 0, "vp verification latency in cycles")
+	late := flag.Bool("late", false, "ir: late validation (Figure 3 'late')")
+	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions (0 = full run)")
+	showOutput := flag.Bool("output", false, "print the program's output")
+	list := flag.Bool("list", false, "list the benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range vpir.BenchmarkInfos() {
+			fmt.Printf("%-9s %s\n", b.Name, b.Desc)
+		}
+		return
+	}
+
+	opt := vpir.Options{
+		Technique:        vpir.Technique(*tech),
+		Scheme:           *scheme,
+		BranchResolution: *resolution,
+		Reexec:           *reexec,
+		VerifyLatency:    *vlat,
+		LateValidation:   *late,
+		MaxInsts:         *maxInsts,
+	}
+
+	var res vpir.Result
+	var err error
+	switch {
+	case *bench != "":
+		res, err = vpir.RunBenchmark(*bench, *scale, opt)
+	case *file != "":
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err == nil {
+			res, err = vpir.RunSource(*file, string(src), opt)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "vpir-sim: need -bench or -file (try -list)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vpir-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("config                %s\n", res.Config)
+	fmt.Printf("cycles                %d\n", res.Cycles)
+	fmt.Printf("instructions          %d\n", res.Committed)
+	fmt.Printf("executions            %d\n", res.Executed)
+	fmt.Printf("IPC                   %.3f\n", res.IPC)
+	fmt.Printf("branch prediction     %.1f%%\n", res.BranchPredRate)
+	fmt.Printf("return prediction     %.1f%%\n", res.ReturnPredRate)
+	fmt.Printf("squashes              %d (%d spurious)\n", res.Squashes, res.SpuriousSquashes)
+	fmt.Printf("branch resolve lat    %.2f cycles\n", res.MeanBranchResolveLatency)
+	fmt.Printf("resource contention   %.4f\n", res.Contention)
+	switch opt.Technique {
+	case vpir.IR:
+		fmt.Printf("reused results        %.1f%%\n", res.ReuseResultRate)
+		fmt.Printf("reused addresses      %.1f%%\n", res.ReuseAddrRate)
+		fmt.Printf("exec squashed         %.1f%%\n", res.ExecSquashedPct)
+		fmt.Printf("squashed recovered    %.1f%%\n", res.RecoveredPct)
+	case vpir.VP:
+		fmt.Printf("results predicted     %.1f%% (+%.1f%% wrong)\n", res.VPResultPred, res.VPResultMispred)
+		fmt.Printf("addresses predicted   %.1f%% (+%.1f%% wrong)\n", res.VPAddrPred, res.VPAddrMispred)
+		fmt.Printf("exec 1/2/3+ times     %.1f%% / %.1f%% / %.1f%%\n",
+			res.ExecTimesPct[0], res.ExecTimesPct[1], res.ExecTimesPct[2])
+	}
+	if *showOutput {
+		fmt.Printf("--- program output ---\n%s\n", res.Output)
+	}
+}

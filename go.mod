@@ -1,0 +1,3 @@
+module github.com/vpir-sim/vpir
+
+go 1.22

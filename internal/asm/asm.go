@@ -1,0 +1,550 @@
+// Package asm implements a two-pass assembler for the simulator's MIPS-like
+// ISA. It supports labels, the usual data directives (.word, .half, .byte,
+// .space, .ascii, .asciiz, .align), named constants (.equ / NAME = value),
+// and the common MIPS pseudo-instructions (li, la, move, nop, b, beqz, bnez,
+// blt/bge/bgt/ble and unsigned variants, mul, rem, not, neg, l.s, s.s).
+//
+// Pass 1 parses every line and assigns addresses (pseudo-instruction sizes
+// are decided here); pass 2 resolves symbols and encodes machine words.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+// Error is an assembly error tied to a source line.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// ErrorList collects all errors found during assembly.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, 0, len(l))
+	for i, e := range l {
+		if i == 10 {
+			msgs = append(msgs, fmt.Sprintf("... and %d more errors", len(l)-10))
+			break
+		}
+		msgs = append(msgs, e.Error())
+	}
+	return strings.Join(msgs, "\n")
+}
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+)
+
+// stmt is one parsed source statement (an instruction or a data directive).
+type stmt struct {
+	line int
+	seg  segment
+	addr uint32 // assigned in pass 1
+
+	// Instruction statements.
+	mnemonic string
+	ops      []operand
+
+	// Data statements.
+	directive string
+	dataArgs  []operand
+	rawString string // for .ascii/.asciiz
+}
+
+type assembler struct {
+	name    string
+	errs    ErrorList
+	stmts   []*stmt
+	symbols map[string]uint32 // labels
+	consts  map[string]int64  // .equ constants, usable at parse time
+	lineOf  map[string]int    // symbol definition line, for duplicate reports
+
+	// Labels bind to the address of the *next* emitted item so that a label
+	// on its own line still points at data that a later directive aligns.
+	pendingLabels []string
+
+	textPC uint32
+	dataPC uint32
+	seg    segment
+
+	text     []uint32
+	data     []byte
+	srcLines map[uint32]int
+}
+
+// Assemble assembles source (with the given name used in error messages)
+// into a linked program image. The entry point is the "main" label if
+// present, otherwise the start of the text segment.
+func Assemble(name, source string) (*prog.Program, error) {
+	a := &assembler{
+		name:     name,
+		symbols:  make(map[string]uint32),
+		consts:   make(map[string]int64),
+		lineOf:   make(map[string]int),
+		textPC:   prog.TextBase,
+		dataPC:   prog.DataBase,
+		seg:      segText,
+		srcLines: make(map[uint32]int),
+	}
+	a.parseAndLayout(source)
+	a.bindPendingLabels() // trailing labels point at the end of their segment
+	if len(a.errs) == 0 {
+		a.encodeAll()
+	}
+	if len(a.errs) > 0 {
+		sort.SliceStable(a.errs, func(i, j int) bool { return a.errs[i].Line < a.errs[j].Line })
+		return nil, a.errs
+	}
+	p := &prog.Program{
+		Name:     name,
+		Entry:    prog.TextBase,
+		Text:     a.text,
+		Data:     a.data,
+		Symbols:  a.symbols,
+		SrcLines: a.srcLines,
+	}
+	if main, ok := a.symbols["main"]; ok {
+		p.Entry = main
+	}
+	return p, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{File: a.name, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// parseAndLayout is pass 1: parse every line, define labels and constants,
+// and assign an address to every statement.
+func (a *assembler) parseAndLayout(source string) {
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := lineNo + 1
+		text := stripComment(raw)
+
+		// Peel off any leading labels.
+		for {
+			trimmed := strings.TrimSpace(text)
+			idx := strings.Index(trimmed, ":")
+			if idx <= 0 || !isIdent(trimmed[:idx]) {
+				text = trimmed
+				break
+			}
+			a.defineLabel(line, trimmed[:idx])
+			text = trimmed[idx+1:]
+		}
+		if text == "" {
+			continue
+		}
+
+		// NAME = value constant definitions.
+		if eq := strings.Index(text, "="); eq > 0 && isIdent(strings.TrimSpace(text[:eq])) {
+			a.defineConst(line, strings.TrimSpace(text[:eq]), strings.TrimSpace(text[eq+1:]))
+			continue
+		}
+
+		if strings.HasPrefix(text, ".") {
+			a.parseDirective(line, text)
+			continue
+		}
+		a.parseInstruction(line, text)
+	}
+}
+
+func (a *assembler) defineLabel(line int, label string) {
+	if prev, dup := a.lineOf[label]; dup {
+		a.errorf(line, "label %q already defined at line %d", label, prev)
+		return
+	}
+	a.lineOf[label] = line
+	a.pendingLabels = append(a.pendingLabels, label)
+}
+
+// bindPendingLabels assigns every label waiting since the last emitted item.
+// With no explicit address it binds to the current position of the active
+// segment (used for end-of-segment markers).
+func (a *assembler) bindPendingLabels(addr ...uint32) {
+	pos := a.textPC
+	if a.seg == segData {
+		pos = a.dataPC
+	}
+	if len(addr) == 1 {
+		pos = addr[0]
+	}
+	for _, label := range a.pendingLabels {
+		a.symbols[label] = pos
+	}
+	a.pendingLabels = a.pendingLabels[:0]
+}
+
+func (a *assembler) defineConst(line int, name, valueExpr string) {
+	if prev, dup := a.lineOf[name]; dup {
+		a.errorf(line, "constant %q already defined at line %d", name, prev)
+		return
+	}
+	v, err := a.evalConst(valueExpr)
+	if err != nil {
+		a.errorf(line, "bad constant %q: %v", name, err)
+		return
+	}
+	a.lineOf[name] = line
+	a.consts[name] = v
+}
+
+func (a *assembler) parseDirective(line int, text string) {
+	fields := strings.SplitN(text, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.bindPendingLabels() // bind to the end of the segment being left
+		a.seg = segText
+	case ".data":
+		a.bindPendingLabels()
+		a.seg = segData
+	case ".globl", ".global", ".ent", ".end", ".set":
+		// Accepted and ignored for source compatibility.
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			a.errorf(line, ".equ wants NAME, value")
+			return
+		}
+		a.defineConst(line, strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+	case ".align":
+		n, err := a.evalConst(rest)
+		if err != nil || n < 0 || n > 12 {
+			a.errorf(line, "bad .align %q", rest)
+			return
+		}
+		a.alignData(1 << uint(n))
+	case ".word", ".half", ".byte", ".space", ".ascii", ".asciiz":
+		if a.seg != segData {
+			a.errorf(line, "%s outside .data segment", dir)
+			return
+		}
+		s := &stmt{line: line, seg: segData, directive: dir}
+		switch dir {
+		case ".ascii", ".asciiz":
+			str, err := parseString(rest)
+			if err != nil {
+				a.errorf(line, "%v", err)
+				return
+			}
+			s.rawString = str
+		default:
+			for _, p := range splitOperands(rest) {
+				op, err := a.parseOperand(p)
+				if err != nil {
+					a.errorf(line, "%v", err)
+					return
+				}
+				s.dataArgs = append(s.dataArgs, op)
+			}
+		}
+		a.layoutData(s)
+		a.stmts = append(a.stmts, s)
+	default:
+		a.errorf(line, "unknown directive %s", dir)
+	}
+}
+
+func (a *assembler) alignData(align uint32) {
+	for a.dataPC%align != 0 {
+		a.dataPC++
+	}
+}
+
+func (a *assembler) layoutData(s *stmt) {
+	switch s.directive {
+	case ".word":
+		a.alignData(4)
+		s.addr = a.dataPC
+		a.dataPC += uint32(4 * len(s.dataArgs))
+	case ".half":
+		a.alignData(2)
+		s.addr = a.dataPC
+		a.dataPC += uint32(2 * len(s.dataArgs))
+	case ".byte":
+		s.addr = a.dataPC
+		a.dataPC += uint32(len(s.dataArgs))
+	case ".space":
+		s.addr = a.dataPC
+		if len(s.dataArgs) == 1 && s.dataArgs[0].kind == opImm && s.dataArgs[0].sym == "" {
+			a.dataPC += uint32(s.dataArgs[0].off)
+		} else {
+			a.errorf(s.line, ".space wants one constant size")
+		}
+	case ".ascii":
+		s.addr = a.dataPC
+		a.dataPC += uint32(len(s.rawString))
+	case ".asciiz":
+		s.addr = a.dataPC
+		a.dataPC += uint32(len(s.rawString) + 1)
+	}
+	a.bindPendingLabels(s.addr)
+}
+
+func (a *assembler) parseInstruction(line int, text string) {
+	if a.seg != segText {
+		a.errorf(line, "instruction outside .text segment")
+		return
+	}
+	fields := strings.SplitN(text, " ", 2)
+	mn := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	enc, ok := encoders[mn]
+	if !ok {
+		a.errorf(line, "unknown instruction %q", mn)
+		return
+	}
+	s := &stmt{line: line, seg: segText, mnemonic: mn, addr: a.textPC}
+	a.bindPendingLabels(s.addr)
+	if rest != "" {
+		for _, p := range splitOperands(rest) {
+			op, err := a.parseOperand(p)
+			if err != nil {
+				a.errorf(line, "%v", err)
+				return
+			}
+			s.ops = append(s.ops, op)
+		}
+	}
+	size, err := enc.size(a, s.ops)
+	if err != nil {
+		a.errorf(line, "%s: %v", mn, err)
+		return
+	}
+	a.textPC += uint32(4 * size)
+	a.stmts = append(a.stmts, s)
+}
+
+// encodeAll is pass 2.
+func (a *assembler) encodeAll() {
+	a.text = make([]uint32, 0, (a.textPC-prog.TextBase)/4)
+	a.data = make([]byte, a.dataPC-prog.DataBase)
+	for _, s := range a.stmts {
+		if s.seg == segText {
+			enc := encoders[s.mnemonic]
+			words, err := enc.emit(a, s.addr, s.ops)
+			if err != nil {
+				a.errorf(s.line, "%s: %v", s.mnemonic, err)
+				continue
+			}
+			for i, w := range words {
+				a.srcLines[s.addr+uint32(4*i)] = s.line
+				a.text = append(a.text, w)
+			}
+			continue
+		}
+		a.encodeData(s)
+	}
+}
+
+func (a *assembler) encodeData(s *stmt) {
+	off := s.addr - prog.DataBase
+	put := func(i uint32, b byte) { a.data[off+i] = b }
+	switch s.directive {
+	case ".word":
+		for i, arg := range s.dataArgs {
+			v, err := a.resolve(arg)
+			if err != nil {
+				a.errorf(s.line, "%v", err)
+				return
+			}
+			le := uint32(4 * i)
+			put(le, byte(v))
+			put(le+1, byte(v>>8))
+			put(le+2, byte(v>>16))
+			put(le+3, byte(v>>24))
+		}
+	case ".half":
+		for i, arg := range s.dataArgs {
+			v, err := a.resolve(arg)
+			if err != nil {
+				a.errorf(s.line, "%v", err)
+				return
+			}
+			le := uint32(2 * i)
+			put(le, byte(v))
+			put(le+1, byte(v>>8))
+		}
+	case ".byte":
+		for i, arg := range s.dataArgs {
+			v, err := a.resolve(arg)
+			if err != nil {
+				a.errorf(s.line, "%v", err)
+				return
+			}
+			put(uint32(i), byte(v))
+		}
+	case ".ascii":
+		copy(a.data[off:], s.rawString)
+	case ".asciiz":
+		copy(a.data[off:], s.rawString)
+		put(uint32(len(s.rawString)), 0)
+	case ".space":
+		// Zero filled already.
+	}
+}
+
+// resolve evaluates an expression operand to its final value.
+func (a *assembler) resolve(op operand) (int64, error) {
+	if op.sym == "" {
+		return op.off, nil
+	}
+	if v, ok := a.symbols[op.sym]; ok {
+		return int64(v) + op.off, nil
+	}
+	if v, ok := a.consts[op.sym]; ok {
+		return v + op.off, nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", op.sym)
+}
+
+// evalConst evaluates an expression that must be fully resolvable now
+// (constants only; labels are not allowed because pass 1 is still running).
+func (a *assembler) evalConst(expr string) (int64, error) {
+	op, err := a.parseOperand(expr)
+	if err != nil {
+		return 0, err
+	}
+	if op.kind != opImm {
+		return 0, fmt.Errorf("%q is not a constant expression", expr)
+	}
+	if op.sym != "" {
+		v, ok := a.consts[op.sym]
+		if !ok {
+			return 0, fmt.Errorf("constant %q not defined yet", op.sym)
+		}
+		return v + op.off, nil
+	}
+	return op.off, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.' && i > 0:
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '#', ';':
+			if !inStr {
+				return strings.TrimSpace(s[:i])
+			}
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// splitOperands splits on top-level commas, respecting quoted strings and
+// parenthesised memory operands.
+func splitOperands(s string) []string {
+	var out []string
+	depth, inStr, start := 0, false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in string")
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}

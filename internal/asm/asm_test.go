@@ -1,0 +1,501 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+func mustAssemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble failed:\n%v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   addiu $t0, $zero, 5
+loop:   addiu $t0, $t0, -1
+        bne   $t0, $zero, loop
+        li    $v0, 10
+        syscall
+`)
+	if p.Entry != prog.TextBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, prog.TextBase)
+	}
+	if len(p.Text) != 5 {
+		t.Fatalf("text len = %d, want 5", len(p.Text))
+	}
+	in := isa.Decode(p.Text[2])
+	if in.Op != isa.OpBNE {
+		t.Fatalf("inst 2 = %v, want bne", in.Op)
+	}
+	// bne at pc main+8 branching back to main+4: offset -2.
+	if in.Imm != -2 {
+		t.Errorf("bne offset = %d, want -2", in.Imm)
+	}
+}
+
+func TestLabelsAndSymbols(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+val:    .word 42
+arr:    .word 1, 2, 3
+str:    .asciiz "hi"
+buf:    .space 16
+end:
+        .text
+main:   la $t0, arr
+        lw $t1, val
+        syscall
+`)
+	if got := p.MustSymbol("val"); got != prog.DataBase {
+		t.Errorf("val = %#x", got)
+	}
+	if got := p.MustSymbol("arr"); got != prog.DataBase+4 {
+		t.Errorf("arr = %#x", got)
+	}
+	if got := p.MustSymbol("str"); got != prog.DataBase+16 {
+		t.Errorf("str = %#x", got)
+	}
+	if got := p.MustSymbol("buf"); got != prog.DataBase+19 {
+		t.Errorf("buf = %#x", got)
+	}
+	if got := p.MustSymbol("end"); got != prog.DataBase+35 {
+		t.Errorf("end = %#x", got)
+	}
+	// Data contents.
+	if p.Data[0] != 42 {
+		t.Errorf("data[0] = %d", p.Data[0])
+	}
+	if p.Data[4] != 1 || p.Data[8] != 2 || p.Data[12] != 3 {
+		t.Errorf("arr contents wrong: % x", p.Data[4:16])
+	}
+	if string(p.Data[16:18]) != "hi" || p.Data[18] != 0 {
+		t.Errorf("str contents wrong: % x", p.Data[16:19])
+	}
+}
+
+func TestWordAlignmentAfterBytes(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+b:      .byte 1, 2, 3
+w:      .word 7
+        .text
+main:   syscall
+`)
+	if got := p.MustSymbol("w"); got != prog.DataBase+4 {
+		t.Errorf("w = %#x, want aligned to 4", got)
+	}
+	if p.Data[4] != 7 {
+		t.Errorf("aligned word = %d", p.Data[4])
+	}
+}
+
+func TestLabelOnOwnLineBeforeAlignedWord(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+b:      .byte 1
+tbl:
+        .word 9
+        .text
+main:   syscall
+`)
+	if got := p.MustSymbol("tbl"); got != prog.DataBase+4 {
+		t.Errorf("tbl = %#x, want %#x (post-alignment)", got, prog.DataBase+4)
+	}
+}
+
+func TestEquConstants(t *testing.T) {
+	p := mustAssemble(t, `
+N = 64
+        .equ M, 3
+        .data
+buf:    .space N
+        .text
+main:   li $t0, N
+        li $t1, M
+        addiu $t2, $zero, N+1
+        syscall
+`)
+	in := isa.Decode(p.Text[0])
+	if in.Op != isa.OpADDIU || in.Imm != 64 {
+		t.Errorf("li N = %v imm %d", in.Op, in.Imm)
+	}
+	in = isa.Decode(p.Text[2])
+	if in.Imm != 65 {
+		t.Errorf("N+1 imm = %d", in.Imm)
+	}
+}
+
+func TestLiExpansions(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   li $t0, 7          # 1 word addiu
+        li $t1, -5         # 1 word addiu
+        li $t2, 0x10000    # 1 word lui
+        li $t3, 0x12345678 # 2 words lui+ori
+        li $t4, 65535      # 2 words (doesn't fit signed 16)
+        syscall
+`)
+	want := 1 + 1 + 1 + 2 + 2 + 1
+	if len(p.Text) != want {
+		t.Fatalf("text len = %d, want %d", len(p.Text), want)
+	}
+	if in := isa.Decode(p.Text[2]); in.Op != isa.OpLUI || in.Imm != 1 {
+		t.Errorf("li 0x10000 = %v %d", in.Op, in.Imm)
+	}
+	if in := isa.Decode(p.Text[3]); in.Op != isa.OpLUI || in.Imm != 0x1234 {
+		t.Errorf("li hi = %v %#x", in.Op, in.Imm)
+	}
+	if in := isa.Decode(p.Text[4]); in.Op != isa.OpORI || uint32(in.Imm) != 0x5678 {
+		t.Errorf("li lo = %v %#x", in.Op, in.Imm)
+	}
+}
+
+func TestLaAndAbsoluteLoad(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+x:      .word 1
+        .text
+main:   la $t0, x
+        lw $t1, x
+        sw $t1, 8($t0)
+        syscall
+`)
+	// la = lui+ori
+	if in := isa.Decode(p.Text[0]); in.Op != isa.OpLUI || uint32(in.Imm) != prog.DataBase>>16 {
+		t.Errorf("la hi = %v %#x", in.Op, in.Imm)
+	}
+	if in := isa.Decode(p.Text[1]); in.Op != isa.OpORI || uint32(in.Imm) != prog.DataBase&0xFFFF {
+		t.Errorf("la lo = %v %#x", in.Op, in.Imm)
+	}
+	// lw label = lui $at + lw
+	if in := isa.Decode(p.Text[2]); in.Op != isa.OpLUI || in.Dest != isa.RegAT {
+		t.Errorf("abs lw hi = %v %v", in.Op, in.Dest)
+	}
+	if in := isa.Decode(p.Text[3]); in.Op != isa.OpLW || in.Src1 != isa.RegAT {
+		t.Errorf("abs lw = %v %v", in.Op, in.Src1)
+	}
+}
+
+func TestPseudoBranches(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   blt $t0, $t1, out
+        bge $t0, $t1, out
+        bgt $t0, $t1, out
+        ble $t0, $t1, out
+        bltu $t0, $t1, out
+        beqz $t0, out
+        bnez $t0, out
+        b out
+out:    syscall
+`)
+	// 4 cmp-branches are 2 words each; bltu 2; beqz/bnez/b 1 each.
+	want := 2*5 + 3 + 1
+	if len(p.Text) != want {
+		t.Fatalf("text len = %d, want %d", len(p.Text), want)
+	}
+	in := isa.Decode(p.Text[0])
+	if in.Op != isa.OpSLT || in.Dest != isa.RegAT {
+		t.Errorf("blt expansion starts with %v -> %v", in.Op, in.Dest)
+	}
+	in = isa.Decode(p.Text[1])
+	if in.Op != isa.OpBNE {
+		t.Errorf("blt second word = %v", in.Op)
+	}
+	// bgt swaps operands.
+	in = isa.Decode(p.Text[4])
+	if in.Op != isa.OpSLT || in.Src1 != isa.Reg(9) || in.Src2 != isa.Reg(8) {
+		t.Errorf("bgt slt operands = %v %v", in.Src1, in.Src2)
+	}
+}
+
+func TestMulRemPseudo(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   mul $t0, $t1, $t2
+        rem $t3, $t4, $t5
+        div $t6, $t7
+        div $s0, $s1, $s2
+        syscall
+`)
+	if in := isa.Decode(p.Text[0]); in.Op != isa.OpMULT {
+		t.Errorf("mul[0] = %v", in.Op)
+	}
+	if in := isa.Decode(p.Text[1]); in.Op != isa.OpMFLO || in.Dest != 8 {
+		t.Errorf("mul[1] = %v %v", in.Op, in.Dest)
+	}
+	if in := isa.Decode(p.Text[3]); in.Op != isa.OpMFHI || in.Dest != 11 {
+		t.Errorf("rem[1] = %v %v", in.Op, in.Dest)
+	}
+	if in := isa.Decode(p.Text[4]); in.Op != isa.OpDIV {
+		t.Errorf("div2 = %v", in.Op)
+	}
+	if in := isa.Decode(p.Text[6]); in.Op != isa.OpMFLO || in.Dest != 16 {
+		t.Errorf("div3[1] = %v %v", in.Op, in.Dest)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+fv:     .word 0x40490fdb    # pi as float bits
+        .text
+main:   l.s  $f0, fv
+        add.s $f2, $f0, $f0
+        c.lt.s $f0, $f2
+        bc1t done
+        mov.s $f4, $f0
+done:   s.s  $f2, fv
+        syscall
+`)
+	if in := isa.Decode(p.Text[1]); in.Op != isa.OpLWC1 || in.Dest != isa.FPR(0) {
+		t.Errorf("l.s = %v %v", in.Op, in.Dest)
+	}
+	if in := isa.Decode(p.Text[2]); in.Op != isa.OpADDS || in.Dest != isa.FPR(2) {
+		t.Errorf("add.s = %v %v", in.Op, in.Dest)
+	}
+	if in := isa.Decode(p.Text[3]); in.Op != isa.OpCLTS || in.Dest != isa.RegFCC {
+		t.Errorf("c.lt.s = %v %v", in.Op, in.Dest)
+	}
+	if in := isa.Decode(p.Text[4]); in.Op != isa.OpBC1T {
+		t.Errorf("bc1t = %v", in.Op)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+# full line comment
+main:   li $t0, 1     # trailing comment
+        syscall       ; alt comment char
+`)
+	if len(p.Text) != 2 {
+		t.Errorf("text len = %d, want 2", len(p.Text))
+	}
+}
+
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+a: b:
+c:      syscall
+`)
+	for _, l := range []string{"a", "b", "c"} {
+		if got := p.MustSymbol(l); got != prog.TextBase {
+			t.Errorf("%s = %#x", l, got)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{".text\nmain: frob $t0", "unknown instruction"},
+		{".text\nmain: addu $t0, $t1", "want 3 operands"},
+		{".text\nmain: beq $t0, $t1, nowhere", "undefined symbol"},
+		{".text\nx: syscall\nx: syscall", "already defined"},
+		{".text\nmain: addiu $t0, $zero, 99999", "out of signed 16-bit range"},
+		{".text\nmain: lw $t0, 5($f0)", "memory base must be an integer register"},
+		{".word 4", "outside .data"},
+		{".text\nmain: li $t9", "want 2 operands"},
+		{".frobnicate", "unknown directive"},
+		{".text\nmain: addu $t0, $t1, $nosuch", "unknown register"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("e.s", c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err.Error(), c.want)
+		}
+	}
+}
+
+func TestErrorListsLineNumbers(t *testing.T) {
+	_, err := Assemble("file.s", ".text\nmain: syscall\n frob $t0\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "file.s:3:") {
+		t.Errorf("error %q should name file.s:3", err.Error())
+	}
+}
+
+func TestSrcLines(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain: li $t0, 0x12345678\n syscall\n")
+	if p.SrcLines[prog.TextBase] != 2 || p.SrcLines[prog.TextBase+4] != 2 {
+		t.Errorf("li words not mapped to line 2: %v", p.SrcLines)
+	}
+	if p.SrcLines[prog.TextBase+8] != 3 {
+		t.Errorf("syscall not mapped to line 3")
+	}
+}
+
+func TestEntryDefaultsToTextStart(t *testing.T) {
+	p := mustAssemble(t, ".text\nstart: syscall\n")
+	if p.Entry != prog.TextBase {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain: li $t0, 'A'\n syscall\n")
+	if in := isa.Decode(p.Text[0]); in.Imm != 'A' {
+		t.Errorf("char literal imm = %d", in.Imm)
+	}
+}
+
+func TestNegativeSpaceRejected(t *testing.T) {
+	// .space with a label argument is an error.
+	_, err := Assemble("e.s", ".data\nx: .space x\n")
+	if err == nil {
+		t.Fatal("expected error for .space with non-constant")
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	// Every encoded instruction in a representative program must decode to a
+	// valid op (no OpInvalid leaks from the assembler).
+	p := mustAssemble(t, `
+        .data
+v:      .word 3
+        .text
+main:   la $s0, v
+        lw $t0, 0($s0)
+        addiu $t1, $t0, 1
+        mult $t0, $t1
+        mflo $t2
+        sw $t2, 4($s0)
+        blt $t0, $t1, skip
+        nop
+skip:   jal sub
+        li $v0, 10
+        syscall
+sub:    jr $ra
+`)
+	for i, w := range p.Text {
+		in := isa.Decode(w)
+		if in.Op == isa.OpInvalid {
+			t.Errorf("word %d (%#08x) decodes to invalid", i, w)
+		}
+	}
+}
+
+// TestWorkloadSizedProgram: assemble a large program exercising every
+// directive and pseudo-instruction family in one source, then verify every
+// word disassembles to a valid instruction whose re-decoded fields are
+// self-consistent.
+func TestLargeProgramDisasmConsistency(t *testing.T) {
+	p := mustAssemble(t, `
+N = 48
+        .data
+words:  .word 1, 2, 3, -4, 0x7FFFFFFF
+halfs:  .half 1, 0x8000
+bytes:  .byte 1, 2, 255
+        .align 2
+str:    .asciiz "hello world"
+        .align 2
+buf:    .space N
+        .text
+main:   la    $s0, words
+        li    $s1, N
+        li    $s2, 0x12345678
+        lw    $t0, 0($s0)
+        lh    $t1, halfs
+        lbu   $t2, bytes
+        sb    $t2, buf
+        sh    $t1, buf+2
+        sw    $t0, buf+4
+        mul   $t3, $t0, $t1
+        div   $t4, $t3, $t0
+        rem   $t5, $t3, $t0
+        remu  $t6, $t3, $t0
+        sllv  $t7, $t0, $t1
+        srav  $t8, $t0, $t1
+        nor   $t9, $t0, $t1
+        not   $v1, $t0
+        neg   $a1, $t0
+        blt   $t0, $t1, next
+        bgeu  $t0, $t1, next
+next:   jal   helper
+        l.s   $f0, words
+        cvt.s.w $f1, $f0
+        sub.s $f2, $f1, $f1
+        c.le.s $f2, $f1
+        bc1f  skip
+        neg.s $f3, $f1
+skip:   li    $v0, 10
+        syscall
+helper: jalr  $t9, $ra
+        jr    $ra
+`)
+	if len(p.Text) < 30 {
+		t.Fatalf("text too small: %d", len(p.Text))
+	}
+	for i, w := range p.Text {
+		in := isa.Decode(w)
+		if in.Op == isa.OpInvalid {
+			t.Errorf("word %d (%#08x) invalid", i, w)
+			continue
+		}
+		pc := prog.TextBase + uint32(4*i)
+		if s := isa.Disasm(&in, pc); s == "" {
+			t.Errorf("word %d has empty disassembly", i)
+		}
+	}
+}
+
+// TestAssembleIdempotent: assembling the same source twice yields identical
+// images (determinism of the two-pass assembler).
+func TestAssembleIdempotent(t *testing.T) {
+	src := `
+        .data
+x:      .word 5
+        .text
+main:   lw $t0, x
+        addiu $t0, $t0, 1
+        sw $t0, x
+        li $v0, 10
+        syscall
+`
+	a := mustAssemble(t, src)
+	b := mustAssemble(t, src)
+	if len(a.Text) != len(b.Text) {
+		t.Fatal("text lengths differ")
+	}
+	for i := range a.Text {
+		if a.Text[i] != b.Text[i] {
+			t.Errorf("word %d differs", i)
+		}
+	}
+	if string(a.Data) != string(b.Data) {
+		t.Error("data differs")
+	}
+}
+
+// TestAllKernelSourcesHaveNoInvalidWords: every benchmark kernel assembles
+// to fully valid machine code.
+func TestBranchOutOfRange(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".text\nmain: b far\n")
+	for i := 0; i < 40000; i++ {
+		sb.WriteString(" nop\n")
+	}
+	sb.WriteString("far: syscall\n")
+	if _, err := Assemble("t.s", sb.String()); err == nil {
+		t.Error("branch across 40000 instructions must be out of range")
+	}
+}

@@ -1,0 +1,548 @@
+package asm
+
+import (
+	"fmt"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// encoder describes how one mnemonic is sized (pass 1) and encoded (pass 2).
+type encoder struct {
+	size func(a *assembler, ops []operand) (int, error)
+	emit func(a *assembler, pc uint32, ops []operand) ([]uint32, error)
+}
+
+func fixed(n int, emit func(a *assembler, pc uint32, ops []operand) ([]uint32, error)) encoder {
+	return encoder{
+		size: func(*assembler, []operand) (int, error) { return n, nil },
+		emit: emit,
+	}
+}
+
+func wantOps(ops []operand, kinds ...opKind) error {
+	if len(ops) != len(kinds) {
+		return fmt.Errorf("want %d operands, got %d", len(kinds), len(ops))
+	}
+	for i, k := range kinds {
+		if ops[i].kind != k {
+			names := map[opKind]string{opReg: "register", opFReg: "fp register", opImm: "expression", opMem: "memory operand"}
+			return fmt.Errorf("operand %d: want %s", i+1, names[k])
+		}
+	}
+	return nil
+}
+
+func (a *assembler) imm16(op operand, signed bool) (int32, error) {
+	v, err := a.resolve(op)
+	if err != nil {
+		return 0, err
+	}
+	if signed && (v < -32768 || v > 32767) {
+		return 0, fmt.Errorf("immediate %d out of signed 16-bit range", v)
+	}
+	if !signed && (v < 0 || v > 0xFFFF) {
+		return 0, fmt.Errorf("immediate %d out of unsigned 16-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// branchOff computes the word offset from pc to a label operand.
+func (a *assembler) branchOff(pc uint32, op operand) (int32, error) {
+	target, err := a.resolve(op)
+	if err != nil {
+		return 0, err
+	}
+	diff := int64(target) - int64(pc) - 4
+	if diff&3 != 0 {
+		return 0, fmt.Errorf("branch target %#x not word aligned", target)
+	}
+	off := diff / 4
+	if off < -32768 || off > 32767 {
+		return 0, fmt.Errorf("branch target %#x out of range", target)
+	}
+	return int32(off), nil
+}
+
+func alu3(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opReg); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(op, ops[0].reg, ops[1].reg, ops[2].reg)}, nil
+	})
+}
+
+func shiftC(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opImm); err != nil {
+			return nil, err
+		}
+		sh, err := a.resolve(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if sh < 0 || sh > 31 {
+			return nil, fmt.Errorf("shift amount %d out of range", sh)
+		}
+		return []uint32{isa.EncodeShift(op, ops[0].reg, ops[1].reg, uint8(sh))}, nil
+	})
+}
+
+func shiftV(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opReg); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeShiftV(op, ops[0].reg, ops[1].reg, ops[2].reg)}, nil
+	})
+}
+
+func aluI(op isa.Op, signed bool) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opImm); err != nil {
+			return nil, err
+		}
+		imm, err := a.imm16(ops[2], signed)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, ops[0].reg, ops[1].reg, imm)}, nil
+	})
+}
+
+// memOp handles loads and stores. A plain "op $r, off($base)" is one word; an
+// absolute "op $r, label" form expands via $at into lui+op (two words).
+func memOp(op isa.Op, fp bool) encoder {
+	regKind := opReg
+	if fp {
+		regKind = opFReg
+	}
+	size := func(a *assembler, ops []operand) (int, error) {
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("want 2 operands")
+		}
+		if ops[1].kind == opMem {
+			return 1, nil
+		}
+		if ops[1].kind == opImm {
+			return 2, nil
+		}
+		return 0, fmt.Errorf("second operand must be a memory reference")
+	}
+	emit := func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if ops[0].kind != regKind {
+			return nil, fmt.Errorf("first operand has wrong register class")
+		}
+		r := ops[0].reg
+		if ops[1].kind == opMem {
+			off, err := a.imm16(operand{kind: opImm, sym: ops[1].sym, off: ops[1].off}, true)
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeI(op, r, ops[1].base, off)}, nil
+		}
+		addr, err := a.resolve(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		// Signed-lo split so the load offset sign-extends correctly.
+		hi := uint32(addr+0x8000) >> 16
+		lo := int32(int16(addr & 0xFFFF))
+		return []uint32{
+			isa.EncodeI(isa.OpLUI, isa.RegAT, isa.RegZero, int32(hi)),
+			isa.EncodeI(op, r, isa.RegAT, lo),
+		}, nil
+	}
+	return encoder{size: size, emit: emit}
+}
+
+func br2(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opImm); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(pc, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, ops[1].reg, ops[0].reg, off)}, nil
+	})
+}
+
+func br1(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opImm); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(pc, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeBr1(op, ops[0].reg, off)}, nil
+	})
+}
+
+// cmpBranch emits the slt+branch expansion for blt/bge/bgt/ble (and the
+// unsigned variants). swap exchanges the comparison operands; brOp is the
+// branch applied to $at.
+func cmpBranch(sltOp isa.Op, swap bool, brOp isa.Op) encoder {
+	return fixed(2, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opImm); err != nil {
+			return nil, err
+		}
+		s1, s2 := ops[0].reg, ops[1].reg
+		if swap {
+			s1, s2 = s2, s1
+		}
+		off, err := a.branchOff(pc+4, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.EncodeR(sltOp, isa.RegAT, s1, s2),
+			isa.EncodeI(brOp, isa.RegZero, isa.RegAT, off),
+		}, nil
+	})
+}
+
+func fp3(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opFReg, opFReg, opFReg); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeFP3(op, ops[0].reg, ops[1].reg, ops[2].reg)}, nil
+	})
+}
+
+func fp2(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opFReg, opFReg); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeFP2(op, ops[0].reg, ops[1].reg)}, nil
+	})
+}
+
+func fcmp(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opFReg, opFReg); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeFCmp(op, ops[0].reg, ops[1].reg)}, nil
+	})
+}
+
+func brFCC(op isa.Op) encoder {
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opImm); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(pc, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeBrFCC(op, off)}, nil
+	})
+}
+
+func mulDiv(op isa.Op) encoder {
+	// Two-operand form is the raw instruction; the three-operand form is the
+	// pseudo that adds mflo (mul/divq) — handled separately below.
+	return fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeMulDiv(op, ops[0].reg, ops[1].reg)}, nil
+	})
+}
+
+// mulDivPseudo emits "op rs, rt; mfxx rd" for mul/rem/remu and the
+// three-operand div/divu forms.
+func mulDivPseudo(op isa.Op, moveOp isa.Op) encoder {
+	return fixed(2, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+		if err := wantOps(ops, opReg, opReg, opReg); err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.EncodeMulDiv(op, ops[1].reg, ops[2].reg),
+			isa.EncodeMoveHL(moveOp, ops[0].reg),
+		}, nil
+	})
+}
+
+// divEncoder dispatches between the 2-operand raw form and the 3-operand
+// pseudo form by operand count.
+func divEncoder(op isa.Op) encoder {
+	raw := mulDiv(op)
+	pseudo := mulDivPseudo(op, isa.OpMFLO)
+	return encoder{
+		size: func(a *assembler, ops []operand) (int, error) {
+			if len(ops) == 3 {
+				return pseudo.size(a, ops)
+			}
+			return raw.size(a, ops)
+		},
+		emit: func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if len(ops) == 3 {
+				return pseudo.emit(a, pc, ops)
+			}
+			return raw.emit(a, pc, ops)
+		},
+	}
+}
+
+// liWords reports how many instructions "li rd, v" takes.
+func liWords(v int64) int {
+	if v >= -32768 && v <= 32767 {
+		return 1
+	}
+	if v&0xFFFF == 0 && v >= 0 && v <= 0xFFFF_0000 {
+		return 1
+	}
+	return 2
+}
+
+var encoders map[string]encoder
+
+func init() {
+	encoders = map[string]encoder{
+		// ALU, register.
+		"addu": alu3(isa.OpADDU), "add": alu3(isa.OpADDU),
+		"subu": alu3(isa.OpSUBU), "sub": alu3(isa.OpSUBU),
+		"and": alu3(isa.OpAND), "or": alu3(isa.OpOR),
+		"xor": alu3(isa.OpXOR), "nor": alu3(isa.OpNOR),
+		"slt": alu3(isa.OpSLT), "sltu": alu3(isa.OpSLTU),
+		"sll": shiftC(isa.OpSLL), "srl": shiftC(isa.OpSRL), "sra": shiftC(isa.OpSRA),
+		"sllv": shiftV(isa.OpSLLV), "srlv": shiftV(isa.OpSRLV), "srav": shiftV(isa.OpSRAV),
+
+		// ALU, immediate.
+		"addiu": aluI(isa.OpADDIU, true), "addi": aluI(isa.OpADDIU, true),
+		"slti": aluI(isa.OpSLTI, true), "sltiu": aluI(isa.OpSLTIU, true),
+		"andi": aluI(isa.OpANDI, false), "ori": aluI(isa.OpORI, false),
+		"xori": aluI(isa.OpXORI, false),
+		"lui": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opImm); err != nil {
+				return nil, err
+			}
+			imm, err := a.imm16(ops[1], false)
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeI(isa.OpLUI, ops[0].reg, isa.RegZero, imm)}, nil
+		}),
+
+		// Multiply / divide.
+		"mult": mulDiv(isa.OpMULT), "multu": mulDiv(isa.OpMULTU),
+		"div": divEncoder(isa.OpDIV), "divu": divEncoder(isa.OpDIVU),
+		"mul":  mulDivPseudo(isa.OpMULT, isa.OpMFLO),
+		"rem":  mulDivPseudo(isa.OpDIV, isa.OpMFHI),
+		"remu": mulDivPseudo(isa.OpDIVU, isa.OpMFHI),
+		"mfhi": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeMoveHL(isa.OpMFHI, ops[0].reg)}, nil
+		}),
+		"mflo": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeMoveHL(isa.OpMFLO, ops[0].reg)}, nil
+		}),
+
+		// Memory.
+		"lb": memOp(isa.OpLB, false), "lbu": memOp(isa.OpLBU, false),
+		"lh": memOp(isa.OpLH, false), "lhu": memOp(isa.OpLHU, false),
+		"lw": memOp(isa.OpLW, false),
+		"sb": memOp(isa.OpSB, false), "sh": memOp(isa.OpSH, false),
+		"sw":   memOp(isa.OpSW, false),
+		"lwc1": memOp(isa.OpLWC1, true), "l.s": memOp(isa.OpLWC1, true),
+		"swc1": memOp(isa.OpSWC1, true), "s.s": memOp(isa.OpSWC1, true),
+
+		// Control flow.
+		"j": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opImm); err != nil {
+				return nil, err
+			}
+			t, err := a.resolve(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeJ(isa.OpJ, uint32(t))}, nil
+		}),
+		"jal": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opImm); err != nil {
+				return nil, err
+			}
+			t, err := a.resolve(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeJ(isa.OpJAL, uint32(t))}, nil
+		}),
+		"jr": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeJR(ops[0].reg)}, nil
+		}),
+		"jalr": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			switch len(ops) {
+			case 1:
+				if err := wantOps(ops, opReg); err != nil {
+					return nil, err
+				}
+				return []uint32{isa.EncodeJALR(isa.RegRA, ops[0].reg)}, nil
+			case 2:
+				if err := wantOps(ops, opReg, opReg); err != nil {
+					return nil, err
+				}
+				return []uint32{isa.EncodeJALR(ops[0].reg, ops[1].reg)}, nil
+			}
+			return nil, fmt.Errorf("want 1 or 2 operands")
+		}),
+		"beq": br2(isa.OpBEQ), "bne": br2(isa.OpBNE),
+		"blez": br1(isa.OpBLEZ), "bgtz": br1(isa.OpBGTZ),
+		"bltz": br1(isa.OpBLTZ), "bgez": br1(isa.OpBGEZ),
+		"syscall": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			return []uint32{isa.EncodeNullary(isa.OpSYSCALL)}, nil
+		}),
+		"break": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			return []uint32{isa.EncodeNullary(isa.OpBREAK)}, nil
+		}),
+
+		// Pseudo branches.
+		"b": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opImm); err != nil {
+				return nil, err
+			}
+			off, err := a.branchOff(pc, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeI(isa.OpBEQ, isa.RegZero, isa.RegZero, off)}, nil
+		}),
+		"beqz": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opImm); err != nil {
+				return nil, err
+			}
+			off, err := a.branchOff(pc, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeI(isa.OpBEQ, isa.RegZero, ops[0].reg, off)}, nil
+		}),
+		"bnez": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opImm); err != nil {
+				return nil, err
+			}
+			off, err := a.branchOff(pc, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeI(isa.OpBNE, isa.RegZero, ops[0].reg, off)}, nil
+		}),
+		"blt":  cmpBranch(isa.OpSLT, false, isa.OpBNE),
+		"bge":  cmpBranch(isa.OpSLT, false, isa.OpBEQ),
+		"bgt":  cmpBranch(isa.OpSLT, true, isa.OpBNE),
+		"ble":  cmpBranch(isa.OpSLT, true, isa.OpBEQ),
+		"bltu": cmpBranch(isa.OpSLTU, false, isa.OpBNE),
+		"bgeu": cmpBranch(isa.OpSLTU, false, isa.OpBEQ),
+		"bgtu": cmpBranch(isa.OpSLTU, true, isa.OpBNE),
+		"bleu": cmpBranch(isa.OpSLTU, true, isa.OpBEQ),
+
+		// Other pseudo-instructions.
+		"nop": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			return []uint32{isa.EncodeShift(isa.OpSLL, isa.RegZero, isa.RegZero, 0)}, nil
+		}),
+		"move": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeR(isa.OpADDU, ops[0].reg, ops[1].reg, isa.RegZero)}, nil
+		}),
+		"not": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeR(isa.OpNOR, ops[0].reg, ops[1].reg, isa.RegZero)}, nil
+		}),
+		"neg": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeR(isa.OpSUBU, ops[0].reg, isa.RegZero, ops[1].reg)}, nil
+		}),
+		"li": {
+			size: func(a *assembler, ops []operand) (int, error) {
+				if err := wantOps(ops, opReg, opImm); err != nil {
+					return 0, err
+				}
+				if ops[1].sym != "" {
+					return 2, nil // label address: lui+ori
+				}
+				return liWords(ops[1].off), nil
+			},
+			emit: func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+				v, err := a.resolve(ops[1])
+				if err != nil {
+					return nil, err
+				}
+				if v < -(1<<31) || v > (1<<32)-1 {
+					return nil, fmt.Errorf("li value %d out of 32-bit range", v)
+				}
+				rd := ops[0].reg
+				if ops[1].sym == "" {
+					switch liWords(v) {
+					case 1:
+						if v >= -32768 && v <= 32767 {
+							return []uint32{isa.EncodeI(isa.OpADDIU, rd, isa.RegZero, int32(v))}, nil
+						}
+						return []uint32{isa.EncodeI(isa.OpLUI, rd, isa.RegZero, int32(uint32(v)>>16))}, nil
+					}
+				}
+				u := uint32(v)
+				return []uint32{
+					isa.EncodeI(isa.OpLUI, rd, isa.RegZero, int32(u>>16)),
+					isa.EncodeI(isa.OpORI, rd, rd, int32(u&0xFFFF)),
+				}, nil
+			},
+		},
+		"la": fixed(2, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opImm); err != nil {
+				return nil, err
+			}
+			v, err := a.resolve(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			u := uint32(v)
+			rd := ops[0].reg
+			return []uint32{
+				isa.EncodeI(isa.OpLUI, rd, isa.RegZero, int32(u>>16)),
+				isa.EncodeI(isa.OpORI, rd, rd, int32(u&0xFFFF)),
+			}, nil
+		}),
+
+		// Floating point.
+		"add.s": fp3(isa.OpADDS), "sub.s": fp3(isa.OpSUBS),
+		"mul.s": fp3(isa.OpMULS), "div.s": fp3(isa.OpDIVS),
+		"sqrt.s": fp2(isa.OpSQRTS), "abs.s": fp2(isa.OpABSS),
+		"neg.s": fp2(isa.OpNEGS), "mov.s": fp2(isa.OpMOVS),
+		"cvt.s.w": fp2(isa.OpCVTSW), "cvt.w.s": fp2(isa.OpCVTWS),
+		"c.eq.s": fcmp(isa.OpCEQS), "c.lt.s": fcmp(isa.OpCLTS), "c.le.s": fcmp(isa.OpCLES),
+		"bc1t": brFCC(isa.OpBC1T), "bc1f": brFCC(isa.OpBC1F),
+		"mtc1": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opFReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeMTC1(ops[0].reg, ops[1].reg)}, nil
+		}),
+		"mfc1": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
+			if err := wantOps(ops, opReg, opFReg); err != nil {
+				return nil, err
+			}
+			return []uint32{isa.EncodeMFC1(ops[0].reg, ops[1].reg)}, nil
+		}),
+	}
+}

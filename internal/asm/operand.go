@@ -1,0 +1,172 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+type opKind int
+
+const (
+	opReg  opKind = iota // integer register
+	opFReg               // floating point register
+	opImm                // immediate expression: [sym] [+/- off]
+	opMem                // expr(base)
+)
+
+// operand is one parsed instruction or directive operand.
+type operand struct {
+	kind opKind
+	reg  isa.Reg // opReg / opFReg
+	sym  string  // opImm / opMem expression symbol ("" if pure constant)
+	off  int64   // opImm / opMem expression offset
+	base isa.Reg // opMem base register
+}
+
+// parseOperand parses a single operand. Constants that are already defined
+// (.equ) are substituted immediately so pseudo-instruction sizing can use
+// their values during pass 1.
+func (a *assembler) parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if s[0] == '$' {
+		return parseRegister(s)
+	}
+	// Memory operand: expr(base) or (base).
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return operand{}, fmt.Errorf("malformed memory operand %q", s)
+		}
+		baseOp, err := parseRegister(strings.TrimSpace(s[i+1 : len(s)-1]))
+		if err != nil {
+			return operand{}, err
+		}
+		if baseOp.kind != opReg {
+			return operand{}, fmt.Errorf("memory base must be an integer register in %q", s)
+		}
+		expr := strings.TrimSpace(s[:i])
+		var sym string
+		var off int64
+		if expr != "" {
+			sym, off, err = a.parseExpr(expr)
+			if err != nil {
+				return operand{}, err
+			}
+		}
+		return operand{kind: opMem, sym: sym, off: off, base: baseOp.reg}, nil
+	}
+	sym, off, err := a.parseExpr(s)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{kind: opImm, sym: sym, off: off}, nil
+}
+
+// parseExpr parses "sym", "sym+N", "sym-N", "N", or "'c'".
+func (a *assembler) parseExpr(s string) (sym string, off int64, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, fmt.Errorf("empty expression")
+	}
+	// Character literal, optionally negated.
+	lit, neg := s, false
+	if strings.HasPrefix(lit, "-'") {
+		lit, neg = lit[1:], true
+	}
+	if lit[0] == '\'' {
+		body, err := parseString("\"" + strings.Trim(lit, "'") + "\"")
+		if err != nil || len(body) != 1 {
+			return "", 0, fmt.Errorf("bad character literal %q", s)
+		}
+		v := int64(body[0])
+		if neg {
+			v = -v
+		}
+		return "", v, nil
+	}
+	// Split sym +/- off at the last top-level +/-, skipping a leading sign.
+	split := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			split = i
+		}
+	}
+	head, tail := s, ""
+	if split > 0 && isIdent(strings.TrimSpace(s[:split])) {
+		head = strings.TrimSpace(s[:split])
+		tail = strings.TrimSpace(s[split:])
+	}
+	if isIdent(head) && !isNumber(head) {
+		sym = head
+		if tail != "" {
+			off, err = parseInt(tail)
+			if err != nil {
+				return "", 0, err
+			}
+		}
+		// Substitute already-known constants now (labels stay symbolic).
+		if v, ok := a.consts[sym]; ok {
+			return "", v + off, nil
+		}
+		return sym, off, nil
+	}
+	off, err = parseInt(s)
+	return "", off, err
+}
+
+func isNumber(s string) bool {
+	_, err := parseInt(s)
+	return err == nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, " ", "")
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "+"):
+		s = s[1:]
+	case strings.HasPrefix(s, "-"):
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func parseRegister(s string) (operand, error) {
+	if !strings.HasPrefix(s, "$") {
+		return operand{}, fmt.Errorf("expected register, got %q", s)
+	}
+	name := strings.ToLower(s[1:])
+	if strings.HasPrefix(name, "f") && len(name) > 1 {
+		if n, err := strconv.Atoi(name[1:]); err == nil {
+			if n < 0 || n > 31 {
+				return operand{}, fmt.Errorf("fp register %q out of range", s)
+			}
+			return operand{kind: opFReg, reg: isa.FPR(n)}, nil
+		}
+		// "$fp" falls through to the named integer registers.
+	}
+	if n, err := strconv.Atoi(name); err == nil {
+		if n < 0 || n > 31 {
+			return operand{}, fmt.Errorf("register %q out of range", s)
+		}
+		return operand{kind: opReg, reg: isa.Reg(n)}, nil
+	}
+	if n := isa.IntRegNumber(name); n >= 0 {
+		return operand{kind: opReg, reg: isa.Reg(n)}, nil
+	}
+	return operand{}, fmt.Errorf("unknown register %q", s)
+}

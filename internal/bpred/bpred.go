@@ -1,0 +1,194 @@
+// Package bpred implements the branch prediction hardware of the base
+// machine in Table 1 of the paper: a gshare direction predictor with a
+// 10-bit global history register and a 16 K-entry 2-bit counter table, a
+// branch target buffer for indirect jumps, and a return address stack.
+//
+// The direction counters and the BTB are updated non-speculatively (at
+// commit); the global history register and the RAS are updated
+// speculatively at fetch and repaired from per-branch checkpoints on a
+// squash, which is what the State snapshot type is for.
+package bpred
+
+// Config sizes the predictor. DefaultConfig matches Table 1.
+type Config struct {
+	HistoryBits  int // global history register width
+	TableEntries int // 2-bit counter table entries (power of two)
+	BTBSets      int // BTB sets (2-way)
+	RASDepth     int // return address stack depth
+}
+
+// DefaultConfig returns the Table 1 predictor: gshare, 10-bit history,
+// 16 K counters.
+func DefaultConfig() Config {
+	return Config{HistoryBits: 10, TableEntries: 16 << 10, BTBSets: 512, RASDepth: 16}
+}
+
+// State is a checkpoint of the speculative predictor state (history register
+// and RAS). The timing core saves one per in-flight branch and restores on
+// misprediction.
+type State struct {
+	Hist   uint32
+	RASTop int
+	RAS    []uint32 // copy of the stack contents
+}
+
+type btbEntry struct {
+	tag    uint32
+	target uint32
+	valid  bool
+	tick   uint64
+}
+
+// Predictor is the complete front-end prediction unit.
+type Predictor struct {
+	cfg       Config
+	histMask  uint32
+	tableMask uint32
+	hist      uint32
+	counters  []uint8 // 2-bit saturating
+
+	btb     [][2]btbEntry
+	btbMask uint32
+	tick    uint64
+
+	ras    []uint32
+	rasTop int // index of next free slot
+}
+
+// New builds a predictor. Counters start weakly not-taken (1).
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:       cfg,
+		histMask:  1<<uint(cfg.HistoryBits) - 1,
+		tableMask: uint32(cfg.TableEntries - 1),
+		counters:  make([]uint8, cfg.TableEntries),
+		btb:       make([][2]btbEntry, cfg.BTBSets),
+		btbMask:   uint32(cfg.BTBSets - 1),
+		ras:       make([]uint32, cfg.RASDepth),
+	}
+	for i := range p.counters {
+		p.counters[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint32) uint32 {
+	return ((pc >> 2) ^ (p.hist << 4)) & p.tableMask
+}
+
+// PredictDir returns the predicted direction for the conditional branch at
+// pc using the current speculative history.
+func (p *Predictor) PredictDir(pc uint32) bool {
+	return p.counters[p.index(pc)] >= 2
+}
+
+// SpecUpdateHist shifts a (possibly speculative) branch outcome into the
+// global history register; called at fetch for every conditional branch.
+func (p *Predictor) SpecUpdateHist(taken bool) {
+	bit := uint32(0)
+	if taken {
+		bit = 1
+	}
+	p.hist = (p.hist<<1 | bit) & p.histMask
+}
+
+// UpdateDir trains the counter table with the actual outcome. The index is
+// computed with the history the branch saw at prediction time, which the
+// caller passes back via the checkpoint's Hist value.
+func (p *Predictor) UpdateDir(pc uint32, histAtPredict uint32, taken bool) {
+	idx := ((pc >> 2) ^ (histAtPredict << 4)) & p.tableMask
+	c := p.counters[idx]
+	if taken {
+		if c < 3 {
+			p.counters[idx] = c + 1
+		}
+	} else if c > 0 {
+		p.counters[idx] = c - 1
+	}
+}
+
+// Hist returns the current speculative global history register.
+func (p *Predictor) Hist() uint32 { return p.hist }
+
+// LookupBTB returns the predicted target for the indirect jump at pc.
+func (p *Predictor) LookupBTB(pc uint32) (uint32, bool) {
+	set := &p.btb[(pc>>2)&p.btbMask]
+	for w := range set {
+		if set[w].valid && set[w].tag == pc {
+			return set[w].target, true
+		}
+	}
+	return 0, false
+}
+
+// UpdateBTB records the actual target of the indirect jump at pc.
+func (p *Predictor) UpdateBTB(pc, target uint32) {
+	p.tick++
+	set := &p.btb[(pc>>2)&p.btbMask]
+	// Hit: refresh.
+	for w := range set {
+		if set[w].valid && set[w].tag == pc {
+			set[w].target = target
+			set[w].tick = p.tick
+			return
+		}
+	}
+	// Miss: fill LRU way.
+	victim := 0
+	if set[1].tick < set[0].tick {
+		victim = 1
+	}
+	if !set[0].valid {
+		victim = 0
+	} else if !set[1].valid {
+		victim = 1
+	}
+	set[victim] = btbEntry{tag: pc, target: target, valid: true, tick: p.tick}
+}
+
+// PushRAS pushes a return address at a call. The stack wraps (oldest entry
+// overwritten) like real hardware.
+func (p *Predictor) PushRAS(addr uint32) {
+	p.ras[p.rasTop%len(p.ras)] = addr
+	p.rasTop++
+}
+
+// PopRAS pops the predicted return address. An empty stack predicts 0,
+// which the core treats as "no prediction".
+func (p *Predictor) PopRAS() uint32 {
+	if p.rasTop == 0 {
+		return 0
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)]
+}
+
+// Save checkpoints the speculative state (history + RAS).
+func (p *Predictor) Save() State {
+	s := State{Hist: p.hist, RASTop: p.rasTop, RAS: make([]uint32, len(p.ras))}
+	copy(s.RAS, p.ras)
+	return s
+}
+
+// Restore rewinds the speculative state to a checkpoint.
+func (p *Predictor) Restore(s State) {
+	p.hist = s.Hist
+	p.rasTop = s.RASTop
+	copy(p.ras, s.RAS)
+}
+
+// Reset clears all predictor state.
+func (p *Predictor) Reset() {
+	p.hist = 0
+	p.rasTop = 0
+	p.tick = 0
+	for i := range p.counters {
+		p.counters[i] = 1
+	}
+	for i := range p.btb {
+		p.btb[i] = [2]btbEntry{}
+	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+}

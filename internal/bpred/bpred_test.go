@@ -1,0 +1,183 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersLearnAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x400100)
+	// Train with a stable history.
+	for i := 0; i < 4; i++ {
+		p.UpdateDir(pc, p.Hist(), true)
+	}
+	if !p.PredictDir(pc) {
+		t.Error("predictor did not learn always-taken")
+	}
+	for i := 0; i < 8; i++ {
+		p.UpdateDir(pc, p.Hist(), false)
+	}
+	if p.PredictDir(pc) {
+		t.Error("predictor did not unlearn")
+	}
+}
+
+func TestGshareUsesHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint32(0x400200)
+	// Alternating pattern TNTN... with history should become predictable:
+	// train outcome = !lastOutcome keyed by history.
+	correct := 0
+	last := false
+	for i := 0; i < 200; i++ {
+		want := !last
+		got := p.PredictDir(pc)
+		if got == want && i > 50 {
+			correct++
+		}
+		p.UpdateDir(pc, p.Hist(), want)
+		p.SpecUpdateHist(want)
+		last = want
+	}
+	if correct < 140 {
+		t.Errorf("gshare learned alternating pattern on only %d/149 tries", correct)
+	}
+}
+
+func TestHistoryWidth(t *testing.T) {
+	p := New(Config{HistoryBits: 10, TableEntries: 1 << 14, BTBSets: 16, RASDepth: 4})
+	for i := 0; i < 100; i++ {
+		p.SpecUpdateHist(true)
+	}
+	if p.Hist() != 1<<10-1 {
+		t.Errorf("history = %#x, want all ones in 10 bits", p.Hist())
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.LookupBTB(0x400300); ok {
+		t.Error("cold BTB must miss")
+	}
+	p.UpdateBTB(0x400300, 0x400800)
+	if tgt, ok := p.LookupBTB(0x400300); !ok || tgt != 0x400800 {
+		t.Errorf("BTB = %#x, %v", tgt, ok)
+	}
+	// Update with a new target.
+	p.UpdateBTB(0x400300, 0x400900)
+	if tgt, _ := p.LookupBTB(0x400300); tgt != 0x400900 {
+		t.Errorf("BTB not refreshed: %#x", tgt)
+	}
+}
+
+func TestBTBLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBSets = 1 // all entries collide
+	p := New(cfg)
+	p.UpdateBTB(0x100, 0x1)
+	p.UpdateBTB(0x200, 0x2)
+	p.UpdateBTB(0x100, 0x1) // refresh 0x100
+	p.UpdateBTB(0x300, 0x3) // evicts 0x200
+	if _, ok := p.LookupBTB(0x100); !ok {
+		t.Error("0x100 evicted despite being MRU")
+	}
+	if _, ok := p.LookupBTB(0x200); ok {
+		t.Error("0x200 should be evicted")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if got := p.PopRAS(); got != 0x200 {
+		t.Errorf("pop1 = %#x", got)
+	}
+	if got := p.PopRAS(); got != 0x100 {
+		t.Errorf("pop2 = %#x", got)
+	}
+	if got := p.PopRAS(); got != 0 {
+		t.Errorf("empty pop = %#x, want 0", got)
+	}
+}
+
+func TestRASWrap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASDepth = 2
+	p := New(cfg)
+	p.PushRAS(1)
+	p.PushRAS(2)
+	p.PushRAS(3) // overwrites 1
+	if got := p.PopRAS(); got != 3 {
+		t.Errorf("pop = %d", got)
+	}
+	if got := p.PopRAS(); got != 2 {
+		t.Errorf("pop = %d", got)
+	}
+}
+
+func TestSaveRestore(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SpecUpdateHist(true)
+	p.PushRAS(0xAAA)
+	snap := p.Save()
+	p.SpecUpdateHist(true)
+	p.SpecUpdateHist(false)
+	p.PushRAS(0xBBB)
+	p.PopRAS()
+	p.PopRAS()
+	p.Restore(snap)
+	if p.Hist() != snap.Hist {
+		t.Errorf("history not restored: %#x", p.Hist())
+	}
+	if got := p.PopRAS(); got != 0xAAA {
+		t.Errorf("RAS not restored: %#x", got)
+	}
+}
+
+func TestSaveIsDeepCopy(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(1)
+	snap := p.Save()
+	p.PopRAS()
+	p.PushRAS(99) // overwrite the slot
+	p.Restore(snap)
+	if got := p.PopRAS(); got != 1 {
+		t.Errorf("snapshot aliased live RAS: got %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SpecUpdateHist(true)
+	p.PushRAS(5)
+	p.UpdateBTB(0x100, 0x200)
+	p.Reset()
+	if p.Hist() != 0 {
+		t.Error("history survives reset")
+	}
+	if p.PopRAS() != 0 {
+		t.Error("RAS survives reset")
+	}
+	if _, ok := p.LookupBTB(0x100); ok {
+		t.Error("BTB survives reset")
+	}
+}
+
+// Property: history register never exceeds its mask, counters stay in 0..3.
+func TestInvariantsProperty(t *testing.T) {
+	p := New(DefaultConfig())
+	f := func(pc uint32, taken bool) bool {
+		p.UpdateDir(pc, p.Hist(), taken)
+		p.SpecUpdateHist(taken)
+		if p.Hist() > 1<<10-1 {
+			return false
+		}
+		idx := ((pc >> 2) ^ (p.Hist() << 4)) & uint32(len(p.counters)-1)
+		return p.counters[idx] <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

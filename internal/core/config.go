@@ -1,0 +1,235 @@
+// Package core implements the timing simulator: a 4-way dynamically
+// scheduled superscalar processor modeled after the paper's base machine
+// (Table 1), with optional Value Prediction or Instruction Reuse integrated
+// into the pipeline exactly as Figure 1 of the paper describes:
+//
+//   - VP: a prediction is obtained at decode from the VPT; dependents
+//     consume the predicted value immediately; the instruction still
+//     executes, and the prediction is compared against the actual result
+//     after an optional VP-verification latency. On a misprediction only
+//     the dependent instructions re-execute, and the penalty is charged
+//     once per dependence chain (§4.1.3). Branches with value-speculative
+//     operands resolve speculatively (SB) or wait until their operands are
+//     final (NSB); re-execution is eager (ME) or once-after-final (NME).
+//
+//   - IR: the reuse test runs in parallel with decode; a reused instruction
+//     skips the execute stage entirely, a reused branch resolves at decode,
+//     and reuse-buffer entries are written at execution completion so
+//     wrong-path work is buffered and can be recovered after a squash.
+package core
+
+import (
+	"fmt"
+
+	"github.com/vpir-sim/vpir/internal/bpred"
+	"github.com/vpir-sim/vpir/internal/mem"
+	"github.com/vpir-sim/vpir/internal/reuse"
+	"github.com/vpir-sim/vpir/internal/vp"
+)
+
+// Technique selects which redundancy-exploiting mechanism is active.
+type Technique int
+
+const (
+	TechNone   Technique = iota // base superscalar
+	TechVP                      // value prediction
+	TechIR                      // instruction reuse
+	TechHybrid                  // IR backed by VP: reuse when the test passes,
+	// predict otherwise — the combination the paper's introduction suggests
+	// exploring ("possibly hybrid of VP and IR"). An extension beyond the
+	// paper's evaluation.
+)
+
+func (t Technique) String() string {
+	switch t {
+	case TechVP:
+		return "vp"
+	case TechIR:
+		return "ir"
+	case TechHybrid:
+		return "hybrid"
+	}
+	return "base"
+}
+
+// BranchResolution says how branches with value-speculative operands are
+// handled (§4.1.4).
+type BranchResolution int
+
+const (
+	// SB resolves a branch as soon as it executes, even on speculative
+	// operands; spurious squashes are possible.
+	SB BranchResolution = iota
+	// NSB defers resolution until the branch has executed with all-final
+	// operands.
+	NSB
+)
+
+func (b BranchResolution) String() string {
+	if b == NSB {
+		return "NSB"
+	}
+	return "SB"
+}
+
+// ReexecPolicy says how often an instruction may re-execute on changing
+// inputs (§4.1.4).
+type ReexecPolicy int
+
+const (
+	// ME re-executes eagerly every time an input value changes.
+	ME ReexecPolicy = iota
+	// NME re-executes once, after all inputs are final.
+	NME
+)
+
+func (r ReexecPolicy) String() string {
+	if r == NME {
+		return "NME"
+	}
+	return "ME"
+}
+
+// VPConfig configures value prediction.
+type VPConfig struct {
+	Scheme           vp.Scheme
+	Resolution       BranchResolution
+	Reexec           ReexecPolicy
+	VerifyLat        int  // VP-verification latency in cycles (0 or 1 in the paper)
+	PredictAddresses bool // also predict effective addresses of memory ops
+	ResultTable      vp.Config
+	AddrTable        vp.Config
+}
+
+// IRConfig configures instruction reuse.
+type IRConfig struct {
+	// LateValidation defers the benefit of a reuse hit to the execute stage
+	// (the "late" experiment of Figure 3): the instruction behaves like a
+	// correctly value-predicted one instead of skipping execution.
+	LateValidation bool
+	Buffer         reuse.Config
+}
+
+// Config describes the whole machine.
+type Config struct {
+	FetchWidth  int
+	DecodeWidth int
+	IssueWidth  int
+	CommitWidth int
+	WBWidth     int // result bus width (broadcasts per cycle)
+
+	ROBSize     int
+	LSQSize     int
+	MaxBranches int // max unresolved checkpointed branches
+	FetchQueue  int // fetch buffer depth
+
+	IntALUs  int // 8
+	MemPorts int // 2 load/store units == D-cache ports
+	FPAdders int // 4
+
+	ICache mem.CacheConfig
+	DCache mem.CacheConfig
+	Bpred  bpred.Config
+
+	Technique Technique
+	VP        VPConfig
+	IR        IRConfig
+}
+
+// DefaultConfig returns the paper's Table 1 base machine.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		DecodeWidth: 4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		WBWidth:     4,
+		ROBSize:     32,
+		LSQSize:     32,
+		MaxBranches: 8,
+		FetchQueue:  16,
+		IntALUs:     8,
+		MemPorts:    2,
+		FPAdders:    4,
+		ICache:      mem.DefaultICache(),
+		DCache:      mem.DefaultDCache(),
+		Bpred:       bpred.DefaultConfig(),
+		Technique:   TechNone,
+		VP: VPConfig{
+			Scheme:           vp.Magic,
+			Resolution:       SB,
+			Reexec:           ME,
+			VerifyLat:        0,
+			PredictAddresses: true,
+			ResultTable:      vp.DefaultConfig(vp.Magic),
+			AddrTable:        vp.DefaultConfig(vp.Magic),
+		},
+		IR: IRConfig{Buffer: reuse.DefaultConfig()},
+	}
+}
+
+// VPChoice builds a VP machine configuration from the four paper knobs.
+func VPChoice(scheme vp.Scheme, res BranchResolution, re ReexecPolicy, verifyLat int) Config {
+	c := DefaultConfig()
+	c.Technique = TechVP
+	c.VP.Scheme = scheme
+	c.VP.Resolution = res
+	c.VP.Reexec = re
+	c.VP.VerifyLat = verifyLat
+	c.VP.ResultTable = vp.DefaultConfig(scheme)
+	c.VP.AddrTable = vp.DefaultConfig(scheme)
+	return c
+}
+
+// IRChoice builds an IR machine configuration.
+func IRChoice(late bool) Config {
+	c := DefaultConfig()
+	c.Technique = TechIR
+	c.IR.LateValidation = late
+	return c
+}
+
+// HybridChoice builds the hybrid machine: the reuse buffer handles what it
+// can non-speculatively; instructions that miss the reuse test are value
+// predicted.
+func HybridChoice(scheme vp.Scheme, res BranchResolution, re ReexecPolicy, verifyLat int) Config {
+	c := VPChoice(scheme, res, re, verifyLat)
+	c.Technique = TechHybrid
+	return c
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("core: pipeline widths must be positive")
+	case c.ROBSize <= 0 || c.ROBSize&(c.ROBSize-1) != 0:
+		return fmt.Errorf("core: ROB size must be a positive power of two")
+	case c.LSQSize <= 0:
+		return fmt.Errorf("core: LSQ size must be positive")
+	case c.MaxBranches <= 0:
+		return fmt.Errorf("core: MaxBranches must be positive")
+	case c.WBWidth <= 0:
+		return fmt.Errorf("core: WBWidth must be positive")
+	case c.Technique == TechVP && c.VP.VerifyLat < 0:
+		return fmt.Errorf("core: negative verification latency")
+	}
+	return nil
+}
+
+// Name returns a short configuration label like "VP_Magic ME-SB vlat=1" or
+// "IR early"; the harness uses it in tables.
+func (c Config) Name() string {
+	switch c.Technique {
+	case TechVP:
+		return fmt.Sprintf("%v %v-%v vlat=%d", c.VP.Scheme, c.VP.Reexec, c.VP.Resolution, c.VP.VerifyLat)
+	case TechIR:
+		if c.IR.LateValidation {
+			return "IR late"
+		}
+		return "IR"
+	case TechHybrid:
+		return fmt.Sprintf("IR+%v %v-%v vlat=%d", c.VP.Scheme, c.VP.Reexec, c.VP.Resolution, c.VP.VerifyLat)
+	}
+	return "base"
+}

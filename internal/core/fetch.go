@@ -1,0 +1,87 @@
+package core
+
+import (
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// fetch models the Table 1 front end: up to FetchWidth instructions per
+// cycle, at most one predicted-taken branch per cycle, never crossing a
+// cache line boundary within a cycle, with I-cache miss stalls.
+func (m *Machine) fetch() {
+	if m.halted || m.cycle < m.fetchReady {
+		return
+	}
+	firstPC := m.fetchPC
+	for n := 0; n < m.cfg.FetchWidth && len(m.fetchQ) < m.cfg.FetchQueue; n++ {
+		pc := m.fetchPC
+		in := m.instAt(pc)
+		if in == nil || in.Op == isa.OpInvalid {
+			// Off the text segment (wrong path after a wild jump, or past
+			// the end). Nothing to fetch until a squash redirects us.
+			return
+		}
+		if n > 0 && !m.icache.SameLine(firstPC, pc) {
+			return // cannot fetch across a line boundary in one cycle
+		}
+		// I-cache access on a line change.
+		line := pc / uint32(m.icache.LineBytes())
+		if line != m.lastFetchLine {
+			lat := m.icache.Access(pc)
+			m.lastFetchLine = line
+			if lat > 1 {
+				// Miss: the line arrives after lat cycles; nothing fetched
+				// from it this cycle.
+				m.fetchReady = m.cycle + uint64(lat)
+				return
+			}
+		}
+
+		f := fetched{pc: pc, in: in, predNext: pc + 4, fetchCycle: m.cycle}
+		switch {
+		case in.Op.IsCondBranch():
+			f.bpState = m.bp.Save()
+			f.histAtPred = m.bp.Hist()
+			f.needCkpt = true
+			f.predTaken = m.bp.PredictDir(pc)
+			if f.predTaken {
+				f.predNext = in.BranchTarget(pc)
+			}
+			m.bp.SpecUpdateHist(f.predTaken)
+		case in.Op == isa.OpJ:
+			f.predTaken = true
+			f.predNext = in.JumpTarget()
+		case in.Op == isa.OpJAL:
+			f.predTaken = true
+			f.predNext = in.JumpTarget()
+			m.bp.PushRAS(pc + 4)
+		case in.Op == isa.OpJR:
+			f.bpState = m.bp.Save()
+			f.needCkpt = true
+			f.predTaken = true
+			if in.Src1 == isa.RegRA { // function return: use the RAS
+				if t := m.bp.PopRAS(); t != 0 {
+					f.predNext = t
+				} else if t, ok := m.bp.LookupBTB(pc); ok {
+					f.predNext = t
+				}
+			} else if t, ok := m.bp.LookupBTB(pc); ok {
+				f.predNext = t
+			}
+		case in.Op == isa.OpJALR:
+			f.bpState = m.bp.Save()
+			f.needCkpt = true
+			f.predTaken = true
+			if t, ok := m.bp.LookupBTB(pc); ok {
+				f.predNext = t
+			}
+			m.bp.PushRAS(pc + 4)
+		}
+
+		m.fetchQ = append(m.fetchQ, f)
+		m.stats.Fetched++
+		m.fetchPC = f.predNext
+		if f.predNext != pc+4 {
+			return // one taken branch per cycle
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// fuFor maps a functional-unit class to its pool.
+func (m *Machine) fuFor(class isa.FUClass) *fuPool {
+	switch class {
+	case isa.FUIntALU:
+		return m.aluPool
+	case isa.FULoad, isa.FUStore:
+		return m.lsPool
+	case isa.FUIntMult, isa.FUIntDiv:
+		return m.imdPool
+	case isa.FUFPAdd:
+		return m.fpaPool
+	case isa.FUFPMult, isa.FUFPDiv, isa.FUFPSqrt:
+		return m.fpmPool
+	}
+	return nil
+}
+
+// issue selects up to IssueWidth ready instructions (oldest first) and
+// starts their execution, charging functional-unit and cache-port
+// contention per §4.2.3.
+func (m *Machine) issue() {
+	issued := 0
+	m.forEachROB(func(idx int32, e *robEntry) bool {
+		if issued >= m.cfg.IssueWidth {
+			return false
+		}
+		if !e.needExec || e.executing || e.reused || e.final {
+			return true
+		}
+		// NME: re-executions wait for all inputs to become final.
+		if m.vpActive() && m.cfg.VP.Reexec == NME && e.execCount > 0 {
+			if !e.allSrcFinal() {
+				return true
+			}
+		}
+		switch {
+		case e.isLoad:
+			if m.issueLoad(idx, e) {
+				issued++
+			}
+		case e.isStore:
+			if m.issueStore(idx, e) {
+				issued++
+			}
+		default:
+			if m.issueALU(idx, e) {
+				issued++
+			}
+		}
+		return true
+	})
+}
+
+// issueALU starts a non-memory operation.
+func (m *Machine) issueALU(idx int32, e *robEntry) bool {
+	if !e.allSrcReady() {
+		return false
+	}
+	info := e.in.Op.Info()
+	pool := m.fuFor(info.FU)
+	timing := isa.Timing[info.FU]
+	if pool != nil {
+		m.stats.ResourceRequests++
+		if !pool.acquire(m.cycle, timing.IssueLat) {
+			m.stats.ResourceDenials++
+			return false
+		}
+	}
+	m.beginExec(idx, e)
+
+	s1, s2 := e.srcVal[0], e.srcVal[1]
+	switch {
+	case e.in.Op.IsCondBranch():
+		e.pendTaken = emu.BranchTaken(e.in.Op, s1, s2)
+		if e.pendTaken {
+			e.pendNext = e.in.BranchTarget(e.pc)
+		} else {
+			e.pendNext = e.pc + 4
+		}
+		e.pendResult = 0
+		if e.pendTaken {
+			e.pendResult = 1
+		}
+	case e.in.Op == isa.OpJR || e.in.Op == isa.OpJALR:
+		e.pendTaken = true
+		e.pendNext = uint32(s1)
+		e.pendResult = s1 // buffered result for indirect jumps is the target
+	default:
+		e.pendResult = emu.ALUResult(e.in, s1, s2, e.pc)
+	}
+	m.schedule(uint64(timing.Latency), event{kind: evComplete, idx: idx, seq: e.seq})
+	return true
+}
+
+// issueStore starts a store's address generation. Disambiguation requires
+// final addresses, so the base operand must be final.
+func (m *Machine) issueStore(idx int32, e *robEntry) bool {
+	if !(e.srcReady[0] && e.srcFinal[0]) {
+		return false
+	}
+	m.stats.ResourceRequests++
+	if !m.lsPool.acquire(m.cycle, 1) {
+		m.stats.ResourceDenials++
+		return false
+	}
+	m.beginExec(idx, e)
+	e.pendAddr = emu.EffAddr(e.in, e.srcVal[0])
+	e.pendResult = 0
+	m.schedule(1, event{kind: evComplete, idx: idx, seq: e.seq})
+	return true
+}
+
+// issueLoad starts a load: address generation (skipped when the address was
+// reused or predicted), disambiguation against older stores, then either a
+// forward from the store queue or a D-cache access.
+func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
+	var addr uint32
+	usedPred := false
+	switch {
+	case e.addrReused:
+		addr = e.addr
+	case e.srcReady[0]:
+		addr = emu.EffAddr(e.in, e.srcVal[0])
+	case e.addrPred:
+		addr = e.predAddrVal
+		usedPred = true
+	default:
+		return false // no address available yet
+	}
+
+	// Table 1: loads execute only after all preceding store addresses are
+	// known. (A dependence stall, not resource contention.)
+	fwd, blocked := m.scanStores(e, addr)
+	if blocked {
+		return false
+	}
+
+	// Acquire the cache port first (when needed), then the load/store unit,
+	// so a denial never strands a half-acquired resource.
+	if fwd == nil {
+		m.stats.ResourceRequests++
+		if m.dcPortsUsed >= m.cfg.MemPorts {
+			m.stats.ResourceDenials++
+			return false
+		}
+	}
+	m.stats.ResourceRequests++
+	if !m.lsPool.acquire(m.cycle, 1) {
+		m.stats.ResourceDenials++
+		return false
+	}
+
+	agen := uint64(1)
+	if e.addrReused || usedPred {
+		agen = 0 // the address computation was bypassed
+	}
+	var lat uint64
+	if fwd != nil {
+		lat = agen + 1
+		e.pendResult = extractLoad(e.in.Op, addr, fwd)
+		e.pendForwarded = true
+	} else {
+		m.dcPortsUsed++
+		lat = agen + uint64(m.dcache.Access(addr))
+		e.pendResult = emu.LoadValue(m.mem, e.in.Op, addr)
+		e.pendForwarded = false
+	}
+	m.beginExec(idx, e)
+	e.pendAddr = addr
+	e.usedPredAddr = usedPred
+	m.schedule(lat, event{kind: evComplete, idx: idx, seq: e.seq})
+	return true
+}
+
+// beginExec snapshots the operand values an execution will use.
+func (m *Machine) beginExec(idx int32, e *robEntry) {
+	e.executing = true
+	e.needExec = false
+	e.snapVal = e.srcVal
+	e.snapValid = true
+	m.stats.Executed++
+	m.traceEvent(e, func(ev *PipeEvent) {
+		if ev.Issue == 0 {
+			ev.Issue = m.cycle
+		}
+		ev.Execs++
+	})
+}
+
+// fwdSource describes a store-queue forward.
+type fwdSource struct {
+	addr  uint32
+	width uint32
+	data  isa.Word
+}
+
+// scanStores checks all older stores for the Table 1 disambiguation rules.
+// It returns a forwarding source when the youngest older overlapping store
+// fully contains the load and its data is final, or blocked=true when the
+// load cannot execute yet.
+func (m *Machine) scanStores(e *robEntry, addr uint32) (*fwdSource, bool) {
+	width := emu.LoadWidth(e.in.Op)
+	var fwd *fwdSource
+	// Scan youngest-to-oldest among older stores; the first overlap decides.
+	for i := m.lsqCount - 1; i >= 0; i-- {
+		slot := (m.lsqHead + i) % int32(m.cfg.LSQSize)
+		q := &m.lsq[slot]
+		if !q.valid || q.seq >= e.seq || !q.isStore {
+			continue
+		}
+		if !q.addrKnown {
+			return nil, true // an older store address is unknown
+		}
+		if fwd != nil {
+			continue // already have the youngest overlap; older ones hidden
+		}
+		if q.addr < addr+width && addr < q.addr+q.width {
+			// Overlap: forward only on full containment with final data.
+			st := &m.rob[q.rob]
+			dataFinal := st.valid && st.seq == q.seq && st.srcReady[1] && st.srcFinal[1]
+			if addr >= q.addr && addr+width <= q.addr+q.width && dataFinal {
+				fwd = &fwdSource{addr: q.addr, width: q.width, data: st.srcVal[1]}
+				continue
+			}
+			return nil, true // partial overlap or data not final: wait
+		}
+	}
+	return fwd, false
+}
+
+// extractLoad slices the loaded bytes out of a forwarded store value.
+func extractLoad(op isa.Op, addr uint32, f *fwdSource) isa.Word {
+	sh := 8 * (addr - f.addr)
+	v := uint32(f.data) >> sh
+	switch op {
+	case isa.OpLB:
+		return isa.Word(uint32(int32(int8(v))))
+	case isa.OpLBU:
+		return isa.Word(v & 0xFF)
+	case isa.OpLH:
+		return isa.Word(uint32(int32(int16(v))))
+	case isa.OpLHU:
+		return isa.Word(v & 0xFFFF)
+	}
+	return isa.Word(v)
+}
+
+// loadReuseSafe reports whether reusing a load's value at decode is
+// non-speculative: every older store address must be known and none may
+// overlap the load's bytes.
+func (m *Machine) loadReuseSafe(e *robEntry, addr uint32) bool {
+	width := emu.LoadWidth(e.in.Op)
+	for i := m.lsqCount - 1; i >= 0; i-- {
+		slot := (m.lsqHead + i) % int32(m.cfg.LSQSize)
+		q := &m.lsq[slot]
+		if !q.valid || q.seq >= e.seq || !q.isStore {
+			continue
+		}
+		if !q.addrKnown {
+			return false
+		}
+		if q.addr < addr+width && addr < q.addr+q.width {
+			return false
+		}
+	}
+	return true
+}

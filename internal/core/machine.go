@@ -1,0 +1,279 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/vpir-sim/vpir/internal/bpred"
+	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/mem"
+	"github.com/vpir-sim/vpir/internal/prog"
+	"github.com/vpir-sim/vpir/internal/reuse"
+	"github.com/vpir-sim/vpir/internal/vp"
+)
+
+// wheelSize must exceed the longest possible event delay (fp sqrt 24 +
+// cache miss 7 + verification 1 and headroom).
+const wheelSize = 64
+
+// fetched is one instruction in the fetch buffer.
+type fetched struct {
+	pc         uint32
+	in         *isa.Inst
+	predTaken  bool
+	predNext   uint32
+	fetchCycle uint64
+	// Checkpoint material captured at fetch for checkpointed control
+	// instructions (conditional branches and indirect jumps).
+	needCkpt   bool
+	bpState    bpred.State
+	histAtPred uint32
+}
+
+// Machine is the timing simulator.
+type Machine struct {
+	cfg     Config
+	prog    *prog.Program
+	decoded []isa.Inst
+
+	mem    *mem.Memory
+	icache *mem.Cache
+	dcache *mem.Cache
+	bp     *bpred.Predictor
+	vpt    *vp.Table // result predictions (nil unless TechVP)
+	vpa    *vp.Table // address predictions (nil unless TechVP)
+	rb     *reuse.Buffer
+	oracle *emu.TraceLog
+
+	cycle uint64
+	seq   uint64
+
+	regs      [isa.NumArchRegs]isa.Word
+	createVec [isa.NumArchRegs]int32
+	createSeq [isa.NumArchRegs]uint64
+
+	rob      []robEntry
+	robHead  int32
+	robCount int32
+
+	lsq      []lsqEntry
+	lsqHead  int32
+	lsqCount int32
+
+	fetchPC       uint32
+	fetchReady    uint64 // I-cache miss stall: no fetch before this cycle
+	lastFetchLine uint32
+	fetchQ        []fetched
+	traceCursor   int64 // next correct-path trace index; < 0 on the wrong path
+	unresolved    int
+	serialize     int32 // ROB slot of a dispatched serializing op, -1 if none
+
+	wheel   [wheelSize][]event
+	finalQ  []int32 // entries whose finality must be re-examined this cycle
+	wbCarry []event // completions deferred by result-bus contention
+
+	// Functional unit pools (Table 1).
+	aluPool *fuPool // 8 integer ALUs
+	lsPool  *fuPool // 2 load/store units
+	imdPool *fuPool // 1 integer multiply/divide unit
+	fpaPool *fuPool // 4 FP adders
+	fpmPool *fuPool // 1 FP multiply/divide/sqrt unit
+
+	dcPortsUsed     int  // D-cache ports consumed this cycle
+	fetchRedirected bool // a squash redirected fetch during this stage pass
+
+	commitCursor int64 // committed instruction count == next trace index
+
+	halted   bool
+	exitCode int
+	output   bytes.Buffer
+
+	stats Stats
+
+	// debugCommit, when non-nil, observes each entry at commit (test hook).
+	debugCommit func(e *robEntry)
+	// tracer, when non-nil, records per-instruction pipeline events.
+	tracer *PipeTracer
+	// debugReuse, when non-nil, observes each reuse hit at decode (test hook).
+	debugReuse func(e *robEntry)
+}
+
+// New builds a machine for the program. The functional emulator is run
+// first (up to maxInsts instructions, 0 = to completion) to produce the
+// correct-path oracle trace; the timing simulation then reproduces exactly
+// that instruction stream and is checked against it at commit.
+func New(p *prog.Program, cfg Config, maxInsts uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cpu := emu.New(p)
+	oracle, err := emu.CollectTrace(cpu, maxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("core: functional pre-run failed: %w", err)
+	}
+	if oracle.Len() == 0 {
+		return nil, fmt.Errorf("core: program retired no instructions")
+	}
+
+	m := &Machine{
+		cfg:     cfg,
+		prog:    p,
+		decoded: p.Decoded(),
+		mem:     mem.NewMemory(),
+		icache:  mem.NewCache(cfg.ICache),
+		dcache:  mem.NewCache(cfg.DCache),
+		bp:      bpred.New(cfg.Bpred),
+		oracle:  oracle,
+		rob:     make([]robEntry, cfg.ROBSize),
+		lsq:     make([]lsqEntry, cfg.LSQSize),
+		fetchQ:  make([]fetched, 0, cfg.FetchQueue),
+	}
+	m.mem.LoadProgram(p)
+	m.regs[isa.RegSP] = isa.Word(prog.StackTop)
+	m.fetchPC = p.Entry
+	m.lastFetchLine = ^uint32(0)
+	m.serialize = -1
+	for i := range m.createVec {
+		m.createVec[i] = -1
+	}
+	m.aluPool = newPool(cfg.IntALUs)
+	m.lsPool = newPool(cfg.MemPorts)
+	m.imdPool = newPool(1)
+	m.fpaPool = newPool(cfg.FPAdders)
+	m.fpmPool = newPool(1)
+	switch cfg.Technique {
+	case TechVP:
+		m.vpt = vp.New(cfg.VP.ResultTable)
+		if cfg.VP.PredictAddresses {
+			m.vpa = vp.New(cfg.VP.AddrTable)
+		}
+	case TechIR:
+		m.rb = reuse.New(cfg.IR.Buffer)
+	case TechHybrid:
+		m.rb = reuse.New(cfg.IR.Buffer)
+		m.vpt = vp.New(cfg.VP.ResultTable)
+		if cfg.VP.PredictAddresses {
+			m.vpa = vp.New(cfg.VP.AddrTable)
+		}
+	}
+	return m, nil
+}
+
+// vpActive reports whether value prediction is integrated (TechVP or
+// TechHybrid); the SB/NSB and ME/NME policy checks key off this.
+func (m *Machine) vpActive() bool { return m.vpt != nil }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns a copy of the statistics gathered so far.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	is, ds := m.icache.Stats(), m.dcache.Stats()
+	s.ICacheAccesses, s.ICacheMisses = is.Accesses, is.Misses
+	s.DCacheAccesses, s.DCacheMisses = ds.Accesses, ds.Misses
+	if m.rb != nil {
+		s.Recovered = m.rb.Stats().Recovered
+	}
+	return s
+}
+
+// Output returns everything the program printed so far.
+func (m *Machine) Output() string { return m.output.String() }
+
+// ExitCode returns the program's exit code (valid once halted).
+func (m *Machine) ExitCode() int { return m.exitCode }
+
+// Halted reports whether the simulated program has finished.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Oracle exposes the functional trace (for the harness's spurious-squash
+// classification and for tests).
+func (m *Machine) Oracle() *emu.TraceLog { return m.oracle }
+
+// Run simulates up to maxCycles further cycles (0 = no limit), stopping
+// early when the program halts. It returns an error only on an internal
+// consistency failure (a divergence from the functional oracle).
+func (m *Machine) Run(maxCycles uint64) error {
+	limit := m.cycle + maxCycles
+	for !m.halted {
+		if maxCycles > 0 && m.cycle >= limit {
+			return nil
+		}
+		if err := m.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step advances the machine one cycle. Stage order (events → commit →
+// issue → decode → fetch) gives the same cycle timing as Figure 2 of the
+// paper: a 1-cycle op issued in cycle c completes at the start of c+1,
+// wakes dependents that can issue in c+1, and can commit in c+1.
+func (m *Machine) step() error {
+	m.stats.Cycles++
+	m.dcPortsUsed = 0
+	if err := m.processEvents(); err != nil {
+		return err
+	}
+	if err := m.commit(); err != nil {
+		return err
+	}
+	m.issue()
+	if err := m.decode(); err != nil {
+		return err
+	}
+	m.fetch()
+	m.cycle++
+	return nil
+}
+
+// --- small helpers shared by the stages ---
+
+func (m *Machine) robIdx(offset int32) int32 {
+	return (m.robHead + offset) & int32(m.cfg.ROBSize-1)
+}
+
+// forEachROB iterates oldest to youngest, stopping early if fn returns false.
+func (m *Machine) forEachROB(fn func(idx int32, e *robEntry) bool) {
+	for i := int32(0); i < m.robCount; i++ {
+		idx := m.robIdx(i)
+		if !fn(idx, &m.rob[idx]) {
+			return
+		}
+	}
+}
+
+func (m *Machine) schedule(delay uint64, ev event) {
+	if delay == 0 {
+		delay = 1
+	}
+	slot := (m.cycle + delay) % wheelSize
+	m.wheel[slot] = append(m.wheel[slot], ev)
+}
+
+// scheduleThisCycle runs an event during the current cycle's event
+// processing; used for 0-cycle verification.
+func (m *Machine) liveEntry(ev event) *robEntry {
+	e := &m.rob[ev.idx]
+	if !e.valid || e.seq != ev.seq {
+		return nil
+	}
+	return e
+}
+
+func (m *Machine) instAt(pc uint32) *isa.Inst {
+	if !m.prog.InText(pc) || pc&3 != 0 {
+		return nil
+	}
+	return &m.decoded[(pc-prog.TextBase)/4]
+}
+
+// divergence builds the internal-error used when the timing core disagrees
+// with the functional oracle.
+func (m *Machine) divergence(e *robEntry, what string, got, want any) error {
+	return fmt.Errorf("core: divergence from oracle at pc %#x (inst %d, %s, line %d): %s: got %v want %v",
+		e.pc, e.traceIdx, m.cfg.Name(), m.prog.SrcLines[e.pc], what, got, want)
+}

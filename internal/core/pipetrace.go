@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// PipeEvent records the pipeline lifetime of one dynamic instruction; the
+// timestamps are machine cycle numbers. A SimpleScalar-style "pipetrace"
+// for seeing how VP and IR reshape the schedule.
+type PipeEvent struct {
+	Seq     uint64
+	PC      uint32
+	Disasm  string
+	Fetch   uint64
+	Decode  uint64
+	Issue   uint64 // first issue (0 if never executed)
+	Done    uint64 // last completion / reuse (== Decode for reused)
+	Commit  uint64
+	Reused  bool
+	Pred    bool // value predicted
+	Execs   int  // number of executions
+	Squash  bool // discarded on a wrong path (never committed)
+	TraceID int64
+}
+
+// PipeTracer collects PipeEvents. Attach before Run with Machine.Trace.
+type PipeTracer struct {
+	// Max bounds how many instructions are recorded (0 = unlimited —
+	// beware, this is one record per dynamic instruction).
+	Max    int
+	Events []PipeEvent
+}
+
+// Trace attaches a pipeline tracer to the machine. Must be called before
+// Run.
+func (m *Machine) Trace(t *PipeTracer) { m.tracer = t }
+
+func (m *Machine) traceDispatch(e *robEntry, fetchCycle uint64) {
+	t := m.tracer
+	if t == nil || (t.Max > 0 && len(t.Events) >= t.Max) {
+		return
+	}
+	e.traceSlot = int32(len(t.Events))
+	t.Events = append(t.Events, PipeEvent{
+		Seq:     e.seq,
+		PC:      e.pc,
+		Disasm:  isa.Disasm(e.in, e.pc),
+		Fetch:   fetchCycle,
+		Decode:  m.cycle,
+		TraceID: e.traceIdx,
+	})
+}
+
+func (m *Machine) traceEvent(e *robEntry, update func(ev *PipeEvent)) {
+	t := m.tracer
+	if t == nil || e.traceSlot < 0 || int(e.traceSlot) >= len(t.Events) {
+		return
+	}
+	ev := &t.Events[e.traceSlot]
+	if ev.Seq != e.seq {
+		return
+	}
+	update(ev)
+}
+
+// Render writes a classic pipeline diagram: one row per instruction, one
+// column per cycle, with stage letters F (in flight from fetch), D
+// (decoded/waiting), E (executing), R (reused at decode), and C (commit).
+// Rows for squashed instructions are marked with an x. The window is
+// clamped to maxCycles columns starting at the first event.
+func (t *PipeTracer) Render(w io.Writer, maxCycles int) {
+	if len(t.Events) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	start := t.Events[0].Fetch
+	end := start
+	for _, ev := range t.Events {
+		last := ev.Commit
+		if last == 0 {
+			last = ev.Done
+		}
+		if last == 0 {
+			last = ev.Decode
+		}
+		if last > end {
+			end = last
+		}
+	}
+	if maxCycles > 0 && end-start+1 > uint64(maxCycles) {
+		end = start + uint64(maxCycles) - 1
+	}
+	width := int(end - start + 1)
+	fmt.Fprintf(w, "cycles %d..%d; F=fetched D=decoded E=executing R=reused C=commit x=squashed\n", start, end)
+	for _, ev := range t.Events {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		put := func(cyc uint64, ch byte) {
+			if cyc >= start && cyc <= end {
+				row[cyc-start] = ch
+			}
+		}
+		span := func(from, to uint64, ch byte) {
+			for c := from; c <= to && c <= end; c++ {
+				put(c, ch)
+			}
+		}
+		if ev.Decode > ev.Fetch {
+			span(ev.Fetch, ev.Decode-1, 'F')
+		}
+		last := ev.Commit
+		if last == 0 {
+			last = ev.Done
+		}
+		if last >= ev.Decode {
+			span(ev.Decode, last, 'D')
+		}
+		if ev.Issue > 0 && ev.Done >= ev.Issue {
+			span(ev.Issue, ev.Done, 'E')
+		}
+		if ev.Reused {
+			put(ev.Decode, 'R')
+		}
+		if ev.Commit > 0 {
+			put(ev.Commit, 'C')
+		}
+		mark := " "
+		if ev.Squash {
+			mark = "x"
+		}
+		fmt.Fprintf(w, "%s %08x %-28s |%s|\n", mark, ev.PC, clip(ev.Disasm, 28), row)
+	}
+}
+
+func clip(s string, n int) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	if len(s) > n {
+		return s[:n-1] + "…"
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipeTracerRecordsLifetimes(t *testing.T) {
+	m := buildMachine(t, `
+        .text
+main:   li   $t0, 1
+        addu $t1, $t0, $t0
+        addu $t2, $t1, $t1
+        li   $v0, 10
+        syscall
+`, DefaultConfig())
+	tr := &PipeTracer{Max: 16}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 5 {
+		t.Fatalf("events = %d, want 5", len(tr.Events))
+	}
+	// In-order commit: cycle numbers must be monotone per row and across
+	// program order.
+	var lastCommit uint64
+	for i, ev := range tr.Events {
+		if ev.Commit == 0 {
+			t.Errorf("event %d never committed", i)
+		}
+		if ev.Commit < lastCommit {
+			t.Errorf("commit out of order at %d", i)
+		}
+		lastCommit = ev.Commit
+		if ev.Decode < ev.Fetch || (ev.Issue > 0 && ev.Issue < ev.Decode) ||
+			(ev.Done > 0 && ev.Commit < ev.Done) {
+			t.Errorf("event %d has inconsistent timestamps: %+v", i, ev)
+		}
+	}
+	// The two dependent addus must complete one cycle apart.
+	a, b := tr.Events[1], tr.Events[2]
+	if b.Done <= a.Done {
+		t.Errorf("dependent addu done %d not after producer %d", b.Done, a.Done)
+	}
+}
+
+func TestPipeTracerMarksReuse(t *testing.T) {
+	m := buildMachine(t, `
+        .data
+xs:     .word 9
+        .text
+main:   li   $s0, 0
+loop:   la   $t0, xs
+        lw   $t1, 0($t0)
+        addu $t2, $t1, $t1
+        addiu $s0, $s0, 1
+        slti $at, $s0, 10
+        bnez $at, loop
+        li   $v0, 10
+        syscall
+`, IRChoice(false))
+	tr := &PipeTracer{}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for _, ev := range tr.Events {
+		if ev.Reused {
+			reused++
+			if ev.Issue != 0 {
+				t.Errorf("reused instruction also issued: %+v", ev)
+			}
+		}
+	}
+	if reused == 0 {
+		t.Error("no reuse events recorded")
+	}
+}
+
+func TestPipeTracerMax(t *testing.T) {
+	m := buildMachine(t, `
+        .text
+main:   li   $t0, 0
+loop:   addiu $t0, $t0, 1
+        slti $at, $t0, 50
+        bnez $at, loop
+        li   $v0, 10
+        syscall
+`, DefaultConfig())
+	tr := &PipeTracer{Max: 10}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 10 {
+		t.Errorf("events = %d, want capped at 10", len(tr.Events))
+	}
+}
+
+func TestPipeTracerRender(t *testing.T) {
+	m := buildMachine(t, `
+        .text
+main:   li   $t0, 3
+        addu $t1, $t0, $t0
+        li   $v0, 10
+        syscall
+`, DefaultConfig())
+	tr := &PipeTracer{}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tr.Render(&sb, 40)
+	out := sb.String()
+	for _, want := range []string{"cycles", "addu", "C", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Empty tracer renders gracefully.
+	var sb2 strings.Builder
+	(&PipeTracer{}).Render(&sb2, 10)
+	if !strings.Contains(sb2.String(), "no events") {
+		t.Error("empty render")
+	}
+}
+
+func TestPipeTracerMarksSquash(t *testing.T) {
+	m := buildMachine(t, `
+        .data
+bits:   .word 1,0,0,1,0,1,1,0
+        .text
+main:   li   $s0, 0
+        li   $s1, 0
+loop:   andi $t0, $s0, 7
+        sll  $t0, $t0, 2
+        la   $t1, bits
+        addu $t1, $t1, $t0
+        lw   $t2, 0($t1)
+        beqz $t2, zero
+        addiu $s1, $s1, 1
+zero:   addiu $s0, $s0, 1
+        slti $at, $s0, 40
+        bnez $at, loop
+        li   $v0, 10
+        syscall
+`, DefaultConfig())
+	tr := &PipeTracer{}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	squashed := 0
+	for _, ev := range tr.Events {
+		if ev.Squash {
+			squashed++
+			if ev.Commit != 0 {
+				t.Errorf("squashed instruction committed: %+v", ev)
+			}
+		}
+	}
+	if squashed == 0 {
+		t.Error("no squashed events on a data-dependent branch workload")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"github.com/vpir-sim/vpir/internal/bpred"
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/reuse"
+)
+
+// consRef names a consumer of an entry's result: the ROB slot, the sequence
+// number (to detect slot reuse after squashes) and which operand slot of the
+// consumer the value feeds.
+type consRef struct {
+	idx  int32
+	seq  uint64
+	slot uint8
+}
+
+// ckpt is the per-branch checkpoint used for squash recovery.
+type ckpt struct {
+	createVec   [isa.NumArchRegs]int32
+	createSeq   [isa.NumArchRegs]uint64
+	bp          bpred.State
+	traceCursor int64
+	histAtPred  uint32 // gshare history when the direction was predicted
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	valid       bool
+	seq         uint64
+	pc          uint32
+	in          *isa.Inst
+	traceIdx    int64 // correct-path trace index, -1 on the wrong path
+	traceSlot   int32 // PipeTracer event index, -1 when not traced
+	decodeCycle uint64
+
+	// Renamed operands. srcProd < 0 means the value came from the committed
+	// register file (always final).
+	srcProd    [2]int32
+	srcProdSeq [2]uint64
+	srcVal     [2]isa.Word
+	srcReady   [2]bool
+	srcFinal   [2]bool
+	srcFrom    [2]reuse.Link // RB entry that produced the operand (dependence pointers)
+
+	consumers []consRef
+
+	// Execution state.
+	needExec  bool
+	executing bool
+	execCount int
+	hasResult bool
+	result    isa.Word
+	final     bool
+	finalAt   uint64
+	// Operand snapshot of the most recently issued execution, to decide
+	// whether a later value change invalidates it.
+	snapVal   [2]isa.Word
+	snapValid bool
+	// In-flight execution outputs, applied at the completion event.
+	pendResult    isa.Word
+	pendTaken     bool
+	pendNext      uint32
+	pendAddr      uint32
+	pendForwarded bool
+	// Latest computed (actual) result, held apart from `result` while a
+	// value prediction awaits verification.
+	computed    isa.Word
+	hasComputed bool
+
+	// Value prediction.
+	predicted   bool
+	predVal     isa.Word
+	verifyDone  bool
+	verifySched bool
+	// Address prediction (loads).
+	addrPred    bool
+	predAddrVal uint32
+	// Execution issued with a predicted (not computed) address.
+	usedPredAddr bool
+
+	// Instruction reuse.
+	reused     bool       // full reuse: skipped execution
+	addrReused bool       // memory op with address from the RB
+	reuseSrc   reuse.Link // entry the result was reused from
+	rbLink     reuse.Link // entry this instruction was inserted at
+	insertedRB bool       // rbLink names an entry this instruction created
+	lateHit    bool       // reuse hit under late-validation mode
+
+	// Control flow.
+	isCtl         bool
+	checkpoint    *ckpt
+	histAtPred    uint32 // gshare history at prediction, for commit training
+	predTaken     bool
+	predNextPC    uint32
+	curPath       uint32 // path the machine currently follows after this inst
+	resolvedOnce  bool
+	finalResolved bool
+	resolveCycle  uint64
+	actualTaken   bool
+	actualNext    uint32
+
+	// Memory.
+	isLoad    bool
+	isStore   bool
+	lsq       int32
+	addrKnown bool
+	addr      uint32
+	forwarded bool // load value came from an in-flight store
+}
+
+// srcCount returns how many register sources the instruction has.
+func (e *robEntry) srcRegs() [2]isa.Reg {
+	return [2]isa.Reg{e.in.Src1, e.in.Src2}
+}
+
+// allSrcReady reports whether every present operand has a value.
+func (e *robEntry) allSrcReady() bool {
+	regs := e.srcRegs()
+	for k := 0; k < 2; k++ {
+		if regs[k] != isa.NoReg && !e.srcReady[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSrcFinal reports whether every present operand value is final.
+func (e *robEntry) allSrcFinal() bool {
+	regs := e.srcRegs()
+	for k := 0; k < 2; k++ {
+		if regs[k] != isa.NoReg && !e.srcFinal[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotCurrent reports whether the most recent execution used the
+// current operand values (i.e. its result is still coherent). Memory
+// operations depend only on their base operand (slot 0) for execution: a
+// store's data operand is consumed at commit, not by the agen.
+func (e *robEntry) snapshotCurrent() bool {
+	if !e.snapValid {
+		return false
+	}
+	regs := e.srcRegs()
+	last := 2
+	if e.in.Op.IsMem() {
+		last = 1
+	}
+	for k := 0; k < last; k++ {
+		if regs[k] != isa.NoReg && e.snapVal[k] != e.srcVal[k] {
+			return false
+		}
+	}
+	// A load that executed with a predicted address is only coherent if the
+	// prediction matched the real effective address.
+	if e.usedPredAddr {
+		if !e.srcReady[0] {
+			return false
+		}
+		if uint32(e.srcVal[0])+uint32(e.in.Imm) != e.pendAddr {
+			return false
+		}
+	}
+	return true
+}
+
+// lsqEntry is one load/store queue slot.
+type lsqEntry struct {
+	valid     bool
+	rob       int32
+	seq       uint64
+	isStore   bool
+	addrKnown bool
+	addr      uint32
+	width     uint32
+	dataFinal bool // store data is final (forwarding is allowed)
+	data      isa.Word
+}
+
+// fuPool is a set of identical functional units. Units are modeled by
+// busy-until cycle numbers; acquiring picks any free unit and occupies it
+// for the operation's issue latency.
+type fuPool struct {
+	busyUntil []uint64
+}
+
+func newPool(n int) *fuPool { return &fuPool{busyUntil: make([]uint64, n)} }
+
+// acquire reserves a unit from now for issueLat cycles; reports success.
+func (p *fuPool) acquire(now uint64, issueLat int) bool {
+	for i, b := range p.busyUntil {
+		if b <= now {
+			p.busyUntil[i] = now + uint64(issueLat)
+			return true
+		}
+	}
+	return false
+}
+
+// event is a scheduled pipeline event.
+type evKind uint8
+
+const (
+	evComplete evKind = iota // an execution finishes
+	evVerify                 // a value prediction is compared
+)
+
+type event struct {
+	kind evKind
+	idx  int32
+	seq  uint64
+}

@@ -1,0 +1,422 @@
+package emu
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/vpir-sim/vpir/internal/asm"
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(p)
+	halted, err := c.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !halted {
+		t.Fatal("program did not halt within 1M instructions")
+	}
+	return c
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li   $t0, 0          # sum
+        li   $t1, 1          # i
+loop:   addu $t0, $t0, $t1
+        addiu $t1, $t1, 1
+        slti $at, $t1, 101
+        bnez $at, loop
+        move $a0, $t0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+`)
+	if got := c.Output.String(); got != "5050" {
+		t.Errorf("output = %q, want 5050", got)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := run(t, `
+        .data
+arr:    .word 10, 20, 30, 40
+sum:    .word 0
+        .text
+main:   la   $s0, arr
+        li   $t0, 0       # sum
+        li   $t1, 0       # i
+loop:   sll  $t2, $t1, 2
+        addu $t2, $t2, $s0
+        lw   $t3, 0($t2)
+        addu $t0, $t0, $t3
+        addiu $t1, $t1, 1
+        slti $at, $t1, 4
+        bnez $at, loop
+        sw   $t0, sum
+        move $a0, $t0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+`)
+	if got := c.Output.String(); got != "100" {
+		t.Errorf("output = %q, want 100", got)
+	}
+	sumAddr := c.Program().MustSymbol("sum")
+	if got := c.Mem.LoadWord(sumAddr); got != 100 {
+		t.Errorf("sum in memory = %d", got)
+	}
+}
+
+func TestByteHalfAccess(t *testing.T) {
+	c := run(t, `
+        .data
+b:      .byte 0xFF
+h:      .half 0x8000
+        .text
+main:   lb   $t0, b        # sign extends to -1
+        lbu  $t1, b        # zero extends to 255
+        lh   $t2, h        # sign extends
+        lhu  $t3, h
+        move $a0, $t0
+        li   $v0, 1
+        syscall
+        li   $a0, ' '
+        li   $v0, 11
+        syscall
+        move $a0, $t1
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+`)
+	if got := c.Output.String(); got != "-1 255" {
+		t.Errorf("output = %q", got)
+	}
+	if got := int32(uint32(c.Regs[10])); got != -32768 {
+		t.Errorf("lh = %d, want -32768", got)
+	}
+	if got := c.Regs[11]; got != 0x8000 {
+		t.Errorf("lhu = %#x", got)
+	}
+}
+
+func TestMultDiv(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li   $t0, -7
+        li   $t1, 3
+        mult $t0, $t1
+        mflo $t2          # -21
+        li   $t3, 17
+        li   $t4, 5
+        div  $t3, $t4
+        mflo $t5          # 3
+        mfhi $t6          # 2
+        li   $v0, 10
+        syscall
+`)
+	if got := int32(uint32(c.Regs[10])); got != -21 {
+		t.Errorf("mult = %d", got)
+	}
+	if c.Regs[13] != 3 || c.Regs[14] != 2 {
+		t.Errorf("div quo/rem = %d/%d", c.Regs[13], c.Regs[14])
+	}
+}
+
+func TestDivByZeroDeterministic(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li  $t0, 42
+        li  $t1, 0
+        div $t0, $t1
+        mflo $t2
+        mfhi $t3
+        li  $v0, 10
+        syscall
+`)
+	if c.Regs[10] != 0 || c.Regs[11] != 42 {
+		t.Errorf("div-by-zero quo=%d rem=%d, want 0 and 42", c.Regs[10], c.Regs[11])
+	}
+}
+
+func TestFunctionCallReturn(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li   $a0, 10
+        jal  double
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+double: sll  $v0, $a0, 1
+        jr   $ra
+`)
+	if got := c.Output.String(); got != "20" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRecursiveFactorial(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li   $a0, 6
+        jal  fact
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+fact:   addiu $sp, $sp, -8
+        sw   $ra, 4($sp)
+        sw   $a0, 0($sp)
+        slti $at, $a0, 2
+        beqz $at, rec
+        li   $v0, 1
+        b    out
+rec:    addiu $a0, $a0, -1
+        jal  fact
+        lw   $a0, 0($sp)
+        mul  $v0, $v0, $a0
+out:    lw   $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr   $ra
+`)
+	if got := c.Output.String(); got != "720" {
+		t.Errorf("output = %q, want 720", got)
+	}
+}
+
+func TestPrintString(t *testing.T) {
+	c := run(t, `
+        .data
+msg:    .asciiz "hello, world\n"
+        .text
+main:   la   $a0, msg
+        li   $v0, 4
+        syscall
+        li   $v0, 10
+        syscall
+`)
+	if got := c.Output.String(); got != "hello, world\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c := run(t, `
+        .data
+two:    .word 0x40000000   # 2.0f
+        .text
+main:   l.s   $f0, two
+        add.s $f1, $f0, $f0   # 4.0
+        mul.s $f2, $f1, $f1   # 16.0
+        sqrt.s $f3, $f2       # 4.0
+        div.s $f4, $f3, $f0   # 2.0
+        c.eq.s $f4, $f0
+        bc1t  good
+        li    $a0, 0
+        b     done
+good:   li    $a0, 1
+done:   li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+`)
+	if got := c.Output.String(); got != "1" {
+		t.Errorf("fp compare failed: output = %q", got)
+	}
+	if got := math.Float32frombits(uint32(c.Regs[isa.FPR(2)])); got != 16.0 {
+		t.Errorf("f2 = %v", got)
+	}
+}
+
+func TestCvtRoundTrip(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li    $t0, 25
+        mtc1  $t0, $f0
+        cvt.s.w $f1, $f0
+        sqrt.s $f2, $f1
+        cvt.w.s $f3, $f2
+        mfc1  $t1, $f3
+        li    $v0, 10
+        syscall
+`)
+	if c.Regs[9] != 5 {
+		t.Errorf("sqrt(25) via fp = %d", c.Regs[9])
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	c := run(t, `
+        .text
+main:   li $a0, 3
+        li $v0, 10
+        syscall
+`)
+	if c.ExitCode != 3 {
+		t.Errorf("exit code = %d", c.ExitCode)
+	}
+}
+
+func TestFaultOnBadPC(t *testing.T) {
+	p, err := asm.Assemble("t.s", ".text\nmain: jr $zero\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	_, err = c.Run(10)
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	if !strings.Contains(err.Error(), "outside text") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestFaultOnBadSyscall(t *testing.T) {
+	p, err := asm.Assemble("t.s", ".text\nmain: li $v0, 99\n syscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if _, err = c.Run(10); err == nil || !strings.Contains(err.Error(), "syscall") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	p, err := asm.Assemble("t.s", `
+        .data
+x:      .word 7
+        .text
+main:   la  $t0, x
+        lw  $t1, 0($t0)
+        addiu $t2, $t1, 1
+        sw  $t2, 0($t0)
+        beq $t1, $t2, main
+        li  $v0, 10
+        syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	var loads, stores, branches, alus int
+	var loadVal isa.Word
+	c.TraceFn = func(tr *Trace) {
+		switch {
+		case tr.Inst.Op.IsLoad():
+			loads++
+			loadVal = tr.DestVal
+			if tr.Addr != p.MustSymbol("x") {
+				t.Errorf("load addr = %#x", tr.Addr)
+			}
+		case tr.Inst.Op.IsStore():
+			stores++
+		case tr.Inst.Op.IsCondBranch():
+			branches++
+			if tr.Taken {
+				t.Error("beq must be not-taken (7 != 8)")
+			}
+		default:
+			alus++
+		}
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 1 || stores != 1 || branches != 1 {
+		t.Errorf("loads/stores/branches = %d/%d/%d", loads, stores, branches)
+	}
+	if loadVal != 7 {
+		t.Errorf("load value = %d", loadVal)
+	}
+	if alus == 0 {
+		t.Error("no alu traces seen")
+	}
+}
+
+func TestR0StaysZero(t *testing.T) {
+	c := run(t, `
+        .text
+main:   addiu $zero, $zero, 5
+        li    $v0, 10
+        syscall
+`)
+	if c.Regs[0] != 0 {
+		t.Errorf("r0 = %d", c.Regs[0])
+	}
+}
+
+func TestALUResultPureProperties(t *testing.T) {
+	// ADDU must be commutative; XOR self-inverse; SLT antisymmetric-ish.
+	add := isa.Inst{Op: isa.OpADDU}
+	xor := isa.Inst{Op: isa.OpXOR}
+	f := func(a, b uint32) bool {
+		wa, wb := isa.Word(a), isa.Word(b)
+		if ALUResult(&add, wa, wb, 0) != ALUResult(&add, wb, wa, 0) {
+			return false
+		}
+		x := ALUResult(&xor, wa, wb, 0)
+		return ALUResult(&xor, x, wb, 0) == isa.Word(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMFHIMFLOExtractHILO(t *testing.T) {
+	f := func(a, b int32) bool {
+		mult := isa.Inst{Op: isa.OpMULT}
+		hilo := ALUResult(&mult, isa.Word(uint32(a)), isa.Word(uint32(b)), 0)
+		mfhi := isa.Inst{Op: isa.OpMFHI}
+		mflo := isa.Inst{Op: isa.OpMFLO}
+		p := int64(a) * int64(b)
+		return ALUResult(&mfhi, hilo, 0, 0) == isa.Word(uint32(p>>32)) &&
+			ALUResult(&mflo, hilo, 0, 0) == isa.Word(uint32(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunInstLimit(t *testing.T) {
+	p, err := asm.Assemble("t.s", ".text\nmain: b main\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	halted, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted {
+		t.Error("infinite loop reported halted")
+	}
+	if c.InstCount != 100 {
+		t.Errorf("inst count = %d", c.InstCount)
+	}
+}
+
+func TestStackPointerInitialised(t *testing.T) {
+	p, _ := asm.Assemble("t.s", ".text\nmain: syscall\n")
+	c := New(p)
+	if c.Regs[isa.RegSP] != isa.Word(prog.StackTop) {
+		t.Errorf("sp = %#x", c.Regs[isa.RegSP])
+	}
+}

@@ -1,0 +1,225 @@
+// Package emu implements the functional (architectural) model of the ISA:
+// a fast interpreter used for fast-forwarding, for the redundancy limit
+// study, and as the golden reference for the timing simulator — plus the
+// pure execution-semantics functions that the out-of-order core shares so
+// both models compute identical results.
+package emu
+
+import (
+	"math"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/mem"
+)
+
+func u32(w isa.Word) uint32  { return uint32(w) }
+func s32(w isa.Word) int32   { return int32(uint32(w)) }
+func f32(w isa.Word) float32 { return math.Float32frombits(uint32(w)) }
+func fromF32(f float32) isa.Word {
+	return isa.Word(math.Float32bits(f))
+}
+func fromU32(v uint32) isa.Word { return isa.Word(v) }
+func boolWord(b bool) isa.Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ALUResult computes the result of any non-memory, non-control operation
+// (including floating point and HILO-writing multiplies/divides). pc is
+// needed only by the call instructions, whose result is the link address.
+// The behaviour of divide-by-zero is architecturally defined here (quotient
+// 0, remainder = dividend) so all models stay deterministic and equal.
+func ALUResult(in *isa.Inst, s1, s2 isa.Word, pc uint32) isa.Word {
+	switch in.Op {
+	case isa.OpSLL:
+		return fromU32(u32(s1) << in.Shamt)
+	case isa.OpSRL:
+		return fromU32(u32(s1) >> in.Shamt)
+	case isa.OpSRA:
+		return fromU32(uint32(s32(s1) >> in.Shamt))
+	case isa.OpSLLV:
+		return fromU32(u32(s1) << (u32(s2) & 31))
+	case isa.OpSRLV:
+		return fromU32(u32(s1) >> (u32(s2) & 31))
+	case isa.OpSRAV:
+		return fromU32(uint32(s32(s1) >> (u32(s2) & 31)))
+	case isa.OpADDU:
+		return fromU32(u32(s1) + u32(s2))
+	case isa.OpSUBU:
+		return fromU32(u32(s1) - u32(s2))
+	case isa.OpAND:
+		return fromU32(u32(s1) & u32(s2))
+	case isa.OpOR:
+		return fromU32(u32(s1) | u32(s2))
+	case isa.OpXOR:
+		return fromU32(u32(s1) ^ u32(s2))
+	case isa.OpNOR:
+		return fromU32(^(u32(s1) | u32(s2)))
+	case isa.OpSLT:
+		return boolWord(s32(s1) < s32(s2))
+	case isa.OpSLTU:
+		return boolWord(u32(s1) < u32(s2))
+
+	case isa.OpADDIU:
+		return fromU32(u32(s1) + uint32(in.Imm))
+	case isa.OpSLTI:
+		return boolWord(s32(s1) < in.Imm)
+	case isa.OpSLTIU:
+		return boolWord(u32(s1) < uint32(in.Imm))
+	case isa.OpANDI:
+		return fromU32(u32(s1) & uint32(uint16(in.Imm)))
+	case isa.OpORI:
+		return fromU32(u32(s1) | uint32(uint16(in.Imm)))
+	case isa.OpXORI:
+		return fromU32(u32(s1) ^ uint32(uint16(in.Imm)))
+	case isa.OpLUI:
+		return fromU32(uint32(in.Imm) << 16)
+
+	case isa.OpMULT:
+		return isa.Word(int64(s32(s1)) * int64(s32(s2)))
+	case isa.OpMULTU:
+		return isa.Word(uint64(u32(s1)) * uint64(u32(s2)))
+	case isa.OpDIV:
+		a, b := s32(s1), s32(s2)
+		var quo, rem int32
+		if b == 0 {
+			quo, rem = 0, a
+		} else if a == math.MinInt32 && b == -1 {
+			quo, rem = a, 0 // avoid the Go runtime panic; matches 2's-complement hardware
+		} else {
+			quo, rem = a/b, a%b
+		}
+		return isa.Word(uint32(rem))<<32 | isa.Word(uint32(quo))
+	case isa.OpDIVU:
+		a, b := u32(s1), u32(s2)
+		var quo, rem uint32
+		if b == 0 {
+			quo, rem = 0, a
+		} else {
+			quo, rem = a/b, a%b
+		}
+		return isa.Word(rem)<<32 | isa.Word(quo)
+	case isa.OpMFHI:
+		return isa.Word(uint32(s1 >> 32))
+	case isa.OpMFLO:
+		return isa.Word(uint32(s1))
+
+	case isa.OpJAL, isa.OpJALR:
+		return isa.Word(pc + 4)
+
+	case isa.OpADDS:
+		return fromF32(f32(s1) + f32(s2))
+	case isa.OpSUBS:
+		return fromF32(f32(s1) - f32(s2))
+	case isa.OpMULS:
+		return fromF32(f32(s1) * f32(s2))
+	case isa.OpDIVS:
+		return fromF32(f32(s1) / f32(s2))
+	case isa.OpSQRTS:
+		return fromF32(float32(math.Sqrt(float64(f32(s1)))))
+	case isa.OpABSS:
+		return fromF32(float32(math.Abs(float64(f32(s1)))))
+	case isa.OpNEGS:
+		return fromF32(-f32(s1))
+	case isa.OpMOVS:
+		return s1 & 0xFFFF_FFFF
+	case isa.OpCVTSW:
+		return fromF32(float32(s32(s1)))
+	case isa.OpCVTWS:
+		return fromU32(uint32(int32(f32(s1))))
+	case isa.OpCEQS:
+		return boolWord(f32(s1) == f32(s2))
+	case isa.OpCLTS:
+		return boolWord(f32(s1) < f32(s2))
+	case isa.OpCLES:
+		return boolWord(f32(s1) <= f32(s2))
+	case isa.OpMTC1, isa.OpMFC1:
+		return s1 & 0xFFFF_FFFF
+	}
+	return 0
+}
+
+// BranchTaken evaluates the direction of a conditional branch given its
+// operand values.
+func BranchTaken(op isa.Op, s1, s2 isa.Word) bool {
+	switch op {
+	case isa.OpBEQ:
+		return u32(s1) == u32(s2)
+	case isa.OpBNE:
+		return u32(s1) != u32(s2)
+	case isa.OpBLEZ:
+		return s32(s1) <= 0
+	case isa.OpBGTZ:
+		return s32(s1) > 0
+	case isa.OpBLTZ:
+		return s32(s1) < 0
+	case isa.OpBGEZ:
+		return s32(s1) >= 0
+	case isa.OpBC1T:
+		return s1 != 0
+	case isa.OpBC1F:
+		return s1 == 0
+	}
+	return false
+}
+
+// EffAddr computes the effective address of a memory operation given the
+// base register value.
+func EffAddr(in *isa.Inst, base isa.Word) uint32 {
+	return u32(base) + uint32(in.Imm)
+}
+
+// LoadValue performs the architectural load for op at addr.
+func LoadValue(m *mem.Memory, op isa.Op, addr uint32) isa.Word {
+	switch op {
+	case isa.OpLB:
+		return fromU32(uint32(int32(int8(m.LoadByte(addr)))))
+	case isa.OpLBU:
+		return isa.Word(m.LoadByte(addr))
+	case isa.OpLH:
+		return fromU32(uint32(int32(int16(m.LoadHalf(addr)))))
+	case isa.OpLHU:
+		return isa.Word(m.LoadHalf(addr))
+	case isa.OpLW, isa.OpLWC1:
+		return isa.Word(m.LoadWord(addr))
+	}
+	return 0
+}
+
+// StoreValue performs the architectural store for op at addr.
+func StoreValue(m *mem.Memory, op isa.Op, addr uint32, v isa.Word) {
+	switch op {
+	case isa.OpSB:
+		m.StoreByte(addr, byte(v))
+	case isa.OpSH:
+		m.StoreHalf(addr, uint16(v))
+	case isa.OpSW, isa.OpSWC1:
+		m.StoreWord(addr, uint32(v))
+	}
+}
+
+// StoreWidth returns the byte width of a store operation (used by the
+// load/store queue for forwarding and by the reuse buffer for
+// invalidation).
+func StoreWidth(op isa.Op) uint32 {
+	switch op {
+	case isa.OpSB:
+		return 1
+	case isa.OpSH:
+		return 2
+	}
+	return 4
+}
+
+// LoadWidth returns the byte width of a load operation.
+func LoadWidth(op isa.Op) uint32 {
+	switch op {
+	case isa.OpLB, isa.OpLBU:
+		return 1
+	case isa.OpLH, isa.OpLHU:
+		return 2
+	}
+	return 4
+}

@@ -1,0 +1,294 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/asm"
+	"github.com/vpir-sim/vpir/internal/isa"
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+// TestALUResultExhaustive checks every ALU operation against independently
+// computed expectations on a grid of edge values.
+func TestALUResultExhaustive(t *testing.T) {
+	edge := []uint32{0, 1, 2, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 12345, 0xDEAD_BEEF}
+
+	type opCase struct {
+		op   isa.Op
+		want func(a, b uint32) uint32
+	}
+	cases := []opCase{
+		{isa.OpADDU, func(a, b uint32) uint32 { return a + b }},
+		{isa.OpSUBU, func(a, b uint32) uint32 { return a - b }},
+		{isa.OpAND, func(a, b uint32) uint32 { return a & b }},
+		{isa.OpOR, func(a, b uint32) uint32 { return a | b }},
+		{isa.OpXOR, func(a, b uint32) uint32 { return a ^ b }},
+		{isa.OpNOR, func(a, b uint32) uint32 { return ^(a | b) }},
+		{isa.OpSLT, func(a, b uint32) uint32 {
+			if int32(a) < int32(b) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSLTU, func(a, b uint32) uint32 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSLLV, func(a, b uint32) uint32 { return a << (b & 31) }},
+		{isa.OpSRLV, func(a, b uint32) uint32 { return a >> (b & 31) }},
+		{isa.OpSRAV, func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+	}
+	for _, c := range cases {
+		in := isa.Inst{Op: c.op}
+		for _, a := range edge {
+			for _, b := range edge {
+				got := ALUResult(&in, isa.Word(a), isa.Word(b), 0)
+				if uint32(got) != c.want(a, b) {
+					t.Errorf("%v(%#x, %#x) = %#x, want %#x", c.op, a, b, got, c.want(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestShiftImmediates(t *testing.T) {
+	for sh := uint8(0); sh < 32; sh++ {
+		v := uint32(0x80000001)
+		sll := isa.Inst{Op: isa.OpSLL, Shamt: sh}
+		srl := isa.Inst{Op: isa.OpSRL, Shamt: sh}
+		sra := isa.Inst{Op: isa.OpSRA, Shamt: sh}
+		if got := ALUResult(&sll, isa.Word(v), 0, 0); uint32(got) != v<<sh {
+			t.Errorf("sll %d", sh)
+		}
+		if got := ALUResult(&srl, isa.Word(v), 0, 0); uint32(got) != v>>sh {
+			t.Errorf("srl %d", sh)
+		}
+		if got := ALUResult(&sra, isa.Word(v), 0, 0); uint32(got) != uint32(int32(v)>>sh) {
+			t.Errorf("sra %d", sh)
+		}
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		s1   uint32
+		imm  int32
+		want uint32
+	}{
+		{isa.OpADDIU, 10, -3, 7},
+		{isa.OpADDIU, 0xFFFFFFFF, 1, 0},
+		{isa.OpSLTI, 5, 6, 1},
+		{isa.OpSLTI, 0xFFFFFFFF, 0, 1}, // -1 < 0
+		{isa.OpSLTIU, 0xFFFFFFFF, 0, 0},
+		{isa.OpANDI, 0xFF00FF00, int32(0x0F0F), 0x00000F00},
+		{isa.OpORI, 0xF0000000, int32(0x00FF), 0xF00000FF},
+		{isa.OpXORI, 0xFFFF, int32(0xFFFF), 0},
+		{isa.OpLUI, 0, int32(0x1234), 0x12340000},
+	}
+	for _, c := range cases {
+		in := isa.Inst{Op: c.op, Imm: c.imm}
+		got := ALUResult(&in, isa.Word(c.s1), 0, 0)
+		if uint32(got) != c.want {
+			t.Errorf("%v(%#x, %d) = %#x, want %#x", c.op, c.s1, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestSLTIUSignExtendedComparand(t *testing.T) {
+	// sltiu compares against the sign-extended immediate treated unsigned:
+	// sltiu rt, rs, -1 means rs < 0xFFFFFFFF.
+	in := isa.Inst{Op: isa.OpSLTIU, Imm: -1}
+	if got := ALUResult(&in, 5, 0, 0); got != 1 {
+		t.Errorf("sltiu 5, -1 = %d, want 1", got)
+	}
+	if got := ALUResult(&in, 0xFFFFFFFF, 0, 0); got != 0 {
+		t.Errorf("sltiu -1, -1 = %d, want 0", got)
+	}
+}
+
+func TestMultDivEdges(t *testing.T) {
+	mult := isa.Inst{Op: isa.OpMULT}
+	multu := isa.Inst{Op: isa.OpMULTU}
+	div := isa.Inst{Op: isa.OpDIV}
+	divu := isa.Inst{Op: isa.OpDIVU}
+
+	// Signed multiply high bits.
+	hilo := ALUResult(&mult, isa.Word(uint32(0x80000000)), isa.Word(uint32(0xFFFFFFFF)), 0)
+	want := int64(math.MinInt32) * -1
+	if int64(hilo) != want {
+		t.Errorf("mult MinInt32*-1 = %d, want %d", int64(hilo), want)
+	}
+	// Unsigned multiply of the same bits differs.
+	hilo = ALUResult(&multu, isa.Word(uint32(0x80000000)), isa.Word(uint32(2)), 0)
+	if hilo != 0x1_0000_0000 {
+		t.Errorf("multu = %#x", hilo)
+	}
+	// MinInt32 / -1 must not panic and wraps to MinInt32.
+	hilo = ALUResult(&div, isa.Word(uint32(0x80000000)), isa.Word(uint32(0xFFFFFFFF)), 0)
+	mflo := isa.Inst{Op: isa.OpMFLO}
+	mfhi := isa.Inst{Op: isa.OpMFHI}
+	if got := ALUResult(&mflo, hilo, 0, 0); uint32(got) != 0x80000000 {
+		t.Errorf("MinInt32/-1 quo = %#x", got)
+	}
+	if got := ALUResult(&mfhi, hilo, 0, 0); got != 0 {
+		t.Errorf("MinInt32/-1 rem = %d", got)
+	}
+	// Unsigned divide by zero: quo 0, rem = dividend.
+	hilo = ALUResult(&divu, 77, 0, 0)
+	if got := ALUResult(&mflo, hilo, 0, 0); got != 0 {
+		t.Errorf("divu/0 quo = %d", got)
+	}
+	if got := ALUResult(&mfhi, hilo, 0, 0); got != 77 {
+		t.Errorf("divu/0 rem = %d", got)
+	}
+	// Signed division truncates toward zero.
+	hilo = ALUResult(&div, isa.Word(uint32(0xFFFFFFF9)), isa.Word(uint32(2)), 0) // -7 / 2
+	if got := ALUResult(&mflo, hilo, 0, 0); int32(uint32(got)) != -3 {
+		t.Errorf("-7/2 quo = %d, want -3", int32(uint32(got)))
+	}
+	if got := ALUResult(&mfhi, hilo, 0, 0); int32(uint32(got)) != -1 {
+		t.Errorf("-7/2 rem = %d, want -1", int32(uint32(got)))
+	}
+}
+
+func TestBranchTakenExhaustive(t *testing.T) {
+	vals := []uint32{0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF}
+	for _, a := range vals {
+		for _, b := range vals {
+			checks := []struct {
+				op   isa.Op
+				want bool
+			}{
+				{isa.OpBEQ, a == b},
+				{isa.OpBNE, a != b},
+				{isa.OpBLEZ, int32(a) <= 0},
+				{isa.OpBGTZ, int32(a) > 0},
+				{isa.OpBLTZ, int32(a) < 0},
+				{isa.OpBGEZ, int32(a) >= 0},
+			}
+			for _, c := range checks {
+				if got := BranchTaken(c.op, isa.Word(a), isa.Word(b)); got != c.want {
+					t.Errorf("%v(%#x, %#x) = %v, want %v", c.op, a, b, got, c.want)
+				}
+			}
+		}
+	}
+	if !BranchTaken(isa.OpBC1T, 1, 0) || BranchTaken(isa.OpBC1T, 0, 0) {
+		t.Error("bc1t wrong")
+	}
+	if !BranchTaken(isa.OpBC1F, 0, 0) || BranchTaken(isa.OpBC1F, 1, 0) {
+		t.Error("bc1f wrong")
+	}
+	// Unknown op: not taken.
+	if BranchTaken(isa.OpADDU, 1, 1) {
+		t.Error("non-branch op reported taken")
+	}
+}
+
+func TestFPSemantics(t *testing.T) {
+	f := func(x float32) isa.Word { return isa.Word(math.Float32bits(x)) }
+	g := func(w isa.Word) float32 { return math.Float32frombits(uint32(w)) }
+	cases := []struct {
+		op     isa.Op
+		a, b   float32
+		expect float32
+	}{
+		{isa.OpADDS, 1.5, 2.25, 3.75},
+		{isa.OpSUBS, 1.5, 2.25, -0.75},
+		{isa.OpMULS, -3, 2.5, -7.5},
+		{isa.OpDIVS, 7, 2, 3.5},
+		{isa.OpABSS, -4.5, 0, 4.5},
+		{isa.OpNEGS, 4.5, 0, -4.5},
+		{isa.OpSQRTS, 9, 0, 3},
+		{isa.OpMOVS, 1.25, 0, 1.25},
+	}
+	for _, c := range cases {
+		in := isa.Inst{Op: c.op}
+		got := g(ALUResult(&in, f(c.a), f(c.b), 0))
+		if got != c.expect {
+			t.Errorf("%v(%v, %v) = %v, want %v", c.op, c.a, c.b, got, c.expect)
+		}
+	}
+	// Conversions.
+	cvtsw := isa.Inst{Op: isa.OpCVTSW}
+	if got := g(ALUResult(&cvtsw, isa.Word(uint32(0xFFFFFFF6)), 0, 0)); got != -10 {
+		t.Errorf("cvt.s.w(-10) = %v", got)
+	}
+	cvtws := isa.Inst{Op: isa.OpCVTWS}
+	if got := int32(uint32(ALUResult(&cvtws, f(-10.75), 0, 0))); got != -10 {
+		t.Errorf("cvt.w.s(-10.75) = %d (truncation toward zero)", got)
+	}
+	// Compares.
+	for _, c := range []struct {
+		op   isa.Op
+		a, b float32
+		want isa.Word
+	}{
+		{isa.OpCEQS, 2, 2, 1}, {isa.OpCEQS, 2, 3, 0},
+		{isa.OpCLTS, 2, 3, 1}, {isa.OpCLTS, 3, 2, 0},
+		{isa.OpCLES, 2, 2, 1}, {isa.OpCLES, 3, 2, 0},
+	} {
+		in := isa.Inst{Op: c.op}
+		if got := ALUResult(&in, f(c.a), f(c.b), 0); got != c.want {
+			t.Errorf("%v(%v, %v) = %d", c.op, c.a, c.b, got)
+		}
+	}
+}
+
+func TestLinkResults(t *testing.T) {
+	jal := isa.Inst{Op: isa.OpJAL}
+	if got := ALUResult(&jal, 0, 0, 0x400100); got != 0x400104 {
+		t.Errorf("jal link = %#x", got)
+	}
+	jalr := isa.Inst{Op: isa.OpJALR}
+	if got := ALUResult(&jalr, 0x99, 0, 0x400200); got != 0x400204 {
+		t.Errorf("jalr link = %#x", got)
+	}
+}
+
+func TestLoadStoreWidthHelpers(t *testing.T) {
+	if StoreWidth(isa.OpSB) != 1 || StoreWidth(isa.OpSH) != 2 || StoreWidth(isa.OpSW) != 4 || StoreWidth(isa.OpSWC1) != 4 {
+		t.Error("store widths")
+	}
+	if LoadWidth(isa.OpLB) != 1 || LoadWidth(isa.OpLBU) != 1 || LoadWidth(isa.OpLH) != 2 ||
+		LoadWidth(isa.OpLHU) != 2 || LoadWidth(isa.OpLW) != 4 || LoadWidth(isa.OpLWC1) != 4 {
+		t.Error("load widths")
+	}
+}
+
+func TestEffAddrWraps(t *testing.T) {
+	in := isa.Inst{Op: isa.OpLW, Imm: -4}
+	if got := EffAddr(&in, 0x1000); got != 0xFFC {
+		t.Errorf("effaddr = %#x", got)
+	}
+	in.Imm = 8
+	if got := EffAddr(&in, 0xFFFFFFFC); got != 4 {
+		t.Errorf("effaddr wrap = %#x", got)
+	}
+}
+
+func TestRegChecksumDiffers(t *testing.T) {
+	c1 := New(testProg(t))
+	c2 := New(testProg(t))
+	if c1.RegChecksum() != c2.RegChecksum() {
+		t.Error("fresh CPUs must match")
+	}
+	c2.Regs[5] = 42
+	if c1.RegChecksum() == c2.RegChecksum() {
+		t.Error("register change must alter checksum")
+	}
+}
+
+// testProg builds a minimal valid program for CPU-level helpers.
+func testProg(t *testing.T) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("t.s", ".text\nmain: li $v0, 10\n syscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,60 @@
+package emu
+
+import (
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// TraceLog is a compact columnar record of a program's correct-path
+// execution, produced by the functional emulator. The timing core uses it
+// for three things:
+//
+//   - the VP_Magic oracle selection policy (§4.1.1 of the paper) needs the
+//     correct result of an instruction at prediction time;
+//   - classifying spurious branch squashes (a squash whose branch's final
+//     outcome agrees with the original prediction);
+//   - golden verification: the committed instruction stream of the timing
+//     core must equal this log exactly.
+type TraceLog struct {
+	PC     []uint32
+	Result []isa.Word // destination value (0 when no destination)
+	Addr   []uint32   // effective address for memory ops
+	Taken  []bool     // direction for control ops
+
+	Output   string
+	ExitCode int
+	Halted   bool
+}
+
+// Len returns the number of retired instructions in the log.
+func (l *TraceLog) Len() int { return len(l.PC) }
+
+// CollectTrace runs the program functionally for at most maxInsts
+// instructions (0 = until halt) and returns the execution log.
+func CollectTrace(c *CPU, maxInsts uint64) (*TraceLog, error) {
+	log := &TraceLog{}
+	if maxInsts > 0 {
+		log.PC = make([]uint32, 0, maxInsts)
+		log.Result = make([]isa.Word, 0, maxInsts)
+		log.Addr = make([]uint32, 0, maxInsts)
+		log.Taken = make([]bool, 0, maxInsts)
+	}
+	prev := c.TraceFn
+	c.TraceFn = func(t *Trace) {
+		log.PC = append(log.PC, t.PC)
+		log.Result = append(log.Result, t.DestVal)
+		log.Addr = append(log.Addr, t.Addr)
+		log.Taken = append(log.Taken, t.Taken)
+		if prev != nil {
+			prev(t)
+		}
+	}
+	halted, err := c.Run(maxInsts)
+	c.TraceFn = prev
+	if err != nil {
+		return nil, err
+	}
+	log.Output = c.Output.String()
+	log.ExitCode = c.ExitCode
+	log.Halted = halted
+	return log, nil
+}

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/stats"
+	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// Extension experiments beyond the paper's evaluation. The paper's
+// introduction motivates exactly these follow-ups: "that will help in
+// designing other techniques (possibly hybrid of VP and IR) that exploit
+// the redundancy in programs more profitably."
+func init() {
+	registerExp(Experiment{ID: "ext-hybrid",
+		Title: "Extension: hybrid IR+VP vs its parts", Run: extHybrid})
+	registerExp(Experiment{ID: "ext-stride",
+		Title: "Extension: stride value prediction vs Magic and LVP", Run: extStride})
+	registerExp(Experiment{ID: "ext-rbsize",
+		Title: "Ablation: reuse buffer size", Run: extRBSize})
+	registerExp(Experiment{ID: "ext-instances",
+		Title: "Ablation: instances per instruction (table associativity)", Run: extInstances})
+	registerExp(Experiment{ID: "ext-window",
+		Title: "Ablation: instruction window size", Run: extWindow})
+}
+
+// extHybrid compares base / IR / VP_Magic / hybrid on speedup and on how
+// the captured redundancy splits between reuse and prediction.
+func extHybrid(r *Runner) ([]*stats.Table, error) {
+	base, err := r.RunAll(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ir, err := r.RunAll(core.IRChoice(false))
+	if err != nil {
+		return nil, err
+	}
+	vpm, err := r.RunAll(magic(core.SB, core.ME, 0))
+	if err != nil {
+		return nil, err
+	}
+	hy, err := r.RunAll(core.HybridChoice(vp.Magic, core.SB, core.ME, 0))
+	if err != nil {
+		return nil, err
+	}
+	hyN, err := r.RunAll(core.HybridChoice(vp.Magic, core.NSB, core.ME, 0))
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{ID: "ext-hybrid",
+		Title:   "Speedups over base, and the hybrid's reuse/prediction split",
+		Columns: []string{"bench", "IR", "VP_Magic", "hybrid-SB", "hybrid-NSB", "hy reuse%", "hy pred%"}}
+	var sIR, sVP, sHY, sHYN []float64
+	for _, b := range workload.Names() {
+		i := ir[b].IPC() / base[b].IPC()
+		v := vpm[b].IPC() / base[b].IPC()
+		h := hy[b].IPC() / base[b].IPC()
+		hn := hyN[b].IPC() / base[b].IPC()
+		sIR = append(sIR, i)
+		sVP = append(sVP, v)
+		sHY = append(sHY, h)
+		sHYN = append(sHYN, hn)
+		hp, _ := hy[b].VPResultRates()
+		t.AddRow(b, stats.F3(i), stats.F3(v), stats.F3(h), stats.F3(hn),
+			stats.F(hy[b].ReuseResultRate()), stats.F(hp))
+	}
+	t.AddRow("HM", stats.F3(stats.HarmonicMean(sIR)), stats.F3(stats.HarmonicMean(sVP)),
+		stats.F3(stats.HarmonicMean(sHY)), stats.F3(stats.HarmonicMean(sHYN)), "", "")
+	t.Note("hybrid: the reuse test runs first (non-speculative); misses are value predicted")
+	t.Note("NSB tames the spurious squashes that SB inherits from VP on perl/compress")
+	return []*stats.Table{t}, nil
+}
+
+// extStride compares the three prediction schemes.
+func extStride(r *Runner) ([]*stats.Table, error) {
+	base, err := r.RunAll(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	schemes := []vp.Scheme{vp.Magic, vp.LVP, vp.Stride}
+	results := make([]map[string]core.Stats, len(schemes))
+	for i, s := range schemes {
+		cfg := core.VPChoice(s, core.SB, core.ME, 0)
+		if results[i], err = r.RunAll(cfg); err != nil {
+			return nil, err
+		}
+	}
+	t := &stats.Table{ID: "ext-stride",
+		Title:   "Prediction scheme comparison (ME-SB, vlat=0): correct prediction % and speedup",
+		Columns: []string{"bench", "Magic%", "LVP%", "Stride%", "Magic spd", "LVP spd", "Stride spd"}}
+	for _, b := range workload.Names() {
+		row := []string{b}
+		for i := range schemes {
+			p, _ := results[i][b].VPResultRates()
+			row = append(row, stats.F(p))
+		}
+		for i := range schemes {
+			row = append(row, stats.F3(results[i][b].IPC()/base[b].IPC()))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("stride captures the 'derivable' class of Figure 8, which Magic/LVP and IR cannot")
+	return []*stats.Table{t}, nil
+}
+
+// extRBSize sweeps the reuse buffer size (the paper fixes 4K entries).
+func extRBSize(r *Runner) ([]*stats.Table, error) {
+	base, err := r.RunAll(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{256, 1024, 4096, 16384}
+	t := &stats.Table{ID: "ext-rbsize",
+		Title:   "IR speedup over base vs reuse buffer entries (4-way)",
+		Columns: []string{"bench", "256", "1K", "4K (paper)", "16K"}}
+	results := make([]map[string]core.Stats, len(sizes))
+	for i, n := range sizes {
+		cfg := core.IRChoice(false)
+		cfg.IR.Buffer.Entries = n
+		if results[i], err = r.RunAll(cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range workload.Names() {
+		row := []string{b}
+		for i := range sizes {
+			row = append(row, stats.F3(results[i][b].IPC()/base[b].IPC()))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// extInstances sweeps the instances-per-instruction limit for both
+// structures: the paper's §4.1.3 rationale for VP_Magic vs IR comparability
+// rests on both buffering up to 4 instances.
+func extInstances(r *Runner) ([]*stats.Table, error) {
+	ways := []int{1, 2, 4, 8}
+	var err error
+	irRes := make([]map[string]core.Stats, len(ways))
+	vpRes := make([]map[string]core.Stats, len(ways))
+	for i, w := range ways {
+		irCfg := core.IRChoice(false)
+		irCfg.IR.Buffer.Ways = w
+		if irRes[i], err = r.RunAll(irCfg); err != nil {
+			return nil, err
+		}
+		vpCfg := magic(core.SB, core.ME, 0)
+		vpCfg.VP.ResultTable.Ways = w
+		vpCfg.VP.AddrTable.Ways = w
+		if vpRes[i], err = r.RunAll(vpCfg); err != nil {
+			return nil, err
+		}
+	}
+	t := &stats.Table{ID: "ext-instances",
+		Title:   "Capture rate vs instances per instruction (IR reuse% / Magic pred%)",
+		Columns: []string{"bench", "IR n=1", "IR n=2", "IR n=4", "IR n=8", "Mg n=1", "Mg n=2", "Mg n=4", "Mg n=8"}}
+	for _, b := range workload.Names() {
+		row := []string{b}
+		for i := range ways {
+			row = append(row, stats.F(irRes[i][b].ReuseResultRate()))
+		}
+		for i := range ways {
+			p, _ := vpRes[i][b].VPResultRates()
+			row = append(row, stats.F(p))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("n=1 for IR is scheme S_n-with-one-instance; the paper argues n=4 for both sides")
+	return []*stats.Table{t}, nil
+}
+
+// extWindow sweeps the instruction window (ROB/LSQ) size: does a larger
+// window subsume the techniques, or do they keep collapsing the critical
+// path? (The paper fixes a 32-entry window.)
+func extWindow(r *Runner) ([]*stats.Table, error) {
+	sizes := []int{16, 32, 64, 128}
+	t := &stats.Table{ID: "ext-window",
+		Title:   "IR and VP_Magic speedups over the same-sized base vs window size",
+		Columns: []string{"bench", "IR 16", "IR 32", "IR 64", "IR 128", "VP 16", "VP 32", "VP 64", "VP 128"}}
+	baseRes := make([]map[string]core.Stats, len(sizes))
+	irRes := make([]map[string]core.Stats, len(sizes))
+	vpRes := make([]map[string]core.Stats, len(sizes))
+	var err error
+	for i, n := range sizes {
+		resize := func(c core.Config) core.Config {
+			c.ROBSize = n
+			c.LSQSize = n
+			return c
+		}
+		if baseRes[i], err = r.RunAll(resize(core.DefaultConfig())); err != nil {
+			return nil, err
+		}
+		if irRes[i], err = r.RunAll(resize(core.IRChoice(false))); err != nil {
+			return nil, err
+		}
+		if vpRes[i], err = r.RunAll(resize(magic(core.SB, core.ME, 0))); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range workload.Names() {
+		row := []string{b}
+		for i := range sizes {
+			row = append(row, stats.F3(irRes[i][b].IPC()/baseRes[i][b].IPC()))
+		}
+		for i := range sizes {
+			row = append(row, stats.F3(vpRes[i][b].IPC()/baseRes[i][b].IPC()))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("each column's speedup is relative to a base machine with the same window")
+	return []*stats.Table{t}, nil
+}

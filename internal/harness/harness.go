@@ -1,0 +1,199 @@
+// Package harness defines and runs the reproduction experiments: one
+// Experiment per table and figure in the paper's evaluation section. A
+// shared Runner caches simulation results, so regenerating every table and
+// figure performs each (benchmark, configuration) simulation exactly once.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/redundancy"
+	"github.com/vpir-sim/vpir/internal/stats"
+	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// Runner executes and caches simulations.
+type Runner struct {
+	// Scale multiplies the workload sizes (1 = the standard runs).
+	Scale int
+	// MaxInsts caps the per-benchmark dynamic instruction count
+	// (0 = run each kernel to completion).
+	MaxInsts uint64
+	// Parallel runs benchmarks concurrently (per experiment).
+	Parallel bool
+
+	mu    sync.Mutex
+	cache map[string]core.Stats
+	red   map[string]*redundancy.Result
+}
+
+// NewRunner builds a Runner with the standard scale.
+func NewRunner() *Runner {
+	return &Runner{
+		Scale:    1,
+		Parallel: true,
+		cache:    make(map[string]core.Stats),
+		red:      make(map[string]*redundancy.Result),
+	}
+}
+
+// Run simulates one benchmark under one configuration (cached). The cache
+// key covers the entire configuration, not just its display name — ablation
+// sweeps vary structure sizes under the same name.
+func (r *Runner) Run(bench string, cfg core.Config) (core.Stats, error) {
+	key := fmt.Sprintf("%s/%+v/%d/%d", bench, cfg, r.Scale, r.MaxInsts)
+	r.mu.Lock()
+	if s, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workload.Get(bench)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	p, err := w.Load(r.Scale)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	m, err := core.New(p, cfg, r.MaxInsts)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	if err := m.Run(0); err != nil {
+		return core.Stats{}, err
+	}
+	s := m.Stats()
+	r.mu.Lock()
+	r.cache[key] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// RunAll simulates every benchmark under cfg, in the paper's order,
+// optionally in parallel.
+func (r *Runner) RunAll(cfg core.Config) (map[string]core.Stats, error) {
+	out := make(map[string]core.Stats, len(workload.Names()))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(workload.Names()))
+	for _, bench := range workload.Names() {
+		run := func(bench string) {
+			s, err := r.Run(bench, cfg)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", bench, err)
+				return
+			}
+			mu.Lock()
+			out[bench] = s
+			mu.Unlock()
+		}
+		if r.Parallel {
+			wg.Add(1)
+			go func(b string) {
+				defer wg.Done()
+				run(b)
+			}(bench)
+		} else {
+			run(bench)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Redundancy runs the §4.3 limit study for one benchmark (cached).
+func (r *Runner) Redundancy(bench string) (*redundancy.Result, error) {
+	key := fmt.Sprintf("%s/%d/%d", bench, r.Scale, r.MaxInsts)
+	r.mu.Lock()
+	if res, ok := r.red[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	w, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.Load(r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := redundancy.Analyze(p, redundancy.DefaultConfig(), r.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.red[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) ([]*stats.Table, error)
+}
+
+var experiments []Experiment
+
+func registerExp(e Experiment) { experiments = append(experiments, e) }
+
+// Experiments returns every registered experiment in paper order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(experiments))
+	copy(out, experiments)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+func order(id string) string {
+	// tables first, then figures, numerically.
+	if len(id) > 5 && id[:5] == "table" {
+		return "0" + fmt.Sprintf("%02s", id[5:])
+	}
+	if len(id) > 3 && id[:3] == "fig" {
+		return "1" + fmt.Sprintf("%02s", id[3:])
+	}
+	return "2" + id
+}
+
+// Configurations shared by the experiments.
+
+func magic(res core.BranchResolution, re core.ReexecPolicy, vlat int) core.Config {
+	return core.VPChoice(vp.Magic, res, re, vlat)
+}
+
+func lvp(res core.BranchResolution, re core.ReexecPolicy, vlat int) core.Config {
+	return core.VPChoice(vp.LVP, res, re, vlat)
+}
+
+// vpGrid is the four paper configurations at one verification latency.
+func vpGrid(scheme vp.Scheme, vlat int) []core.Config {
+	return []core.Config{
+		core.VPChoice(scheme, core.SB, core.ME, vlat),
+		core.VPChoice(scheme, core.SB, core.NME, vlat),
+		core.VPChoice(scheme, core.NSB, core.ME, vlat),
+		core.VPChoice(scheme, core.NSB, core.NME, vlat),
+	}
+}

@@ -1,0 +1,291 @@
+package isa
+
+// Inst is a decoded instruction. Operands are expressed in the unified
+// register space (see Reg); Src1/Src2/Dest are NoReg when absent. Writes to
+// r0 are stripped at decode (Dest becomes NoReg) so the rest of the machine
+// never needs the "r0 is hardwired" special case on the destination side.
+type Inst struct {
+	Raw   uint32
+	Op    Op
+	Src1  Reg
+	Src2  Reg
+	Dest  Reg
+	Shamt uint8
+	Imm   int32  // sign- or zero-extended immediate, per the operation
+	Tgt   uint32 // absolute target for J/JAL (target<<2)
+}
+
+// BranchTarget returns the target of a PC-relative branch located at pc.
+func (in *Inst) BranchTarget(pc uint32) uint32 {
+	return pc + 4 + uint32(in.Imm)<<2
+}
+
+// JumpTarget returns the target of a direct jump (J/JAL).
+func (in *Inst) JumpTarget() uint32 { return in.Tgt }
+
+// Major opcode field values.
+const (
+	opcSpecial = 0
+	opcRegimm  = 1
+	opcJ       = 2
+	opcJAL     = 3
+	opcBEQ     = 4
+	opcBNE     = 5
+	opcBLEZ    = 6
+	opcBGTZ    = 7
+	opcADDIU   = 9
+	opcSLTI    = 10
+	opcSLTIU   = 11
+	opcANDI    = 12
+	opcORI     = 13
+	opcXORI    = 14
+	opcLUI     = 15
+	opcCOP1    = 17
+	opcLB      = 32
+	opcLH      = 33
+	opcLW      = 35
+	opcLBU     = 36
+	opcLHU     = 37
+	opcSB      = 40
+	opcSH      = 41
+	opcSW      = 43
+	opcLWC1    = 49
+	opcSWC1    = 57
+)
+
+// SPECIAL funct field values.
+const (
+	fnSLL     = 0
+	fnSRL     = 2
+	fnSRA     = 3
+	fnSLLV    = 4
+	fnSRLV    = 6
+	fnSRAV    = 7
+	fnJR      = 8
+	fnJALR    = 9
+	fnSYSCALL = 12
+	fnBREAK   = 13
+	fnMFHI    = 16
+	fnMFLO    = 18
+	fnMULT    = 24
+	fnMULTU   = 25
+	fnDIV     = 26
+	fnDIVU    = 27
+	fnADDU    = 33
+	fnSUBU    = 35
+	fnAND     = 36
+	fnOR      = 37
+	fnXOR     = 38
+	fnNOR     = 39
+	fnSLT     = 42
+	fnSLTU    = 43
+)
+
+// COP1 rs-field selectors and S-format funct values.
+const (
+	copMFC1 = 0
+	copMTC1 = 4
+	copBC   = 8
+	copFmtS = 16
+	copFmtW = 20
+
+	fpADD  = 0
+	fpSUB  = 1
+	fpMUL  = 2
+	fpDIV  = 3
+	fpSQRT = 4
+	fpABS  = 5
+	fpMOV  = 6
+	fpNEG  = 7
+	fpCVTS = 32 // in W format: cvt.s.w
+	fpCVTW = 36 // in S format: cvt.w.s
+	fpCEQ  = 50
+	fpCLT  = 60
+	fpCLE  = 62
+)
+
+func signExt16(v uint32) int32 { return int32(int16(v & 0xFFFF)) }
+
+// dest strips writes to r0.
+func dest(r Reg) Reg {
+	if r == RegZero {
+		return NoReg
+	}
+	return r
+}
+
+// Decode decodes a raw instruction word. It never fails: unrecognised
+// encodings decode to OpInvalid, which the emulator treats as a fault.
+func Decode(raw uint32) Inst {
+	op := raw >> 26
+	rs := Reg(raw >> 21 & 31)
+	rt := Reg(raw >> 16 & 31)
+	rd := Reg(raw >> 11 & 31)
+	shamt := uint8(raw >> 6 & 31)
+	imm := raw & 0xFFFF
+
+	in := Inst{Raw: raw, Op: OpInvalid, Src1: NoReg, Src2: NoReg, Dest: NoReg}
+
+	switch op {
+	case opcSpecial:
+		switch raw & 63 {
+		case fnSLL:
+			in.Op, in.Src1, in.Dest, in.Shamt = OpSLL, rt, dest(rd), shamt
+		case fnSRL:
+			in.Op, in.Src1, in.Dest, in.Shamt = OpSRL, rt, dest(rd), shamt
+		case fnSRA:
+			in.Op, in.Src1, in.Dest, in.Shamt = OpSRA, rt, dest(rd), shamt
+		case fnSLLV:
+			in.Op, in.Src1, in.Src2, in.Dest = OpSLLV, rt, rs, dest(rd)
+		case fnSRLV:
+			in.Op, in.Src1, in.Src2, in.Dest = OpSRLV, rt, rs, dest(rd)
+		case fnSRAV:
+			in.Op, in.Src1, in.Src2, in.Dest = OpSRAV, rt, rs, dest(rd)
+		case fnJR:
+			in.Op, in.Src1 = OpJR, rs
+		case fnJALR:
+			in.Op, in.Src1, in.Dest = OpJALR, rs, dest(rd)
+		case fnSYSCALL:
+			in.Op, in.Src1, in.Src2 = OpSYSCALL, RegV0, RegA0
+		case fnBREAK:
+			in.Op = OpBREAK
+		case fnMFHI:
+			in.Op, in.Src1, in.Dest = OpMFHI, RegHILO, dest(rd)
+		case fnMFLO:
+			in.Op, in.Src1, in.Dest = OpMFLO, RegHILO, dest(rd)
+		case fnMULT:
+			in.Op, in.Src1, in.Src2, in.Dest = OpMULT, rs, rt, RegHILO
+		case fnMULTU:
+			in.Op, in.Src1, in.Src2, in.Dest = OpMULTU, rs, rt, RegHILO
+		case fnDIV:
+			in.Op, in.Src1, in.Src2, in.Dest = OpDIV, rs, rt, RegHILO
+		case fnDIVU:
+			in.Op, in.Src1, in.Src2, in.Dest = OpDIVU, rs, rt, RegHILO
+		case fnADDU:
+			in.Op, in.Src1, in.Src2, in.Dest = OpADDU, rs, rt, dest(rd)
+		case fnSUBU:
+			in.Op, in.Src1, in.Src2, in.Dest = OpSUBU, rs, rt, dest(rd)
+		case fnAND:
+			in.Op, in.Src1, in.Src2, in.Dest = OpAND, rs, rt, dest(rd)
+		case fnOR:
+			in.Op, in.Src1, in.Src2, in.Dest = OpOR, rs, rt, dest(rd)
+		case fnXOR:
+			in.Op, in.Src1, in.Src2, in.Dest = OpXOR, rs, rt, dest(rd)
+		case fnNOR:
+			in.Op, in.Src1, in.Src2, in.Dest = OpNOR, rs, rt, dest(rd)
+		case fnSLT:
+			in.Op, in.Src1, in.Src2, in.Dest = OpSLT, rs, rt, dest(rd)
+		case fnSLTU:
+			in.Op, in.Src1, in.Src2, in.Dest = OpSLTU, rs, rt, dest(rd)
+		}
+
+	case opcRegimm:
+		switch rt {
+		case 0:
+			in.Op, in.Src1, in.Imm = OpBLTZ, rs, signExt16(imm)
+		case 1:
+			in.Op, in.Src1, in.Imm = OpBGEZ, rs, signExt16(imm)
+		}
+
+	case opcJ:
+		in.Op, in.Tgt = OpJ, raw<<6>>6<<2
+	case opcJAL:
+		in.Op, in.Tgt, in.Dest = OpJAL, raw<<6>>6<<2, RegRA
+	case opcBEQ:
+		in.Op, in.Src1, in.Src2, in.Imm = OpBEQ, rs, rt, signExt16(imm)
+	case opcBNE:
+		in.Op, in.Src1, in.Src2, in.Imm = OpBNE, rs, rt, signExt16(imm)
+	case opcBLEZ:
+		in.Op, in.Src1, in.Imm = OpBLEZ, rs, signExt16(imm)
+	case opcBGTZ:
+		in.Op, in.Src1, in.Imm = OpBGTZ, rs, signExt16(imm)
+
+	case opcADDIU:
+		in.Op, in.Src1, in.Dest, in.Imm = OpADDIU, rs, dest(rt), signExt16(imm)
+	case opcSLTI:
+		in.Op, in.Src1, in.Dest, in.Imm = OpSLTI, rs, dest(rt), signExt16(imm)
+	case opcSLTIU:
+		in.Op, in.Src1, in.Dest, in.Imm = OpSLTIU, rs, dest(rt), signExt16(imm)
+	case opcANDI:
+		in.Op, in.Src1, in.Dest, in.Imm = OpANDI, rs, dest(rt), int32(imm)
+	case opcORI:
+		in.Op, in.Src1, in.Dest, in.Imm = OpORI, rs, dest(rt), int32(imm)
+	case opcXORI:
+		in.Op, in.Src1, in.Dest, in.Imm = OpXORI, rs, dest(rt), int32(imm)
+	case opcLUI:
+		in.Op, in.Dest, in.Imm = OpLUI, dest(rt), int32(imm)
+
+	case opcCOP1:
+		// COP1 layout: op | fmt(rs field) | ft(rt field) | fs(rd field) |
+		// fd(shamt field) | funct.
+		switch rs {
+		case copMFC1:
+			in.Op, in.Src1, in.Dest = OpMFC1, FPR(int(rd)), dest(rt)
+		case copMTC1:
+			in.Op, in.Src1, in.Dest = OpMTC1, rt, FPR(int(rd))
+		case copBC:
+			if rt&1 == 1 {
+				in.Op = OpBC1T
+			} else {
+				in.Op = OpBC1F
+			}
+			in.Src1, in.Imm = RegFCC, signExt16(imm)
+		case copFmtS:
+			fsr := FPR(int(rd))
+			ftr := FPR(int(rt))
+			fdr := FPR(int(shamt))
+			switch raw & 63 {
+			case fpADD:
+				in.Op, in.Src1, in.Src2, in.Dest = OpADDS, fsr, ftr, fdr
+			case fpSUB:
+				in.Op, in.Src1, in.Src2, in.Dest = OpSUBS, fsr, ftr, fdr
+			case fpMUL:
+				in.Op, in.Src1, in.Src2, in.Dest = OpMULS, fsr, ftr, fdr
+			case fpDIV:
+				in.Op, in.Src1, in.Src2, in.Dest = OpDIVS, fsr, ftr, fdr
+			case fpSQRT:
+				in.Op, in.Src1, in.Dest = OpSQRTS, fsr, fdr
+			case fpABS:
+				in.Op, in.Src1, in.Dest = OpABSS, fsr, fdr
+			case fpNEG:
+				in.Op, in.Src1, in.Dest = OpNEGS, fsr, fdr
+			case fpMOV:
+				in.Op, in.Src1, in.Dest = OpMOVS, fsr, fdr
+			case fpCVTW:
+				in.Op, in.Src1, in.Dest = OpCVTWS, fsr, fdr
+			case fpCEQ:
+				in.Op, in.Src1, in.Src2, in.Dest = OpCEQS, fsr, ftr, RegFCC
+			case fpCLT:
+				in.Op, in.Src1, in.Src2, in.Dest = OpCLTS, fsr, ftr, RegFCC
+			case fpCLE:
+				in.Op, in.Src1, in.Src2, in.Dest = OpCLES, fsr, ftr, RegFCC
+			}
+		case copFmtW:
+			if raw&63 == fpCVTS {
+				in.Op, in.Src1, in.Dest = OpCVTSW, FPR(int(rd)), FPR(int(shamt))
+			}
+		}
+
+	case opcLB:
+		in.Op, in.Src1, in.Dest, in.Imm = OpLB, rs, dest(rt), signExt16(imm)
+	case opcLBU:
+		in.Op, in.Src1, in.Dest, in.Imm = OpLBU, rs, dest(rt), signExt16(imm)
+	case opcLH:
+		in.Op, in.Src1, in.Dest, in.Imm = OpLH, rs, dest(rt), signExt16(imm)
+	case opcLHU:
+		in.Op, in.Src1, in.Dest, in.Imm = OpLHU, rs, dest(rt), signExt16(imm)
+	case opcLW:
+		in.Op, in.Src1, in.Dest, in.Imm = OpLW, rs, dest(rt), signExt16(imm)
+	case opcSB:
+		in.Op, in.Src1, in.Src2, in.Imm = OpSB, rs, rt, signExt16(imm)
+	case opcSH:
+		in.Op, in.Src1, in.Src2, in.Imm = OpSH, rs, rt, signExt16(imm)
+	case opcSW:
+		in.Op, in.Src1, in.Src2, in.Imm = OpSW, rs, rt, signExt16(imm)
+	case opcLWC1:
+		in.Op, in.Src1, in.Dest, in.Imm = OpLWC1, rs, FPR(int(rt)), signExt16(imm)
+	case opcSWC1:
+		in.Op, in.Src1, in.Src2, in.Imm = OpSWC1, rs, FPR(int(rt)), signExt16(imm)
+	}
+	return in
+}

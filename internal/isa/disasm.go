@@ -1,0 +1,55 @@
+package isa
+
+import "fmt"
+
+// Disasm renders the instruction at pc in conventional assembly syntax.
+// Branch and jump targets are shown as absolute hex addresses.
+func Disasm(in *Inst, pc uint32) string {
+	info := in.Op.Info()
+	switch info.Fmt {
+	case FmtR:
+		return fmt.Sprintf("%-8s%v, %v, %v", info.Name, in.Dest, in.Src1, in.Src2)
+	case FmtShift:
+		return fmt.Sprintf("%-8s%v, %v, %d", info.Name, in.Dest, in.Src1, in.Shamt)
+	case FmtShiftV:
+		return fmt.Sprintf("%-8s%v, %v, %v", info.Name, in.Dest, in.Src1, in.Src2)
+	case FmtI:
+		return fmt.Sprintf("%-8s%v, %v, %d", info.Name, in.Dest, in.Src1, in.Imm)
+	case FmtLUI:
+		return fmt.Sprintf("%-8s%v, %#x", info.Name, in.Dest, uint16(in.Imm))
+	case FmtMem:
+		if in.Op.IsStore() {
+			return fmt.Sprintf("%-8s%v, %d(%v)", info.Name, in.Src2, in.Imm, in.Src1)
+		}
+		return fmt.Sprintf("%-8s%v, %d(%v)", info.Name, in.Dest, in.Imm, in.Src1)
+	case FmtMulDiv:
+		return fmt.Sprintf("%-8s%v, %v", info.Name, in.Src1, in.Src2)
+	case FmtMoveHL:
+		return fmt.Sprintf("%-8s%v", info.Name, in.Dest)
+	case FmtJ:
+		return fmt.Sprintf("%-8s%#x", info.Name, in.JumpTarget())
+	case FmtJR:
+		return fmt.Sprintf("%-8s%v", info.Name, in.Src1)
+	case FmtJALR:
+		return fmt.Sprintf("%-8s%v, %v", info.Name, in.Dest, in.Src1)
+	case FmtBr2:
+		return fmt.Sprintf("%-8s%v, %v, %#x", info.Name, in.Src1, in.Src2, in.BranchTarget(pc))
+	case FmtBr1:
+		return fmt.Sprintf("%-8s%v, %#x", info.Name, in.Src1, in.BranchTarget(pc))
+	case FmtBrFCC:
+		return fmt.Sprintf("%-8s%#x", info.Name, in.BranchTarget(pc))
+	case FmtNullary:
+		return info.Name
+	case FmtFP3:
+		return fmt.Sprintf("%-8s%v, %v, %v", info.Name, in.Dest, in.Src1, in.Src2)
+	case FmtFP2:
+		return fmt.Sprintf("%-8s%v, %v", info.Name, in.Dest, in.Src1)
+	case FmtFCmp:
+		return fmt.Sprintf("%-8s%v, %v", info.Name, in.Src1, in.Src2)
+	case FmtMTC1:
+		return fmt.Sprintf("%-8s%v, %v", info.Name, in.Src1, in.Dest)
+	case FmtMFC1:
+		return fmt.Sprintf("%-8s%v, %v", info.Name, in.Dest, in.Src1)
+	}
+	return info.Name
+}

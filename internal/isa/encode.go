@@ -1,0 +1,191 @@
+package isa
+
+import "fmt"
+
+// Encoding errors are programming errors in the assembler; Encode panics on
+// out-of-range fields so they are caught in tests rather than silently
+// producing wrong machine code.
+
+func checkReg(r Reg, what string) uint32 {
+	if r >= 32 && !IsFPR(r) {
+		panic(fmt.Sprintf("isa: %s register %v not encodable", what, r))
+	}
+	if IsFPR(r) {
+		return uint32(r - RegF0)
+	}
+	return uint32(r)
+}
+
+func encR(funct uint32, rs, rt, rd Reg, shamt uint8) uint32 {
+	return checkReg(rs, "rs")<<21 | checkReg(rt, "rt")<<16 | checkReg(rd, "rd")<<11 |
+		uint32(shamt&31)<<6 | funct
+}
+
+func encI(opc uint32, rs, rt Reg, imm int32) uint32 {
+	if imm < -32768 || imm > 65535 {
+		panic(fmt.Sprintf("isa: immediate %d out of 16-bit range", imm))
+	}
+	return opc<<26 | checkReg(rs, "rs")<<21 | checkReg(rt, "rt")<<16 | uint32(imm)&0xFFFF
+}
+
+func encJ(opc uint32, target uint32) uint32 {
+	if target&3 != 0 {
+		panic(fmt.Sprintf("isa: jump target %#x not word aligned", target))
+	}
+	return opc<<26 | (target>>2)&0x03FFFFFF
+}
+
+// opEncoding maps each Op back to its major opcode / funct fields.
+type opEncoding struct {
+	opc   uint32
+	funct uint32 // SPECIAL funct or COP1 funct
+	sel   uint32 // REGIMM rt field or COP1 rs field
+}
+
+var encTable = map[Op]opEncoding{
+	OpSLL: {opcSpecial, fnSLL, 0}, OpSRL: {opcSpecial, fnSRL, 0}, OpSRA: {opcSpecial, fnSRA, 0},
+	OpSLLV: {opcSpecial, fnSLLV, 0}, OpSRLV: {opcSpecial, fnSRLV, 0}, OpSRAV: {opcSpecial, fnSRAV, 0},
+	OpJR: {opcSpecial, fnJR, 0}, OpJALR: {opcSpecial, fnJALR, 0},
+	OpSYSCALL: {opcSpecial, fnSYSCALL, 0}, OpBREAK: {opcSpecial, fnBREAK, 0},
+	OpMFHI: {opcSpecial, fnMFHI, 0}, OpMFLO: {opcSpecial, fnMFLO, 0},
+	OpMULT: {opcSpecial, fnMULT, 0}, OpMULTU: {opcSpecial, fnMULTU, 0},
+	OpDIV: {opcSpecial, fnDIV, 0}, OpDIVU: {opcSpecial, fnDIVU, 0},
+	OpADDU: {opcSpecial, fnADDU, 0}, OpSUBU: {opcSpecial, fnSUBU, 0},
+	OpAND: {opcSpecial, fnAND, 0}, OpOR: {opcSpecial, fnOR, 0},
+	OpXOR: {opcSpecial, fnXOR, 0}, OpNOR: {opcSpecial, fnNOR, 0},
+	OpSLT: {opcSpecial, fnSLT, 0}, OpSLTU: {opcSpecial, fnSLTU, 0},
+
+	OpBLTZ: {opcRegimm, 0, 0}, OpBGEZ: {opcRegimm, 0, 1},
+	OpJ: {opcJ, 0, 0}, OpJAL: {opcJAL, 0, 0},
+	OpBEQ: {opcBEQ, 0, 0}, OpBNE: {opcBNE, 0, 0},
+	OpBLEZ: {opcBLEZ, 0, 0}, OpBGTZ: {opcBGTZ, 0, 0},
+
+	OpADDIU: {opcADDIU, 0, 0}, OpSLTI: {opcSLTI, 0, 0}, OpSLTIU: {opcSLTIU, 0, 0},
+	OpANDI: {opcANDI, 0, 0}, OpORI: {opcORI, 0, 0}, OpXORI: {opcXORI, 0, 0},
+	OpLUI: {opcLUI, 0, 0},
+
+	OpLB: {opcLB, 0, 0}, OpLBU: {opcLBU, 0, 0}, OpLH: {opcLH, 0, 0}, OpLHU: {opcLHU, 0, 0},
+	OpLW: {opcLW, 0, 0}, OpSB: {opcSB, 0, 0}, OpSH: {opcSH, 0, 0}, OpSW: {opcSW, 0, 0},
+	OpLWC1: {opcLWC1, 0, 0}, OpSWC1: {opcSWC1, 0, 0},
+
+	OpADDS: {opcCOP1, fpADD, copFmtS}, OpSUBS: {opcCOP1, fpSUB, copFmtS},
+	OpMULS: {opcCOP1, fpMUL, copFmtS}, OpDIVS: {opcCOP1, fpDIV, copFmtS},
+	OpSQRTS: {opcCOP1, fpSQRT, copFmtS}, OpABSS: {opcCOP1, fpABS, copFmtS},
+	OpNEGS: {opcCOP1, fpNEG, copFmtS}, OpMOVS: {opcCOP1, fpMOV, copFmtS},
+	OpCVTSW: {opcCOP1, fpCVTS, copFmtW}, OpCVTWS: {opcCOP1, fpCVTW, copFmtS},
+	OpCEQS: {opcCOP1, fpCEQ, copFmtS}, OpCLTS: {opcCOP1, fpCLT, copFmtS},
+	OpCLES: {opcCOP1, fpCLE, copFmtS},
+	OpMTC1: {opcCOP1, 0, copMTC1}, OpMFC1: {opcCOP1, 0, copMFC1},
+	OpBC1T: {opcCOP1, 0, copBC}, OpBC1F: {opcCOP1, 0, copBC},
+}
+
+// EncodeR encodes a three-register ALU operation: op rd, rs, rt.
+func EncodeR(op Op, rd, rs, rt Reg) uint32 {
+	e := encTable[op]
+	return encR(e.funct, rs, rt, rd, 0)
+}
+
+// EncodeShift encodes a constant shift: op rd, rt, shamt.
+func EncodeShift(op Op, rd, rt Reg, shamt uint8) uint32 {
+	e := encTable[op]
+	return encR(e.funct, RegZero, rt, rd, shamt)
+}
+
+// EncodeShiftV encodes a variable shift: op rd, rt, rs.
+func EncodeShiftV(op Op, rd, rt, rs Reg) uint32 {
+	e := encTable[op]
+	return encR(e.funct, rs, rt, rd, 0)
+}
+
+// EncodeI encodes an immediate operation: op rt, rs, imm. Also used for
+// memory operations (rt = data/dest, rs = base, imm = offset) and for
+// two-register branches (rs, rt compared; imm = word offset).
+func EncodeI(op Op, rt, rs Reg, imm int32) uint32 {
+	e := encTable[op]
+	if op == OpLWC1 || op == OpSWC1 {
+		// rt field carries the FP register number.
+		return e.opc<<26 | checkReg(rs, "rs")<<21 | uint32(rt-RegF0)<<16 | uint32(imm)&0xFFFF
+	}
+	return encI(e.opc, rs, rt, imm)
+}
+
+// EncodeBr1 encodes a one-register branch: op rs, imm (word offset).
+func EncodeBr1(op Op, rs Reg, imm int32) uint32 {
+	e := encTable[op]
+	return encI(e.opc, rs, Reg(e.sel), imm)
+}
+
+// EncodeJ encodes a direct jump to an absolute byte address.
+func EncodeJ(op Op, target uint32) uint32 {
+	e := encTable[op]
+	return encJ(e.opc, target)
+}
+
+// EncodeJR encodes jr rs.
+func EncodeJR(rs Reg) uint32 { return encR(fnJR, rs, RegZero, RegZero, 0) }
+
+// EncodeJALR encodes jalr rd, rs.
+func EncodeJALR(rd, rs Reg) uint32 { return encR(fnJALR, rs, RegZero, rd, 0) }
+
+// EncodeMulDiv encodes mult/div-family: op rs, rt.
+func EncodeMulDiv(op Op, rs, rt Reg) uint32 {
+	e := encTable[op]
+	return encR(e.funct, rs, rt, RegZero, 0)
+}
+
+// EncodeMoveHL encodes mfhi/mflo rd.
+func EncodeMoveHL(op Op, rd Reg) uint32 {
+	e := encTable[op]
+	return encR(e.funct, RegZero, RegZero, rd, 0)
+}
+
+// EncodeNullary encodes syscall/break.
+func EncodeNullary(op Op) uint32 {
+	e := encTable[op]
+	return e.funct
+}
+
+// EncodeFP3 encodes a three-operand FP operation: op fd, fs, ft.
+func EncodeFP3(op Op, fd, fs, ft Reg) uint32 {
+	e := encTable[op]
+	return uint32(opcCOP1)<<26 | e.sel<<21 | uint32(ft-RegF0)<<16 |
+		uint32(fs-RegF0)<<11 | uint32(fd-RegF0)<<6 | e.funct
+}
+
+// EncodeFP2 encodes a two-operand FP operation: op fd, fs.
+func EncodeFP2(op Op, fd, fs Reg) uint32 {
+	e := encTable[op]
+	return uint32(opcCOP1)<<26 | e.sel<<21 | uint32(fs-RegF0)<<11 |
+		uint32(fd-RegF0)<<6 | e.funct
+}
+
+// EncodeFCmp encodes c.xx.s fs, ft.
+func EncodeFCmp(op Op, fs, ft Reg) uint32 {
+	e := encTable[op]
+	return uint32(opcCOP1)<<26 | e.sel<<21 | uint32(ft-RegF0)<<16 |
+		uint32(fs-RegF0)<<11 | e.funct
+}
+
+// EncodeMTC1 encodes mtc1 rt, fs (GPR -> FPR).
+func EncodeMTC1(rt, fs Reg) uint32 {
+	return uint32(opcCOP1)<<26 | uint32(copMTC1)<<21 | checkReg(rt, "rt")<<16 |
+		uint32(fs-RegF0)<<11
+}
+
+// EncodeMFC1 encodes mfc1 rt, fs (FPR -> GPR).
+func EncodeMFC1(rt, fs Reg) uint32 {
+	return uint32(opcCOP1)<<26 | uint32(copMFC1)<<21 | checkReg(rt, "rt")<<16 |
+		uint32(fs-RegF0)<<11
+}
+
+// EncodeBrFCC encodes bc1t/bc1f imm (word offset).
+func EncodeBrFCC(op Op, imm int32) uint32 {
+	tf := uint32(0)
+	if op == OpBC1T {
+		tf = 1
+	}
+	if imm < -32768 || imm > 32767 {
+		panic(fmt.Sprintf("isa: branch offset %d out of range", imm))
+	}
+	return uint32(opcCOP1)<<26 | uint32(copBC)<<21 | tf<<16 | uint32(imm)&0xFFFF
+}

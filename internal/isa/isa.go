@@ -1,0 +1,164 @@
+// Package isa defines the 32-bit MIPS-like instruction set architecture used
+// by the simulator: instruction encodings, the decoded instruction form, the
+// architectural register space, and the functional-unit timing classes from
+// Table 1 of the paper.
+//
+// The ISA follows the classic MIPS-I layout (R/I/J formats) with two
+// simplifications that keep the dataflow single-destination, which the
+// out-of-order core and the reuse buffer rely on:
+//
+//   - MULT/MULTU/DIV/DIVU write a single combined 64-bit HILO register
+//     (read by MFHI/MFLO) instead of separate HI and LO registers.
+//   - Floating point is single precision only.
+//
+// There are no branch delay slots, matching the behaviour of the
+// SimpleScalar-style simulator the paper builds on.
+package isa
+
+import "fmt"
+
+// Word is the value carried by an architectural register. Integer registers
+// hold their 32-bit value zero-extended; HILO uses the full 64 bits; FP
+// registers hold float32 bits in the low word.
+type Word = uint64
+
+// Reg names a register in the unified architectural register space used for
+// dependence tracking:
+//
+//	0..31   integer registers (r0 hardwired to zero)
+//	32      HILO (combined multiply/divide result)
+//	33..64  floating point registers f0..f31
+//	65      FCC (floating point condition code)
+type Reg uint8
+
+// Unified register space layout.
+const (
+	RegZero Reg = 0 // r0, always zero
+	RegAT   Reg = 1 // assembler temporary
+	RegV0   Reg = 2 // result / syscall code
+	RegV1   Reg = 3
+	RegA0   Reg = 4 // first argument
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegSP   Reg = 29 // stack pointer
+	RegFP   Reg = 30 // frame pointer
+	RegRA   Reg = 31 // return address
+
+	RegHILO Reg = 32
+	RegF0   Reg = 33 // f0; FPR(i) == RegF0 + i
+	RegFCC  Reg = 65
+
+	// NumArchRegs is the size of the unified register space.
+	NumArchRegs = 66
+
+	// NoReg marks an absent operand or destination.
+	NoReg Reg = 0xFF
+)
+
+// FPR returns the unified register id of floating point register i.
+func FPR(i int) Reg { return RegF0 + Reg(i) }
+
+// IsFPR reports whether r is one of f0..f31.
+func IsFPR(r Reg) bool { return r >= RegF0 && r < RegF0+32 }
+
+var intRegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional assembly name of the register ("$t0",
+// "$f4", "hilo", "fcc").
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return "$" + intRegNames[r]
+	case r == RegHILO:
+		return "hilo"
+	case IsFPR(r):
+		return fmt.Sprintf("$f%d", r-RegF0)
+	case r == RegFCC:
+		return "fcc"
+	case r == NoReg:
+		return "-"
+	}
+	return fmt.Sprintf("reg?%d", uint8(r))
+}
+
+// IntRegNumber returns the integer register number for a "$name" or "$N"
+// style name, or -1 if the name is not an integer register.
+func IntRegNumber(name string) int {
+	for i, n := range intRegNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FUClass identifies the functional unit pool an operation issues to.
+// The pool sizes and latencies come from Table 1 of the paper.
+type FUClass uint8
+
+const (
+	FUNone    FUClass = iota // does not use a functional unit (e.g. J)
+	FUIntALU                 // 8 units, latency 1, issue 1
+	FULoad                   // 2 load/store units, latency 1 + cache, issue 1
+	FUStore                  // shares the 2 load/store units
+	FUIntMult                // 1 unit (shared int mult/div), latency 3, issue 1
+	FUIntDiv                 // same unit as FUIntMult, latency 20, issue 19
+	FUFPAdd                  // 4 units, latency 2, issue 1
+	FUFPMult                 // 1 unit (shared fp mult/div/sqrt), latency 4, issue 1
+	FUFPDiv                  // same unit, latency 12, issue 12
+	FUFPSqrt                 // same unit, latency 24, issue 24
+	NumFUClasses
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case FUNone:
+		return "none"
+	case FUIntALU:
+		return "int-alu"
+	case FULoad:
+		return "load"
+	case FUStore:
+		return "store"
+	case FUIntMult:
+		return "int-mult"
+	case FUIntDiv:
+		return "int-div"
+	case FUFPAdd:
+		return "fp-add"
+	case FUFPMult:
+		return "fp-mult"
+	case FUFPDiv:
+		return "fp-div"
+	case FUFPSqrt:
+		return "fp-sqrt"
+	}
+	return "fu?"
+}
+
+// FUTiming gives total (result) latency and issue (initiation interval)
+// latency for a functional unit class, per Table 1.
+type FUTiming struct {
+	Latency  int // cycles until the result is available
+	IssueLat int // cycles until the unit can accept another operation
+}
+
+// Timing is the Table 1 "FU latency (total/issue)" row.
+var Timing = [NumFUClasses]FUTiming{
+	FUNone:    {1, 1},
+	FUIntALU:  {1, 1},
+	FULoad:    {1, 1}, // plus cache access, modeled by the memory system
+	FUStore:   {1, 1},
+	FUIntMult: {3, 1},
+	FUIntDiv:  {20, 19},
+	FUFPAdd:   {2, 1},
+	FUFPMult:  {4, 1},
+	FUFPDiv:   {12, 12},
+	FUFPSqrt:  {24, 24},
+}

@@ -1,0 +1,325 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{RegZero, "$zero"}, {RegSP, "$sp"}, {RegRA, "$ra"},
+		{RegHILO, "hilo"}, {FPR(0), "$f0"}, {FPR(31), "$f31"},
+		{RegFCC, "fcc"}, {NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestIntRegNumber(t *testing.T) {
+	if n := IntRegNumber("t0"); n != 8 {
+		t.Errorf("IntRegNumber(t0) = %d, want 8", n)
+	}
+	if n := IntRegNumber("nope"); n != -1 {
+		t.Errorf("IntRegNumber(nope) = %d, want -1", n)
+	}
+	// Every name must round-trip.
+	for i := 0; i < 32; i++ {
+		name := Reg(i).String()[1:]
+		if n := IntRegNumber(name); n != i {
+			t.Errorf("IntRegNumber(%s) = %d, want %d", name, n, i)
+		}
+	}
+}
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(1); op < NumOps; op++ {
+		if OpTable[op].Name == "" {
+			t.Errorf("op %d has no table entry", op)
+		}
+	}
+}
+
+func TestTimingMatchesTable1(t *testing.T) {
+	cases := []struct {
+		fu       FUClass
+		lat, iss int
+	}{
+		{FUIntALU, 1, 1}, {FULoad, 1, 1}, {FUIntMult, 3, 1}, {FUIntDiv, 20, 19},
+		{FUFPAdd, 2, 1}, {FUFPMult, 4, 1}, {FUFPDiv, 12, 12}, {FUFPSqrt, 24, 24},
+	}
+	for _, c := range cases {
+		got := Timing[c.fu]
+		if got.Latency != c.lat || got.IssueLat != c.iss {
+			t.Errorf("%v timing = %d/%d, want %d/%d", c.fu, got.Latency, got.IssueLat, c.lat, c.iss)
+		}
+	}
+}
+
+// roundTrip decodes an encoded word and checks the decoded fields.
+func roundTrip(t *testing.T, raw uint32, wantOp Op, check func(t *testing.T, in Inst)) {
+	t.Helper()
+	in := Decode(raw)
+	if in.Op != wantOp {
+		t.Fatalf("Decode(%#08x).Op = %v, want %v", raw, in.Op, wantOp)
+	}
+	if in.Raw != raw {
+		t.Fatalf("Decode(%#08x).Raw = %#08x", raw, in.Raw)
+	}
+	if check != nil {
+		check(t, in)
+	}
+}
+
+func TestEncodeDecodeALU(t *testing.T) {
+	roundTrip(t, EncodeR(OpADDU, Reg(3), Reg(1), Reg(2)), OpADDU, func(t *testing.T, in Inst) {
+		if in.Dest != 3 || in.Src1 != 1 || in.Src2 != 2 {
+			t.Errorf("addu operands = %v %v %v", in.Dest, in.Src1, in.Src2)
+		}
+	})
+	roundTrip(t, EncodeShift(OpSLL, Reg(5), Reg(6), 7), OpSLL, func(t *testing.T, in Inst) {
+		if in.Dest != 5 || in.Src1 != 6 || in.Shamt != 7 {
+			t.Errorf("sll fields = %v %v %d", in.Dest, in.Src1, in.Shamt)
+		}
+	})
+	roundTrip(t, EncodeShiftV(OpSRLV, Reg(5), Reg(6), Reg(7)), OpSRLV, func(t *testing.T, in Inst) {
+		if in.Dest != 5 || in.Src1 != 6 || in.Src2 != 7 {
+			t.Errorf("srlv fields = %v %v %v", in.Dest, in.Src1, in.Src2)
+		}
+	})
+	roundTrip(t, EncodeI(OpADDIU, Reg(4), Reg(5), -7), OpADDIU, func(t *testing.T, in Inst) {
+		if in.Dest != 4 || in.Src1 != 5 || in.Imm != -7 {
+			t.Errorf("addiu fields = %v %v %d", in.Dest, in.Src1, in.Imm)
+		}
+	})
+	roundTrip(t, EncodeI(OpORI, Reg(4), Reg(5), 0xBEEF), OpORI, func(t *testing.T, in Inst) {
+		if in.Imm != 0xBEEF {
+			t.Errorf("ori imm = %#x, want 0xBEEF (zero extended)", in.Imm)
+		}
+	})
+	roundTrip(t, EncodeI(OpLUI, Reg(4), RegZero, 0x1234), OpLUI, func(t *testing.T, in Inst) {
+		if in.Dest != 4 || in.Imm != 0x1234 {
+			t.Errorf("lui fields = %v %#x", in.Dest, in.Imm)
+		}
+	})
+}
+
+func TestEncodeDecodeMem(t *testing.T) {
+	roundTrip(t, EncodeI(OpLW, Reg(8), Reg(29), -16), OpLW, func(t *testing.T, in Inst) {
+		if in.Dest != 8 || in.Src1 != 29 || in.Imm != -16 {
+			t.Errorf("lw fields = %v %v %d", in.Dest, in.Src1, in.Imm)
+		}
+	})
+	roundTrip(t, EncodeI(OpSW, Reg(8), Reg(29), 32), OpSW, func(t *testing.T, in Inst) {
+		if in.Src2 != 8 || in.Src1 != 29 || in.Imm != 32 || in.Dest != NoReg {
+			t.Errorf("sw fields = %v %v %d dest=%v", in.Src2, in.Src1, in.Imm, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeI(OpLWC1, FPR(2), Reg(4), 8), OpLWC1, func(t *testing.T, in Inst) {
+		if in.Dest != FPR(2) || in.Src1 != 4 {
+			t.Errorf("lwc1 fields = %v %v", in.Dest, in.Src1)
+		}
+	})
+	roundTrip(t, EncodeI(OpSWC1, FPR(2), Reg(4), 8), OpSWC1, func(t *testing.T, in Inst) {
+		if in.Src2 != FPR(2) || in.Src1 != 4 {
+			t.Errorf("swc1 fields = %v %v", in.Src2, in.Src1)
+		}
+	})
+}
+
+func TestEncodeDecodeControl(t *testing.T) {
+	roundTrip(t, EncodeJ(OpJ, 0x1000), OpJ, func(t *testing.T, in Inst) {
+		if in.JumpTarget() != 0x1000 {
+			t.Errorf("j target = %#x", in.JumpTarget())
+		}
+	})
+	roundTrip(t, EncodeJ(OpJAL, 0x2000), OpJAL, func(t *testing.T, in Inst) {
+		if in.Dest != RegRA {
+			t.Errorf("jal dest = %v, want $ra", in.Dest)
+		}
+	})
+	roundTrip(t, EncodeJR(RegRA), OpJR, func(t *testing.T, in Inst) {
+		if in.Src1 != RegRA || !in.Op.IsReturn() {
+			t.Errorf("jr fields = %v return=%v", in.Src1, in.Op.IsReturn())
+		}
+	})
+	roundTrip(t, EncodeJALR(RegRA, Reg(9)), OpJALR, func(t *testing.T, in Inst) {
+		if in.Src1 != 9 || in.Dest != RegRA {
+			t.Errorf("jalr fields = %v %v", in.Src1, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeI(OpBEQ, Reg(2), Reg(3), 4), OpBEQ, func(t *testing.T, in Inst) {
+		if got := in.BranchTarget(0x100); got != 0x100+4+16 {
+			t.Errorf("beq target = %#x", got)
+		}
+	})
+	roundTrip(t, EncodeBr1(OpBGEZ, Reg(7), -2), OpBGEZ, func(t *testing.T, in Inst) {
+		if got := in.BranchTarget(0x100); got != 0x100+4-8 {
+			t.Errorf("bgez target = %#x", got)
+		}
+	})
+	roundTrip(t, EncodeBr1(OpBLTZ, Reg(7), 1), OpBLTZ, nil)
+	roundTrip(t, EncodeBr1(OpBLEZ, Reg(7), 1), OpBLEZ, nil)
+	roundTrip(t, EncodeBr1(OpBGTZ, Reg(7), 1), OpBGTZ, nil)
+}
+
+func TestEncodeDecodeMulDiv(t *testing.T) {
+	roundTrip(t, EncodeMulDiv(OpMULT, Reg(2), Reg(3)), OpMULT, func(t *testing.T, in Inst) {
+		if in.Src1 != 2 || in.Src2 != 3 || in.Dest != RegHILO {
+			t.Errorf("mult fields = %v %v %v", in.Src1, in.Src2, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeMoveHL(OpMFLO, Reg(4)), OpMFLO, func(t *testing.T, in Inst) {
+		if in.Src1 != RegHILO || in.Dest != 4 {
+			t.Errorf("mflo fields = %v %v", in.Src1, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeMoveHL(OpMFHI, Reg(4)), OpMFHI, nil)
+	roundTrip(t, EncodeMulDiv(OpDIVU, Reg(2), Reg(3)), OpDIVU, nil)
+}
+
+func TestEncodeDecodeFP(t *testing.T) {
+	roundTrip(t, EncodeFP3(OpADDS, FPR(1), FPR(2), FPR(3)), OpADDS, func(t *testing.T, in Inst) {
+		if in.Dest != FPR(1) || in.Src1 != FPR(2) || in.Src2 != FPR(3) {
+			t.Errorf("add.s fields = %v %v %v", in.Dest, in.Src1, in.Src2)
+		}
+	})
+	roundTrip(t, EncodeFP2(OpSQRTS, FPR(4), FPR(5)), OpSQRTS, func(t *testing.T, in Inst) {
+		if in.Dest != FPR(4) || in.Src1 != FPR(5) {
+			t.Errorf("sqrt.s fields = %v %v", in.Dest, in.Src1)
+		}
+	})
+	roundTrip(t, EncodeFCmp(OpCLTS, FPR(6), FPR(7)), OpCLTS, func(t *testing.T, in Inst) {
+		if in.Src1 != FPR(6) || in.Src2 != FPR(7) || in.Dest != RegFCC {
+			t.Errorf("c.lt.s fields = %v %v %v", in.Src1, in.Src2, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeMTC1(Reg(8), FPR(9)), OpMTC1, func(t *testing.T, in Inst) {
+		if in.Src1 != 8 || in.Dest != FPR(9) {
+			t.Errorf("mtc1 fields = %v %v", in.Src1, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeMFC1(Reg(8), FPR(9)), OpMFC1, func(t *testing.T, in Inst) {
+		if in.Src1 != FPR(9) || in.Dest != 8 {
+			t.Errorf("mfc1 fields = %v %v", in.Src1, in.Dest)
+		}
+	})
+	roundTrip(t, EncodeBrFCC(OpBC1T, 3), OpBC1T, func(t *testing.T, in Inst) {
+		if in.Src1 != RegFCC || in.Imm != 3 {
+			t.Errorf("bc1t fields = %v %d", in.Src1, in.Imm)
+		}
+	})
+	roundTrip(t, EncodeBrFCC(OpBC1F, -3), OpBC1F, nil)
+	roundTrip(t, EncodeFP2(OpCVTSW, FPR(1), FPR(2)), OpCVTSW, nil)
+	roundTrip(t, EncodeFP2(OpCVTWS, FPR(1), FPR(2)), OpCVTWS, nil)
+}
+
+func TestDecodeWriteToR0Stripped(t *testing.T) {
+	in := Decode(EncodeR(OpADDU, RegZero, Reg(1), Reg(2)))
+	if in.Dest != NoReg {
+		t.Errorf("addu $zero,... dest = %v, want NoReg", in.Dest)
+	}
+}
+
+func TestDecodeSyscall(t *testing.T) {
+	in := Decode(EncodeNullary(OpSYSCALL))
+	if in.Op != OpSYSCALL || in.Src1 != RegV0 || in.Src2 != RegA0 {
+		t.Errorf("syscall decode = %+v", in)
+	}
+	if !in.Op.Serializes() {
+		t.Error("syscall must serialize")
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	// An unused major opcode must decode to OpInvalid, not panic.
+	in := Decode(uint32(22) << 26)
+	if in.Op != OpInvalid {
+		t.Errorf("Decode(op=22) = %v, want invalid", in.Op)
+	}
+}
+
+// TestDecodeNeverPanics is a property test: Decode must be total over all
+// 32-bit words.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(raw uint32) bool {
+		in := Decode(raw)
+		// Decoded registers must be inside the unified space or NoReg.
+		ok := func(r Reg) bool { return r == NoReg || r < NumArchRegs }
+		return ok(in.Src1) && ok(in.Src2) && ok(in.Dest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeDecodeRoundTripProperty: for random operands, encoding then
+// decoding an ALU op reproduces the operands.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(rd, rs, rt uint8, imm int16) bool {
+		d, s1, s2 := Reg(rd%31+1), Reg(rs%32), Reg(rt%32)
+		in := Decode(EncodeR(OpXOR, d, s1, s2))
+		if in.Dest != d || in.Src1 != s1 || in.Src2 != s2 {
+			return false
+		}
+		in = Decode(EncodeI(OpADDIU, d, s1, int32(imm)))
+		return in.Dest == d && in.Src1 == s1 && in.Imm == int32(imm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	cases := []struct {
+		raw  uint32
+		pc   uint32
+		want string
+	}{
+		{EncodeR(OpADDU, Reg(2), Reg(4), Reg(5)), 0, "addu    $v0, $a0, $a1"},
+		{EncodeI(OpLW, Reg(8), Reg(29), -4), 0, "lw      $t0, -4($sp)"},
+		{EncodeI(OpSW, Reg(8), Reg(29), 4), 0, "sw      $t0, 4($sp)"},
+		{EncodeJ(OpJ, 0x400), 0, "j       0x400"},
+		{EncodeNullary(OpSYSCALL), 0, "syscall"},
+	}
+	for _, c := range cases {
+		in := Decode(c.raw)
+		if got := Disasm(&in, c.pc); got != c.want {
+			t.Errorf("Disasm(%#08x) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+	// Smoke: every op has a non-empty disassembly via some encoding.
+	for op := Op(1); op < NumOps; op++ {
+		in := Inst{Op: op, Src1: Reg(1), Src2: Reg(2), Dest: Reg(3)}
+		if op.Info().Flg&FlagFP != 0 {
+			in.Src1, in.Src2, in.Dest = FPR(1), FPR(2), FPR(3)
+		}
+		if s := Disasm(&in, 0); s == "" || strings.Contains(s, "op?") {
+			t.Errorf("op %v has broken disasm %q", op, s)
+		}
+	}
+}
+
+func TestFlagsConsistency(t *testing.T) {
+	for op := Op(1); op < NumOps; op++ {
+		info := op.Info()
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%v is both load and store", op)
+		}
+		if op.IsCondBranch() && op.IsUncond() {
+			t.Errorf("%v is both conditional and unconditional", op)
+		}
+		if op.IsLoad() && info.FU != FULoad {
+			t.Errorf("load %v has FU %v", op, info.FU)
+		}
+		if op.IsStore() && info.FU != FUStore {
+			t.Errorf("store %v has FU %v", op, info.FU)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package isa
+
+// Op enumerates the operations of the ISA. Each Op carries static metadata
+// in OpTable: mnemonic, format, functional unit class, and behaviour flags.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU, register form.
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+	OpADDU
+	OpSUBU
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+
+	// Integer ALU, immediate form.
+	OpADDIU
+	OpSLTI
+	OpSLTIU
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+
+	// Multiply / divide (write HILO).
+	OpMULT
+	OpMULTU
+	OpDIV
+	OpDIVU
+	OpMFHI
+	OpMFLO
+
+	// Control flow.
+	OpJ
+	OpJAL
+	OpJR
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpBLTZ
+	OpBGEZ
+	OpSYSCALL
+	OpBREAK
+
+	// Memory.
+	OpLB
+	OpLBU
+	OpLH
+	OpLHU
+	OpLW
+	OpSB
+	OpSH
+	OpSW
+	OpLWC1
+	OpSWC1
+
+	// Floating point (single precision).
+	OpADDS
+	OpSUBS
+	OpMULS
+	OpDIVS
+	OpSQRTS
+	OpABSS
+	OpNEGS
+	OpMOVS
+	OpCVTSW // convert int word (in FP reg) to float
+	OpCVTWS // convert float to int word (in FP reg)
+	OpCEQS  // fcc = (fs == ft)
+	OpCLTS  // fcc = (fs < ft)
+	OpCLES  // fcc = (fs <= ft)
+	OpMTC1  // move GPR -> FPR
+	OpMFC1  // move FPR -> GPR
+	OpBC1T  // branch if fcc true
+	OpBC1F  // branch if fcc false
+
+	NumOps
+)
+
+// Format describes how an Op is encoded and printed.
+type Format uint8
+
+const (
+	FmtR       Format = iota // op rd, rs, rt
+	FmtShift                 // op rd, rt, shamt
+	FmtShiftV                // op rd, rt, rs (variable shift)
+	FmtI                     // op rt, rs, imm
+	FmtLUI                   // lui rt, imm
+	FmtMem                   // op rt, imm(rs)
+	FmtMulDiv                // op rs, rt (writes HILO)
+	FmtMoveHL                // mfhi/mflo rd
+	FmtJ                     // j/jal target
+	FmtJR                    // jr rs
+	FmtJALR                  // jalr rd, rs
+	FmtBr2                   // beq/bne rs, rt, label
+	FmtBr1                   // blez/bgtz/bltz/bgez rs, label
+	FmtBrFCC                 // bc1t/bc1f label
+	FmtNullary               // syscall, break
+	FmtFP2                   // op fd, fs (unary fp)
+	FmtFP3                   // op fd, fs, ft
+	FmtFCmp                  // c.xx.s fs, ft
+	FmtMTC1                  // mtc1 rt, fs
+	FmtMFC1                  // mfc1 rt, fs
+)
+
+// Flag bits describing instruction behaviour the pipeline cares about.
+type Flags uint16
+
+const (
+	FlagLoad      Flags = 1 << iota // reads memory
+	FlagStore                       // writes memory
+	FlagCondBr                      // conditional branch
+	FlagUncond                      // unconditional jump
+	FlagCall                        // writes a return address (function call)
+	FlagReturn                      // jr $ra style return
+	FlagIndirect                    // target comes from a register
+	FlagSerialize                   // syscall/break: drain the pipeline
+	FlagFP                          // floating point operation
+)
+
+// OpInfo is the static metadata for one operation.
+type OpInfo struct {
+	Name string
+	Fmt  Format
+	FU   FUClass
+	Flg  Flags
+}
+
+// OpTable maps an Op to its metadata.
+var OpTable = [NumOps]OpInfo{
+	OpInvalid: {"invalid", FmtNullary, FUNone, 0},
+
+	OpSLL:  {"sll", FmtShift, FUIntALU, 0},
+	OpSRL:  {"srl", FmtShift, FUIntALU, 0},
+	OpSRA:  {"sra", FmtShift, FUIntALU, 0},
+	OpSLLV: {"sllv", FmtShiftV, FUIntALU, 0},
+	OpSRLV: {"srlv", FmtShiftV, FUIntALU, 0},
+	OpSRAV: {"srav", FmtShiftV, FUIntALU, 0},
+	OpADDU: {"addu", FmtR, FUIntALU, 0},
+	OpSUBU: {"subu", FmtR, FUIntALU, 0},
+	OpAND:  {"and", FmtR, FUIntALU, 0},
+	OpOR:   {"or", FmtR, FUIntALU, 0},
+	OpXOR:  {"xor", FmtR, FUIntALU, 0},
+	OpNOR:  {"nor", FmtR, FUIntALU, 0},
+	OpSLT:  {"slt", FmtR, FUIntALU, 0},
+	OpSLTU: {"sltu", FmtR, FUIntALU, 0},
+
+	OpADDIU: {"addiu", FmtI, FUIntALU, 0},
+	OpSLTI:  {"slti", FmtI, FUIntALU, 0},
+	OpSLTIU: {"sltiu", FmtI, FUIntALU, 0},
+	OpANDI:  {"andi", FmtI, FUIntALU, 0},
+	OpORI:   {"ori", FmtI, FUIntALU, 0},
+	OpXORI:  {"xori", FmtI, FUIntALU, 0},
+	OpLUI:   {"lui", FmtLUI, FUIntALU, 0},
+
+	OpMULT:  {"mult", FmtMulDiv, FUIntMult, 0},
+	OpMULTU: {"multu", FmtMulDiv, FUIntMult, 0},
+	OpDIV:   {"div", FmtMulDiv, FUIntDiv, 0},
+	OpDIVU:  {"divu", FmtMulDiv, FUIntDiv, 0},
+	OpMFHI:  {"mfhi", FmtMoveHL, FUIntALU, 0},
+	OpMFLO:  {"mflo", FmtMoveHL, FUIntALU, 0},
+
+	OpJ:       {"j", FmtJ, FUNone, FlagUncond},
+	OpJAL:     {"jal", FmtJ, FUIntALU, FlagUncond | FlagCall},
+	OpJR:      {"jr", FmtJR, FUIntALU, FlagUncond | FlagIndirect | FlagReturn},
+	OpJALR:    {"jalr", FmtJALR, FUIntALU, FlagUncond | FlagIndirect | FlagCall},
+	OpBEQ:     {"beq", FmtBr2, FUIntALU, FlagCondBr},
+	OpBNE:     {"bne", FmtBr2, FUIntALU, FlagCondBr},
+	OpBLEZ:    {"blez", FmtBr1, FUIntALU, FlagCondBr},
+	OpBGTZ:    {"bgtz", FmtBr1, FUIntALU, FlagCondBr},
+	OpBLTZ:    {"bltz", FmtBr1, FUIntALU, FlagCondBr},
+	OpBGEZ:    {"bgez", FmtBr1, FUIntALU, FlagCondBr},
+	OpSYSCALL: {"syscall", FmtNullary, FUIntALU, FlagSerialize},
+	OpBREAK:   {"break", FmtNullary, FUIntALU, FlagSerialize},
+
+	OpLB:   {"lb", FmtMem, FULoad, FlagLoad},
+	OpLBU:  {"lbu", FmtMem, FULoad, FlagLoad},
+	OpLH:   {"lh", FmtMem, FULoad, FlagLoad},
+	OpLHU:  {"lhu", FmtMem, FULoad, FlagLoad},
+	OpLW:   {"lw", FmtMem, FULoad, FlagLoad},
+	OpSB:   {"sb", FmtMem, FUStore, FlagStore},
+	OpSH:   {"sh", FmtMem, FUStore, FlagStore},
+	OpSW:   {"sw", FmtMem, FUStore, FlagStore},
+	OpLWC1: {"lwc1", FmtMem, FULoad, FlagLoad | FlagFP},
+	OpSWC1: {"swc1", FmtMem, FUStore, FlagStore | FlagFP},
+
+	OpADDS:  {"add.s", FmtFP3, FUFPAdd, FlagFP},
+	OpSUBS:  {"sub.s", FmtFP3, FUFPAdd, FlagFP},
+	OpMULS:  {"mul.s", FmtFP3, FUFPMult, FlagFP},
+	OpDIVS:  {"div.s", FmtFP3, FUFPDiv, FlagFP},
+	OpSQRTS: {"sqrt.s", FmtFP2, FUFPSqrt, FlagFP},
+	OpABSS:  {"abs.s", FmtFP2, FUFPAdd, FlagFP},
+	OpNEGS:  {"neg.s", FmtFP2, FUFPAdd, FlagFP},
+	OpMOVS:  {"mov.s", FmtFP2, FUFPAdd, FlagFP},
+	OpCVTSW: {"cvt.s.w", FmtFP2, FUFPAdd, FlagFP},
+	OpCVTWS: {"cvt.w.s", FmtFP2, FUFPAdd, FlagFP},
+	OpCEQS:  {"c.eq.s", FmtFCmp, FUFPAdd, FlagFP},
+	OpCLTS:  {"c.lt.s", FmtFCmp, FUFPAdd, FlagFP},
+	OpCLES:  {"c.le.s", FmtFCmp, FUFPAdd, FlagFP},
+	OpMTC1:  {"mtc1", FmtMTC1, FUIntALU, FlagFP},
+	OpMFC1:  {"mfc1", FmtMFC1, FUIntALU, FlagFP},
+	OpBC1T:  {"bc1t", FmtBrFCC, FUIntALU, FlagCondBr | FlagFP},
+	OpBC1F:  {"bc1f", FmtBrFCC, FUIntALU, FlagCondBr | FlagFP},
+}
+
+// Info returns the metadata for op.
+func (op Op) Info() *OpInfo { return &OpTable[op] }
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if op >= NumOps {
+		return "op?"
+	}
+	return OpTable[op].Name
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return OpTable[op].Flg&FlagLoad != 0 }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return OpTable[op].Flg&FlagStore != 0 }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return OpTable[op].Flg&(FlagLoad|FlagStore) != 0 }
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool { return OpTable[op].Flg&FlagCondBr != 0 }
+
+// IsUncond reports whether op is an unconditional control transfer.
+func (op Op) IsUncond() bool { return OpTable[op].Flg&FlagUncond != 0 }
+
+// IsControl reports whether op changes control flow.
+func (op Op) IsControl() bool { return OpTable[op].Flg&(FlagCondBr|FlagUncond) != 0 }
+
+// IsCall reports whether op is a call (writes a return address).
+func (op Op) IsCall() bool { return OpTable[op].Flg&FlagCall != 0 }
+
+// IsReturn reports whether op is a function return.
+func (op Op) IsReturn() bool { return OpTable[op].Flg&FlagReturn != 0 }
+
+// IsIndirect reports whether op's target comes from a register.
+func (op Op) IsIndirect() bool { return OpTable[op].Flg&FlagIndirect != 0 }
+
+// Serializes reports whether op must drain the pipeline (syscall/break).
+func (op Op) Serializes() bool { return OpTable[op].Flg&FlagSerialize != 0 }

@@ -1,0 +1,142 @@
+package mem
+
+// CacheConfig describes a set-associative cache. The defaults used by the
+// simulator come from Table 1: 64 KB, 2-way, 32-byte lines, 6-cycle miss.
+type CacheConfig struct {
+	SizeBytes   int
+	Ways        int
+	LineBytes   int
+	HitLatency  int // cycles for a hit (1 in the base machine)
+	MissLatency int // additional cycles for a miss (6 in the base machine)
+	Ports       int // simultaneous accesses per cycle (2 for the D-cache)
+}
+
+// DefaultICache returns the Table 1 instruction cache configuration.
+func DefaultICache() CacheConfig {
+	return CacheConfig{SizeBytes: 64 << 10, Ways: 2, LineBytes: 32, HitLatency: 1, MissLatency: 6, Ports: 1}
+}
+
+// DefaultDCache returns the Table 1 data cache configuration (dual ported).
+func DefaultDCache() CacheConfig {
+	return CacheConfig{SizeBytes: 64 << 10, Ways: 2, LineBytes: 32, HitLatency: 1, MissLatency: 6, Ports: 2}
+}
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a tag-only timing model of a set-associative cache with true LRU
+// replacement. Data always lives in Memory; the cache decides latency.
+// The model is non-blocking: concurrent misses simply each pay the miss
+// latency, which matches the paper's simple 6-cycle miss model.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	setMask   uint32
+	tags      [][]uint32 // [set][way], tag | valid
+	lruTick   [][]uint64 // [set][way], last-use timestamp
+	tick      uint64
+	stats     CacheStats
+}
+
+const invalidTag = 0xFFFF_FFFF
+
+// NewCache builds a cache from cfg. Sizes must be powers of two.
+func NewCache(cfg CacheConfig) *Cache {
+	lineShift := uint(0)
+	for 1<<lineShift < cfg.LineBytes {
+		lineShift++
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: lineShift,
+		setMask:   uint32(nSets - 1),
+		tags:      make([][]uint32, nSets),
+		lruTick:   make([][]uint64, nSets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, cfg.Ways)
+		c.lruTick[i] = make([]uint64, cfg.Ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = invalidTag
+		}
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Lookup reports whether addr hits without changing cache state.
+func (c *Cache) Lookup(addr uint32) bool {
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.lineShift
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a cached access to addr and returns the latency in cycles.
+// A miss allocates the line (write-allocate) and evicts the LRU way.
+func (c *Cache) Access(addr uint32) int {
+	c.tick++
+	c.stats.Accesses++
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.lineShift
+	ways := c.tags[set]
+	for w := range ways {
+		if ways[w] == tag {
+			c.lruTick[set][w] = c.tick
+			return c.cfg.HitLatency
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for w := 1; w < len(ways); w++ {
+		if c.lruTick[set][w] < c.lruTick[set][victim] {
+			victim = w
+		}
+	}
+	ways[victim] = tag
+	c.lruTick[set][victim] = c.tick
+	return c.cfg.HitLatency + c.cfg.MissLatency
+}
+
+// LineBytes returns the cache line size in bytes.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// SameLine reports whether two addresses fall in the same cache line; the
+// fetch stage uses this to enforce the "cannot fetch across cache line
+// boundaries" rule from Table 1.
+func (c *Cache) SameLine(a, b uint32) bool {
+	return a>>c.lineShift == b>>c.lineShift
+}
+
+// Reset invalidates all lines and zeroes the statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		for w := range c.tags[i] {
+			c.tags[i][w] = invalidTag
+			c.lruTick[i][w] = 0
+		}
+	}
+	c.tick = 0
+	c.stats = CacheStats{}
+}

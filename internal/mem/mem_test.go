@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.LoadWord(0x1000) != 0 {
+		t.Error("unmapped read must be zero")
+	}
+	m.StoreWord(0x1000, 0xDEADBEEF)
+	if got := m.LoadWord(0x1000); got != 0xDEADBEEF {
+		t.Errorf("word = %#x", got)
+	}
+	if got := m.LoadByte(0x1000); got != 0xEF {
+		t.Errorf("little-endian byte 0 = %#x", got)
+	}
+	if got := m.LoadByte(0x1003); got != 0xDE {
+		t.Errorf("little-endian byte 3 = %#x", got)
+	}
+	m.StoreHalf(0x2000, 0x1234)
+	if got := m.LoadHalf(0x2000); got != 0x1234 {
+		t.Errorf("half = %#x", got)
+	}
+}
+
+func TestMemoryCrossPageWord(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2)
+	m.StoreWord(addr, 0xCAFEBABE)
+	if got := m.LoadWord(addr); got != 0xCAFEBABE {
+		t.Errorf("cross-page word = %#x", got)
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, v uint32) bool {
+		addr &= 0x7FFF_FFFC // keep well-formed
+		m.StoreWord(addr, v)
+		return m.LoadWord(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	p := &prog.Program{
+		Text: []uint32{0x11111111, 0x22222222},
+		Data: []byte{1, 2, 3},
+	}
+	m := NewMemory()
+	m.LoadProgram(p)
+	if m.LoadWord(prog.TextBase+4) != 0x22222222 {
+		t.Error("text not loaded")
+	}
+	if m.LoadByte(prog.DataBase+2) != 3 {
+		t.Error("data not loaded")
+	}
+}
+
+func TestChecksumDetectsChanges(t *testing.T) {
+	m1, m2 := NewMemory(), NewMemory()
+	m1.StoreWord(0x1000, 5)
+	m2.StoreWord(0x1000, 5)
+	if m1.Checksum() != m2.Checksum() {
+		t.Error("identical memories must have equal checksums")
+	}
+	m2.StoreByte(0x50000, 1)
+	if m1.Checksum() == m2.Checksum() {
+		t.Error("different memories must differ")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(DefaultDCache())
+	if lat := c.Access(0x1000); lat != 7 {
+		t.Errorf("cold miss latency = %d, want 7 (1 hit + 6 miss)", lat)
+	}
+	if lat := c.Access(0x1004); lat != 1 {
+		t.Errorf("same-line hit latency = %d, want 1", lat)
+	}
+	if lat := c.Access(0x1000 + 31); lat != 1 {
+		t.Errorf("line-end hit latency = %d, want 1", lat)
+	}
+	if lat := c.Access(0x1000 + 32); lat != 7 {
+		t.Errorf("next-line miss latency = %d, want 7", lat)
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 128, Ways: 2, LineBytes: 32, HitLatency: 1, MissLatency: 6})
+	// 2 sets; addresses mapping to set 0: multiples of 64.
+	c.Access(0)   // miss, way A
+	c.Access(64)  // miss, way B
+	c.Access(0)   // hit, A more recent
+	c.Access(128) // miss, evicts B (LRU)
+	if !c.Lookup(0) {
+		t.Error("line 0 must survive")
+	}
+	if c.Lookup(64) {
+		t.Error("line 64 must be evicted")
+	}
+	if !c.Lookup(128) {
+		t.Error("line 128 must be resident")
+	}
+}
+
+func TestCacheConflictsWithinSet(t *testing.T) {
+	c := NewCache(DefaultICache())
+	// 64KB 2-way 32B lines = 1024 sets; stride of 32KB maps to same set.
+	c.Access(0)
+	c.Access(32 << 10)
+	c.Access(64 << 10) // third line in the same set evicts one
+	hits := 0
+	for _, a := range []uint32{0, 32 << 10, 64 << 10} {
+		if c.Lookup(a) {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("resident lines in set = %d, want 2 (2-way)", hits)
+	}
+}
+
+func TestCacheSameLine(t *testing.T) {
+	c := NewCache(DefaultICache())
+	if !c.SameLine(0x100, 0x11F) {
+		t.Error("0x100 and 0x11F share a 32B line")
+	}
+	if c.SameLine(0x11F, 0x120) {
+		t.Error("0x11F and 0x120 must not share a line")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(DefaultDCache())
+	c.Access(0x1000)
+	c.Reset()
+	if c.Lookup(0x1000) {
+		t.Error("lookup after reset must miss")
+	}
+	if s := c.Stats(); s.Accesses != 0 {
+		t.Error("stats must be zeroed")
+	}
+}
+
+func TestCacheMissRate(t *testing.T) {
+	var s CacheStats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate must be 0")
+	}
+	s = CacheStats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+}

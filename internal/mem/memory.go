@@ -1,0 +1,129 @@
+// Package mem provides the simulator's memory system: a sparse byte-
+// addressable main memory shared by the functional emulator and the timing
+// core, and a set-associative cache timing model configured per Table 1 of
+// the paper (64 KB, 2-way, 32-byte lines, 6-cycle miss latency).
+package mem
+
+import (
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged, little-endian main memory. The zero value is
+// ready to use. Reads of unmapped addresses return zero; writes allocate.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// LoadHalf returns the little-endian 16-bit value at addr.
+func (m *Memory) LoadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// StoreHalf stores the little-endian 16-bit value v at addr.
+func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// LoadWord returns the little-endian 32-bit value at addr. Word accesses
+// within one page take the fast path.
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		o := addr & pageMask
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+	}
+	return uint32(m.LoadHalf(addr)) | uint32(m.LoadHalf(addr+2))<<16
+}
+
+// StoreWord stores the little-endian 32-bit value v at addr.
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, true)
+		o := addr & pageMask
+		p[o], p[o+1], p[o+2], p[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return
+	}
+	m.StoreHalf(addr, uint16(v))
+	m.StoreHalf(addr+2, uint16(v>>16))
+}
+
+// LoadProgram maps a program image: text at prog.TextBase (so that the
+// emulator's data path and any self-referential loads see real bytes) and
+// static data at prog.DataBase.
+func (m *Memory) LoadProgram(p *prog.Program) {
+	for i, w := range p.Text {
+		m.StoreWord(prog.TextBase+uint32(4*i), w)
+	}
+	for i, b := range p.Data {
+		m.StoreByte(prog.DataBase+uint32(i), b)
+	}
+}
+
+// Checksum returns a FNV-1a hash over all mapped pages; used by golden tests
+// to compare architectural memory state between the emulator and the timing
+// core.
+func (m *Memory) Checksum() uint64 {
+	// Hash pages in address order for determinism.
+	var pns []uint32
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	for i := 1; i < len(pns); i++ { // insertion sort; page count is small
+		for j := i; j > 0 && pns[j] < pns[j-1]; j-- {
+			pns[j], pns[j-1] = pns[j-1], pns[j]
+		}
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, pn := range pns {
+		h ^= uint64(pn)
+		h *= prime64
+		for _, b := range m.pages[pn] {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

@@ -1,0 +1,496 @@
+// Package reuse implements the Reuse Buffer (RB) of the paper, scheme
+// S_{n+d} (Sodani & Sohi, ISCA 1997) with the two augmentations described
+// in §4.1.2 of the MICRO 1998 paper:
+//
+//  1. operand values are stored with each entry, so a start entry is dead
+//     only while the current operand value differs from the stored one;
+//  2. an entry whose operand values become current again is valid again
+//     (revalidation).
+//
+// With operand values stored, the name-based invalidate/revalidate machinery
+// of the original scheme is functionally equivalent to comparing the stored
+// operand values against the operand values available at the reuse test —
+// which is how Test is implemented. Dependence pointers are still recorded
+// (the 'd' in S_{n+d}); they enable same-cycle reuse of dependent chains:
+// an entry whose operand link points at an entry reused earlier in the same
+// decode group is reusable even though its operand value is not yet
+// available from the register file, exactly as in the paper (chains of up
+// to the decode width collapse in one cycle).
+//
+// Memory: load entries carry the effective address and remain result-
+// reusable until a store writes to that address (InvalidateStores); after
+// that only the address computation is reusable ("address reuse", the case
+// the paper highlights for compress). Store entries are address-only.
+//
+// Entries are inserted when an instruction completes execution — including
+// wrong-path instructions, which is how IR recovers useful work from
+// branch-misprediction squashes (§3.2, Table 5).
+package reuse
+
+import (
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// Config sizes the reuse buffer. The paper uses 4 K entries, 4-way (§4.1.3),
+// i.e. up to 4 instances per instruction.
+type Config struct {
+	Entries int
+	Ways    int
+}
+
+// DefaultConfig returns the paper's 4 K-entry, 4-way RB.
+func DefaultConfig() Config { return Config{Entries: 4 << 10, Ways: 4} }
+
+// Link identifies an RB entry at a point in time; generation counters
+// detect eviction and overwrite, killing stale dependence pointers.
+type Link struct {
+	Idx int32
+	Gen uint32
+}
+
+// NoLink marks an absent dependence pointer (operand came from the
+// register file).
+var NoLink = Link{Idx: -1}
+
+// Operand describes one source operand at the reuse test: whether its value
+// is available to the test (committed, or completed in-flight, or produced
+// by an entry reused earlier in the same cycle) and the value itself.
+type Operand struct {
+	Ready bool
+	Val   isa.Word
+	// ReusedFrom is the RB entry that produced this operand via reuse in
+	// the current decode group (NoLink if none); enables chain reuse.
+	ReusedFrom Link
+}
+
+// TestResult is the outcome of a reuse test.
+type TestResult struct {
+	Hit     bool     // result reusable (full reuse)
+	AddrHit bool     // memory op: effective address reusable
+	Value   isa.Word // result (valid when Hit)
+	Addr    uint32   // effective address (valid when Hit or AddrHit)
+	Entry   Link     // the matching entry
+	Chained bool     // matched through a same-cycle dependence chain
+	// WrongPathWork is set when the matched entry was inserted by a
+	// squashed (wrong-path) instruction — the "recovered useful work" of
+	// Table 5.
+	WrongPathWork bool
+}
+
+type entry struct {
+	valid bool
+	tag   uint32 // pc
+	gen   uint32
+	tick  uint64
+
+	op       isa.Op
+	result   isa.Word
+	src1Name isa.Reg
+	src2Name isa.Reg
+	src1Val  isa.Word
+	src2Val  isa.Word
+	src1Link Link
+	src2Link Link
+
+	isMem    bool
+	isLoad   bool
+	addr     uint32
+	width    uint32
+	memValid bool // load result still valid w.r.t. stores
+
+	wrongPath bool // inserted by a squashed instruction
+}
+
+// Stats counts reuse buffer activity.
+type Stats struct {
+	Tests      uint64
+	Hits       uint64 // full reuse
+	AddrHits   uint64 // address-only reuse (memory ops)
+	ChainHits  uint64 // hits established through a dependence pointer
+	Inserts    uint64
+	Updates    uint64 // insert found an identical instance and refreshed it
+	Evictions  uint64
+	StoreKills uint64 // load results invalidated by stores
+	Recovered  uint64 // hits on wrong-path entries
+}
+
+// Buffer is the reuse buffer.
+type Buffer struct {
+	cfg     Config
+	setMask uint32
+	ways    int
+	entries []entry
+	tick    uint64
+	stats   Stats
+
+	// loadIndex maps word-aligned addresses to entries of loads touching
+	// that word, for store invalidation without scanning the whole buffer.
+	loadIndex map[uint32][]int32
+}
+
+// New builds an empty reuse buffer.
+func New(cfg Config) *Buffer {
+	sets := cfg.Entries / cfg.Ways
+	return &Buffer{
+		cfg:       cfg,
+		setMask:   uint32(sets - 1),
+		ways:      cfg.Ways,
+		entries:   make([]entry, sets*cfg.Ways),
+		loadIndex: make(map[uint32][]int32),
+	}
+}
+
+// Config returns the buffer configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Stats returns a copy of the counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+func (b *Buffer) setBase(pc uint32) int32 {
+	return int32((pc>>2)&b.setMask) * int32(b.ways)
+}
+
+// Get returns the entry a link points at, or nil if the link is stale.
+func (b *Buffer) get(l Link) *entry {
+	if l.Idx < 0 || int(l.Idx) >= len(b.entries) {
+		return nil
+	}
+	e := &b.entries[l.Idx]
+	if !e.valid || e.gen != l.Gen {
+		return nil
+	}
+	return e
+}
+
+// operandOK decides whether one operand slot of entry e passes the reuse
+// test. chained is set when the slot is satisfied through the dependence
+// pointer rather than an architectural value match.
+func (b *Buffer) operandOK(name isa.Reg, stored isa.Word, link Link, op Operand) (ok, chained bool) {
+	if name == isa.NoReg {
+		return true, false
+	}
+	// Same-cycle chain: the operand's producer was itself reused from the
+	// exact entry our dependence pointer names.
+	if link.Idx >= 0 && op.ReusedFrom.Idx == link.Idx && op.ReusedFrom.Gen == link.Gen {
+		return true, true
+	}
+	// Value match against the available operand value. This subsumes
+	// invalidation-on-overwrite and revalidation (augmentations 1 and 2),
+	// and also covers a chain producer reused from a *different* instance
+	// with the same result.
+	if op.Ready && op.Val == stored {
+		return true, false
+	}
+	return false, false
+}
+
+// Test runs the reuse test for the instruction at pc against all buffered
+// instances. Loads may hit fully (result) or address-only; stores can only
+// hit address-only. The first fully matching instance wins; an address-only
+// match is returned when no full match exists.
+func (b *Buffer) Test(pc uint32, in *isa.Inst, op1, op2 Operand) TestResult {
+	b.stats.Tests++
+	base := b.setBase(pc)
+	var addrOnly *TestResult
+
+	for w := 0; w < b.ways; w++ {
+		idx := base + int32(w)
+		e := &b.entries[idx]
+		if !e.valid || e.tag != pc || e.op != in.Op {
+			continue
+		}
+		ok1, ch1 := b.operandOK(e.src1Name, e.src1Val, e.src1Link, op1)
+		if !ok1 {
+			continue
+		}
+		ok2, ch2 := b.operandOK(e.src2Name, e.src2Val, e.src2Link, op2)
+		// For memory ops, src2 is the store data (stores) or absent (loads);
+		// the address depends only on src1 (the base register).
+		if e.isMem {
+			if e.isLoad {
+				res := TestResult{
+					Addr:          e.addr,
+					Entry:         Link{Idx: idx, Gen: e.gen},
+					Chained:       ch1,
+					WrongPathWork: e.wrongPath,
+				}
+				if e.memValid {
+					res.Hit = true
+					res.AddrHit = true
+					res.Value = e.result
+					b.recordHit(e, res.Chained)
+					return res
+				}
+				res.AddrHit = true
+				if addrOnly == nil {
+					addrOnly = &res
+				}
+				continue
+			}
+			// Store: address reuse only (src1 = base matched).
+			res := TestResult{
+				AddrHit:       true,
+				Addr:          e.addr,
+				Entry:         Link{Idx: idx, Gen: e.gen},
+				Chained:       ch1,
+				WrongPathWork: e.wrongPath,
+			}
+			if addrOnly == nil {
+				addrOnly = &res
+			}
+			continue
+		}
+		if !ok2 {
+			continue
+		}
+		res := TestResult{
+			Hit:           true,
+			Value:         e.result,
+			Entry:         Link{Idx: idx, Gen: e.gen},
+			Chained:       ch1 || ch2,
+			WrongPathWork: e.wrongPath,
+		}
+		b.recordHit(e, res.Chained)
+		return res
+	}
+	if addrOnly != nil {
+		b.stats.AddrHits++
+		e := &b.entries[addrOnly.Entry.Idx]
+		e.tick = b.nextTick()
+		if e.wrongPath {
+			b.stats.Recovered++
+			e.wrongPath = false
+		}
+		return *addrOnly
+	}
+	return TestResult{Entry: NoLink}
+}
+
+func (b *Buffer) recordHit(e *entry, chained bool) {
+	b.stats.Hits++
+	if chained {
+		b.stats.ChainHits++
+	}
+	if e.wrongPath {
+		b.stats.Recovered++
+		e.wrongPath = false
+	}
+	e.tick = b.nextTick()
+}
+
+func (b *Buffer) nextTick() uint64 {
+	b.tick++
+	return b.tick
+}
+
+// Insert records a completed execution in the buffer and returns a link to
+// the entry (for consumers' dependence pointers). If an identical instance
+// (same pc, op and operand values) exists it is refreshed in place.
+// wrongPath marks work inserted from a path that was (or will be) squashed.
+//
+// forwarded marks a load whose value came from an in-flight store rather
+// than memory: such a value may never reach memory (the store can be
+// squashed), so the entry is inserted address-only (memValid=false). A
+// value read from memory is safe to buffer: any later store to it commits
+// through InvalidateStores.
+func (b *Buffer) Insert(pc uint32, in *isa.Inst, src1Val, src2Val isa.Word,
+	result isa.Word, addr uint32, link1, link2 Link, wrongPath, forwarded bool) Link {
+
+	if in.Op.Serializes() || in.Op == isa.OpJ || in.Op == isa.OpInvalid {
+		return NoLink
+	}
+	// A dependence pointer is only kept when the linked entry currently
+	// produces exactly the operand value being recorded. A link captured
+	// from an earlier (e.g. value-speculative) producer instance whose
+	// entry holds a different result would let a later chain reuse deliver
+	// a result computed from a different operand.
+	if e := b.get(link1); e == nil || e.result != src1Val {
+		link1 = NoLink
+	}
+	if e := b.get(link2); e == nil || e.result != src2Val {
+		link2 = NoLink
+	}
+	base := b.setBase(pc)
+	var victim int32 = -1
+	for w := 0; w < b.ways; w++ {
+		idx := base + int32(w)
+		e := &b.entries[idx]
+		if !e.valid {
+			if victim < 0 {
+				victim = idx
+			}
+			continue
+		}
+		if e.tag == pc && e.op == in.Op && e.src1Val == src1Val && e.src2Val == src2Val {
+			// Identical instance: refresh result and revalidate memory. A
+			// changed result (possible only for loads: same address, new
+			// memory contents) invalidates inbound dependence pointers by
+			// advancing the generation — a chain link must never deliver a
+			// value different from the one recorded when it was formed.
+			b.stats.Updates++
+			b.unindexLoad(idx, e)
+			if e.result != result {
+				e.gen++
+			}
+			e.result = result
+			e.addr = addr
+			e.memValid = !forwarded
+			e.src1Link = link1
+			e.src2Link = link2
+			e.tick = b.nextTick()
+			if !wrongPath {
+				e.wrongPath = false
+			}
+			b.indexLoad(idx, e)
+			return Link{Idx: idx, Gen: e.gen}
+		}
+	}
+	if victim < 0 {
+		// Evict LRU.
+		victim = base
+		for w := 1; w < b.ways; w++ {
+			idx := base + int32(w)
+			if b.entries[idx].tick < b.entries[victim].tick {
+				victim = idx
+			}
+		}
+		b.stats.Evictions++
+	}
+	e := &b.entries[victim]
+	b.unindexLoad(victim, e)
+	gen := e.gen + 1
+	*e = entry{
+		valid:     true,
+		tag:       pc,
+		gen:       gen,
+		tick:      b.nextTick(),
+		op:        in.Op,
+		result:    result,
+		src1Name:  in.Src1,
+		src2Name:  in.Src2,
+		src1Val:   src1Val,
+		src2Val:   src2Val,
+		src1Link:  link1,
+		src2Link:  link2,
+		isMem:     in.Op.IsMem(),
+		isLoad:    in.Op.IsLoad(),
+		addr:      addr,
+		memValid:  !forwarded,
+		wrongPath: wrongPath,
+	}
+	if e.isMem {
+		if e.isLoad {
+			e.width = 4 // widest window; precise width refined below
+		}
+		switch in.Op {
+		case isa.OpLB, isa.OpLBU, isa.OpSB:
+			e.width = 1
+		case isa.OpLH, isa.OpLHU, isa.OpSH:
+			e.width = 2
+		default:
+			e.width = 4
+		}
+	}
+	b.stats.Inserts++
+	b.indexLoad(victim, e)
+	return Link{Idx: victim, Gen: gen}
+}
+
+// loadWords returns the word-aligned keys a load entry's byte range touches.
+func loadWords(addr, width uint32) [2]uint32 {
+	first := addr >> 2
+	last := (addr + width - 1) >> 2
+	return [2]uint32{first, last}
+}
+
+func (b *Buffer) indexLoad(idx int32, e *entry) {
+	if !e.valid || !e.isLoad {
+		return
+	}
+	w := loadWords(e.addr, e.width)
+	b.loadIndex[w[0]] = append(b.loadIndex[w[0]], idx)
+	if w[1] != w[0] {
+		b.loadIndex[w[1]] = append(b.loadIndex[w[1]], idx)
+	}
+}
+
+func (b *Buffer) unindexLoad(idx int32, e *entry) {
+	if !e.valid || !e.isLoad {
+		return
+	}
+	w := loadWords(e.addr, e.width)
+	b.removeFromIndex(w[0], idx)
+	if w[1] != w[0] {
+		b.removeFromIndex(w[1], idx)
+	}
+}
+
+func (b *Buffer) removeFromIndex(word uint32, idx int32) {
+	lst := b.loadIndex[word]
+	for i, v := range lst {
+		if v == idx {
+			lst[i] = lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(b.loadIndex, word)
+	} else {
+		b.loadIndex[word] = lst
+	}
+}
+
+// InvalidateStores kills the result-validity of load entries whose byte
+// range overlaps a store of width bytes at addr; the address computation
+// stays reusable (that is the paper's "address reuse"). Called when a store
+// commits.
+func (b *Buffer) InvalidateStores(addr, width uint32) {
+	w := loadWords(addr, width)
+	for word := w[0]; ; word++ {
+		for _, idx := range b.loadIndex[word] {
+			e := &b.entries[idx]
+			if !e.valid || !e.isLoad || !e.memValid {
+				continue
+			}
+			if e.addr < addr+width && addr < e.addr+e.width {
+				e.memValid = false
+				b.stats.StoreKills++
+			}
+		}
+		if word == w[1] {
+			break
+		}
+	}
+}
+
+// MarkWrongPath flags an entry as wrong-path work (called when the inserting
+// instruction is squashed after insertion).
+func (b *Buffer) MarkWrongPath(l Link) {
+	if e := b.get(l); e != nil {
+		e.wrongPath = true
+	}
+}
+
+// Instances returns how many instances are buffered for pc; for tests.
+func (b *Buffer) Instances(pc uint32) int {
+	base := b.setBase(pc)
+	n := 0
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+int32(w)]
+		if e.valid && e.tag == pc {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears the buffer and statistics.
+func (b *Buffer) Reset() {
+	for i := range b.entries {
+		b.entries[i] = entry{gen: b.entries[i].gen}
+	}
+	b.loadIndex = make(map[uint32][]int32)
+	b.tick = 0
+	b.stats = Stats{}
+}

@@ -1,0 +1,360 @@
+package reuse
+
+import (
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+func smallCfg() Config { return Config{Entries: 64, Ways: 4} }
+
+func addu() *isa.Inst {
+	in := isa.Decode(isa.EncodeR(isa.OpADDU, isa.Reg(3), isa.Reg(1), isa.Reg(2)))
+	return &in
+}
+
+func lw() *isa.Inst {
+	in := isa.Decode(isa.EncodeI(isa.OpLW, isa.Reg(5), isa.Reg(4), 8))
+	return &in
+}
+
+func sw() *isa.Inst {
+	in := isa.Decode(isa.EncodeI(isa.OpSW, isa.Reg(5), isa.Reg(4), 8))
+	return &in
+}
+
+func rdy(v isa.Word) Operand { return Operand{Ready: true, Val: v, ReusedFrom: NoLink} }
+func notRdy() Operand        { return Operand{ReusedFrom: NoLink} }
+
+func TestMissOnColdBuffer(t *testing.T) {
+	b := New(DefaultConfig())
+	res := b.Test(0x400000, addu(), rdy(1), rdy(2))
+	if res.Hit || res.AddrHit {
+		t.Error("cold buffer must miss")
+	}
+}
+
+func TestHitOnMatchingOperands(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	res := b.Test(pc, addu(), rdy(1), rdy(2))
+	if !res.Hit || res.Value != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Different operand values: miss (the augmented invalidation rule).
+	if res := b.Test(pc, addu(), rdy(1), rdy(9)); res.Hit {
+		t.Error("operand mismatch must miss")
+	}
+	// Operand not ready: miss (non-speculative early validation).
+	if res := b.Test(pc, addu(), rdy(1), notRdy()); res.Hit {
+		t.Error("unready operand must miss")
+	}
+}
+
+func TestRevalidation(t *testing.T) {
+	// The stored values make the entry valid whenever the operand values
+	// are current again — the paper's second augmentation.
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	if res := b.Test(pc, addu(), rdy(7), rdy(2)); res.Hit {
+		t.Error("must miss while operand differs")
+	}
+	if res := b.Test(pc, addu(), rdy(1), rdy(2)); !res.Hit {
+		t.Error("must hit when operand values are current again")
+	}
+}
+
+func TestMultipleInstances(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	// Four instances with different inputs.
+	for i := isa.Word(0); i < 4; i++ {
+		b.Insert(pc, addu(), i, 10, i+10, 0, NoLink, NoLink, false, false)
+	}
+	if n := b.Instances(pc); n != 4 {
+		t.Fatalf("instances = %d", n)
+	}
+	// The reuse test selects the instance matching the current operands.
+	for i := isa.Word(0); i < 4; i++ {
+		res := b.Test(pc, addu(), rdy(i), rdy(10))
+		if !res.Hit || res.Value != i+10 {
+			t.Errorf("instance %d: %+v", i, res)
+		}
+	}
+}
+
+func TestIdenticalInsertRefreshes(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	l1 := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	l2 := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	if l1 != l2 {
+		t.Errorf("identical instance reallocated: %v vs %v", l1, l2)
+	}
+	if n := b.Instances(pc); n != 1 {
+		t.Errorf("instances = %d, want 1", n)
+	}
+	if s := b.Stats(); s.Updates != 1 || s.Inserts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	for i := isa.Word(0); i < 4; i++ {
+		b.Insert(pc, addu(), i, 0, i, 0, NoLink, NoLink, false, false)
+	}
+	// Touch instance 0 so instance 1 is LRU.
+	b.Test(pc, addu(), rdy(0), rdy(0))
+	b.Insert(pc, addu(), 99, 0, 99, 0, NoLink, NoLink, false, false)
+	if res := b.Test(pc, addu(), rdy(1), rdy(0)); res.Hit {
+		t.Error("LRU instance 1 must be evicted")
+	}
+	if res := b.Test(pc, addu(), rdy(0), rdy(0)); !res.Hit {
+		t.Error("MRU instance 0 must survive")
+	}
+}
+
+func TestLoadReuseAndStoreInvalidation(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	// Load from base 0x1000 + 8 = 0x1008, value 77.
+	b.Insert(pc, lw(), 0x1000, 0, 77, 0x1008, NoLink, NoLink, false, false)
+	res := b.Test(pc, lw(), rdy(0x1000), notRdy())
+	if !res.Hit || res.Value != 77 || res.Addr != 0x1008 {
+		t.Fatalf("load reuse: %+v", res)
+	}
+	// A store to an unrelated address leaves it valid.
+	b.InvalidateStores(0x2000, 4)
+	if res := b.Test(pc, lw(), rdy(0x1000), notRdy()); !res.Hit {
+		t.Error("unrelated store must not invalidate")
+	}
+	// A store to the load's address: result dead, address still reusable.
+	b.InvalidateStores(0x1008, 4)
+	res = b.Test(pc, lw(), rdy(0x1000), notRdy())
+	if res.Hit {
+		t.Error("store must kill load result reuse")
+	}
+	if !res.AddrHit || res.Addr != 0x1008 {
+		t.Errorf("address reuse must survive: %+v", res)
+	}
+	// Re-inserting the same instance revalidates the memory state.
+	b.Insert(pc, lw(), 0x1000, 0, 78, 0x1008, NoLink, NoLink, false, false)
+	if res := b.Test(pc, lw(), rdy(0x1000), notRdy()); !res.Hit || res.Value != 78 {
+		t.Errorf("revalidated load: %+v", res)
+	}
+}
+
+func TestPartialOverlapInvalidation(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, lw(), 0x1000, 0, 1, 0x1008, NoLink, NoLink, false, false)
+	// A one-byte store into the middle of the loaded word.
+	b.InvalidateStores(0x100A, 1)
+	if res := b.Test(pc, lw(), rdy(0x1000), notRdy()); res.Hit {
+		t.Error("overlapping byte store must invalidate")
+	}
+	// A byte store just past the word does not.
+	b.Insert(pc, lw(), 0x1000, 0, 1, 0x1008, NoLink, NoLink, false, false)
+	b.InvalidateStores(0x100C, 1)
+	if res := b.Test(pc, lw(), rdy(0x1000), notRdy()); !res.Hit {
+		t.Error("adjacent store must not invalidate")
+	}
+}
+
+func TestStoreAddressReuse(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, sw(), 0x1000, 42, 0, 0x1008, NoLink, NoLink, false, false)
+	res := b.Test(pc, sw(), rdy(0x1000), notRdy())
+	if res.Hit {
+		t.Error("stores must never hit fully")
+	}
+	if !res.AddrHit || res.Addr != 0x1008 {
+		t.Errorf("store address reuse: %+v", res)
+	}
+	// Different base: no address reuse.
+	if res := b.Test(pc, sw(), rdy(0x2000), rdy(42)); res.AddrHit {
+		t.Error("different base must miss")
+	}
+}
+
+func TestChainReuse(t *testing.T) {
+	b := New(smallCfg())
+	pcA, pcB := uint32(0x400000), uint32(0x400100)
+	// A: addu r3 = r1 + r2 executed with (1,2) -> 3, entry lA.
+	lA := b.Insert(pcA, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	// B consumed A's result: addu r3 = r1(, =3) + r2(=10) -> 13, linked to A.
+	inB := isa.Decode(isa.EncodeR(isa.OpADDU, isa.Reg(4), isa.Reg(3), isa.Reg(6)))
+	b.Insert(pcB, &inB, 3, 10, 13, 0, lA, NoLink, false, false)
+
+	// Later: A is reused this cycle; B's operand 1 value not yet available
+	// from the register file, but the chain pointer satisfies it.
+	resA := b.Test(pcA, addu(), rdy(1), rdy(2))
+	if !resA.Hit {
+		t.Fatal("A must hit")
+	}
+	opB1 := Operand{Ready: false, ReusedFrom: resA.Entry}
+	resB := b.Test(pcB, &inB, opB1, rdy(10))
+	if !resB.Hit || resB.Value != 13 {
+		t.Fatalf("chained reuse failed: %+v", resB)
+	}
+	if !resB.Chained {
+		t.Error("hit must be flagged as chained")
+	}
+	if s := b.Stats(); s.ChainHits != 1 {
+		t.Errorf("chain hits = %d", s.ChainHits)
+	}
+}
+
+func TestStaleLinkDoesNotChain(t *testing.T) {
+	b := New(smallCfg())
+	pcA, pcB := uint32(0x400000), uint32(0x400100)
+	lA := b.Insert(pcA, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	inB := isa.Decode(isa.EncodeR(isa.OpADDU, isa.Reg(4), isa.Reg(3), isa.Reg(6)))
+	b.Insert(pcB, &inB, 3, 10, 13, 0, lA, NoLink, false, false)
+
+	// Evict/overwrite A's entry by filling its set with other instances.
+	for i := isa.Word(10); i < 14; i++ {
+		b.Insert(pcA, addu(), i, i, i, 0, NoLink, NoLink, false, false)
+	}
+	// A stale ReusedFrom link (old generation) must not satisfy B.
+	opB1 := Operand{Ready: false, ReusedFrom: lA}
+	if res := b.Test(pcB, &inB, opB1, rdy(10)); res.Hit {
+		// The entry at lA.Idx now has a different generation; if this hit,
+		// generation checking is broken.
+		e := b.get(lA)
+		t.Errorf("stale link chained: res=%+v entry=%v", res, e)
+	}
+}
+
+func TestWrongPathRecovery(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	l := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	b.MarkWrongPath(l)
+	res := b.Test(pc, addu(), rdy(1), rdy(2))
+	if !res.Hit || !res.WrongPathWork {
+		t.Fatalf("res = %+v", res)
+	}
+	if s := b.Stats(); s.Recovered != 1 {
+		t.Errorf("recovered = %d", s.Recovered)
+	}
+	// Recovery is counted once.
+	res = b.Test(pc, addu(), rdy(1), rdy(2))
+	if res.WrongPathWork {
+		t.Error("wrong-path flag must clear after first recovery")
+	}
+}
+
+func TestInsertWrongPathDirectly(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, true, false)
+	res := b.Test(pc, addu(), rdy(1), rdy(2))
+	if !res.Hit || !res.WrongPathWork {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSerializingOpsNotInserted(t *testing.T) {
+	b := New(smallCfg())
+	sys := isa.Decode(isa.EncodeNullary(isa.OpSYSCALL))
+	if l := b.Insert(0x400000, &sys, 0, 0, 0, 0, NoLink, NoLink, false, false); l != NoLink {
+		t.Error("syscall must not be buffered")
+	}
+	j := isa.Decode(isa.EncodeJ(isa.OpJ, 0x400000))
+	if l := b.Insert(0x400004, &j, 0, 0, 0, 0, NoLink, NoLink, false, false); l != NoLink {
+		t.Error("j must not be buffered")
+	}
+}
+
+func TestBranchReuse(t *testing.T) {
+	b := New(smallCfg())
+	beq := isa.Decode(isa.EncodeI(isa.OpBEQ, isa.Reg(2), isa.Reg(1), 4))
+	pc := uint32(0x400000)
+	b.Insert(pc, &beq, 5, 5, 1, 0, NoLink, NoLink, false, false) // taken
+	res := b.Test(pc, &beq, rdy(5), rdy(5))
+	if !res.Hit || res.Value != 1 {
+		t.Fatalf("branch reuse: %+v", res)
+	}
+	if res := b.Test(pc, &beq, rdy(5), rdy(6)); res.Hit {
+		t.Error("different operands: no branch reuse")
+	}
+}
+
+func TestOpMismatchNoHit(t *testing.T) {
+	// Two different ops at the same pc tag (pathological but possible after
+	// program rewrites) must not cross-hit.
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	sub := isa.Decode(isa.EncodeR(isa.OpSUBU, isa.Reg(3), isa.Reg(1), isa.Reg(2)))
+	if res := b.Test(pc, &sub, rdy(1), rdy(2)); res.Hit {
+		t.Error("op mismatch must miss")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, lw(), 0x1000, 0, 1, 0x1008, NoLink, NoLink, false, false)
+	b.Reset()
+	if res := b.Test(pc, lw(), rdy(0x1000), notRdy()); res.Hit || res.AddrHit {
+		t.Error("entries survive reset")
+	}
+	if len(b.loadIndex) != 0 {
+		t.Error("load index survives reset")
+	}
+}
+
+func TestGenerationsSurviveReset(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	l1 := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	b.Reset()
+	l2 := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	if l1 == l2 {
+		t.Error("links from before reset must not alias new entries")
+	}
+}
+
+func TestRefreshWithNewResultKillsChains(t *testing.T) {
+	// Regression for a timing-core divergence: a load entry refreshed in
+	// place with a different value (same address, new memory contents) must
+	// not satisfy old dependence pointers.
+	b := New(smallCfg())
+	pcL, pcB := uint32(0x400000), uint32(0x400100)
+	lL := b.Insert(pcL, lw(), 0x1000, 0, 1999, 0x1008, NoLink, NoLink, false, false)
+	inB := isa.Decode(isa.EncodeR(isa.OpADDU, isa.Reg(4), isa.Reg(5), isa.Reg(6)))
+	b.Insert(pcB, &inB, 1999, 0xFFFFFFFF, 1998, 0, lL, NoLink, false, false)
+
+	// The load re-executes and now returns 1998 (identical operands).
+	lL2 := b.Insert(pcL, lw(), 0x1000, 0, 1998, 0x1008, NoLink, NoLink, false, false)
+	if lL2 == lL {
+		t.Fatal("refresh with a new result must advance the generation")
+	}
+	// A consumer whose operand came through the old link must not chain.
+	opB1 := Operand{Ready: false, ReusedFrom: lL2}
+	if res := b.Test(pcB, &inB, opB1, rdy(0xFFFFFFFF)); res.Hit {
+		t.Errorf("stale chain satisfied: %+v", res)
+	}
+}
+
+func TestForwardedLoadInsertsAddressOnly(t *testing.T) {
+	// Regression: a load value obtained by store forwarding may never reach
+	// memory (the store can be squashed); the entry must be address-only.
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, lw(), 0x1000, 0, 77, 0x1008, NoLink, NoLink, false, true)
+	res := b.Test(pc, lw(), rdy(0x1000), notRdy())
+	if res.Hit {
+		t.Errorf("forwarded load result reused: %+v", res)
+	}
+	if !res.AddrHit {
+		t.Errorf("address reuse should survive: %+v", res)
+	}
+}

@@ -1,0 +1,104 @@
+// Package stats provides the small numeric and formatting helpers shared
+// by the experiment harness and the command-line tools: harmonic means (the
+// paper reports HM over benchmarks) and fixed-width text tables shaped like
+// the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs; it is the paper's "HM" bar
+// for speedups. Non-positive values are rejected by returning 0.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Table is a rendered experiment result: one paper table or figure.
+type Table struct {
+	ID      string // "table3", "fig6a", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends an explanatory footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table in aligned monospace.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// F formats a float with one decimal (the paper's usual precision).
+func F(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals (speedups, normalized values).
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// N formats an integer count.
+func N(v uint64) string { return fmt.Sprintf("%d", v) }

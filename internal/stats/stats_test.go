@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HM(nil) = %v", got)
+	}
+	if got := HarmonicMean([]float64{2, 2, 2}); got != 2 {
+		t.Errorf("HM(2,2,2) = %v", got)
+	}
+	got := HarmonicMean([]float64{1, 2})
+	if math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Errorf("HM(1,2) = %v", got)
+	}
+	if got := HarmonicMean([]float64{1, 0}); got != 0 {
+		t.Errorf("HM with zero = %v, want 0", got)
+	}
+	if got := HarmonicMean([]float64{1, -1}); got != 0 {
+		t.Errorf("HM with negative = %v, want 0", got)
+	}
+}
+
+// Property: HM <= arithmetic mean for positive inputs.
+func TestHarmonicMeanBound(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		hm := HarmonicMean(xs)
+		am := (xs[0] + xs[1] + xs[2]) / 3
+		return hm > 0 && hm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "t1", Title: "demo", Columns: []string{"bench", "value"}}
+	tab.AddRow("go", "1.23")
+	tab.AddRow("m88ksim", "45.6")
+	tab.Note("a note with %d", 7)
+	out := tab.String()
+	for _, want := range []string{"t1 — demo", "bench", "m88ksim", "45.6", "note: a note with 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Numeric columns are right-aligned: "1.23" should appear padded.
+	lines := strings.Split(out, "\n")
+	var goLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "go") {
+			goLine = l
+		}
+	}
+	if !strings.HasSuffix(goLine, " 1.23") {
+		t.Errorf("value column not right-aligned: %q", goLine)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.26) != "1.3" || F2(1.267) != "1.27" || F3(1.2345) != "1.234" || N(42) != "42" {
+		t.Error("formatter output changed")
+	}
+}

@@ -1,0 +1,298 @@
+// Package vp implements the Value Prediction Table (VPT) of the paper with
+// its two prediction schemes:
+//
+//   - VP_Magic (§4.1.1): each instruction may buffer up to 'n' (= the table
+//     associativity) unique results, each with a 2-bit confidence counter.
+//     The prediction is chosen with an oracle selection policy: if the
+//     correct result is among the buffered confident instances, it is
+//     selected; otherwise the most confident instance is. This makes VP
+//     comparable to the reuse scheme, which also buffers several instances
+//     per instruction and selects the matching one with the reuse test.
+//
+//   - VP_LVP: a classic last-value predictor buffering a single instance
+//     per instruction.
+//
+// The table is 4-way set associative with LRU replacement; the base
+// configuration (16 K entries) comes from §4.1.3. The same structure is
+// instantiated twice by the core: once for results and once for the
+// effective addresses of memory operations.
+package vp
+
+import "github.com/vpir-sim/vpir/internal/isa"
+
+// Scheme selects the prediction policy.
+type Scheme int
+
+const (
+	// Magic is the VP_Magic scheme: n unique results per instruction with
+	// oracle selection among confident instances.
+	Magic Scheme = iota
+	// LVP is the last-value predictor: one instance per instruction,
+	// replaced on every new result.
+	LVP
+	// Stride is a two-delta stride predictor: one instance per instruction
+	// predicting lastValue + stride. It captures the paper's "derivable"
+	// class (Figure 8) that neither Magic nor LVP can, and that IR can
+	// never reuse — an extension beyond the paper's two schemes.
+	Stride
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case LVP:
+		return "VP_LVP"
+	case Stride:
+		return "VP_Stride"
+	}
+	return "VP_Magic"
+}
+
+// Config sizes a value prediction table.
+type Config struct {
+	Entries int // total entries (power of two)
+	Ways    int // associativity = max instances per instruction
+	Scheme  Scheme
+	// ConfThreshold is the minimum confidence for an instance to be used as
+	// a prediction (2 with 2-bit counters, per §4.1.1).
+	ConfThreshold uint8
+	// ConfMax saturates the confidence counter (3 with 2-bit counters).
+	ConfMax uint8
+}
+
+// DefaultConfig returns the paper's 16 K-entry, 4-way VPT.
+func DefaultConfig(s Scheme) Config {
+	return Config{Entries: 16 << 10, Ways: 4, Scheme: s, ConfThreshold: 2, ConfMax: 3}
+}
+
+type entry struct {
+	valid  bool
+	tag    uint32
+	value  isa.Word
+	stride isa.Word // Stride scheme only
+	conf   uint8
+	tick   uint64
+}
+
+// Stats counts table activity. Prediction correctness is judged by the
+// core (it knows when the verification happens); the table counts the
+// structural events.
+type Stats struct {
+	Lookups     uint64 // Predict calls
+	Predictions uint64 // Predict calls that returned a confident value
+	Inserts     uint64 // new instances allocated
+	Evictions   uint64 // valid instances displaced
+}
+
+// Table is a value prediction table.
+type Table struct {
+	cfg     Config
+	setMask uint32
+	ways    int
+	entries []entry // sets*ways, laid out set-major
+	tick    uint64
+	stats   Stats
+}
+
+// New builds an empty table.
+func New(cfg Config) *Table {
+	sets := cfg.Entries / cfg.Ways
+	return &Table{
+		cfg:     cfg,
+		setMask: uint32(sets - 1),
+		ways:    cfg.Ways,
+		entries: make([]entry, sets*cfg.Ways),
+	}
+}
+
+// Config returns the table configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+func (t *Table) set(pc uint32) []entry {
+	s := (pc >> 2) & t.setMask
+	return t.entries[int(s)*t.ways : int(s+1)*t.ways]
+}
+
+// Predict returns a predicted value for the instruction at pc. For the
+// Magic scheme, oracle is the correct result (known to the simulator from
+// the correct-path trace) and haveOracle says whether the instruction is on
+// the correct path; wrong-path instructions fall back to the most-confident
+// selection. For LVP the oracle arguments are ignored.
+//
+// inflight is the number of older in-flight (decoded, not yet committed)
+// instances of the same instruction; the Stride scheme predicts
+// value + stride*(inflight+1) so each instance of an unrolled-in-the-window
+// loop gets its own point on the stride. Magic and LVP ignore it.
+func (t *Table) Predict(pc uint32, oracle isa.Word, haveOracle bool, inflight int) (isa.Word, bool) {
+	t.stats.Lookups++
+	set := t.set(pc)
+
+	if t.cfg.Scheme == Stride {
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == pc && e.conf >= t.cfg.ConfThreshold {
+				t.stats.Predictions++
+				return e.value + e.stride*isa.Word(inflight+1), true
+			}
+		}
+		return 0, false
+	}
+
+	var best *entry
+	for w := range set {
+		e := &set[w]
+		if !e.valid || e.tag != pc || e.conf < t.cfg.ConfThreshold {
+			continue
+		}
+		if t.cfg.Scheme == Magic && haveOracle && e.value == oracle {
+			t.stats.Predictions++
+			return e.value, true
+		}
+		if best == nil || e.conf > best.conf || (e.conf == best.conf && e.tick > best.tick) {
+			best = e
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	t.stats.Predictions++
+	return best.value, true
+}
+
+// Train updates the table after an instruction produced the actual result.
+// predicted/wasPredicted describe the prediction that was made (if any), so
+// the confidence of a wrong instance can be decremented per §4.1.1.
+func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredicted bool) {
+	t.tick++
+	set := t.set(pc)
+
+	if t.cfg.Scheme == LVP {
+		// One instance per instruction: find it, or allocate.
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == pc {
+				if e.value == actual {
+					if e.conf < t.cfg.ConfMax {
+						e.conf++
+					}
+				} else {
+					e.value = actual // last value
+					if e.conf > 0 {
+						e.conf--
+					}
+				}
+				e.tick = t.tick
+				return
+			}
+		}
+		t.insert(set, pc, actual)
+		return
+	}
+
+	if t.cfg.Scheme == Stride {
+		// Two-delta: confidence follows whether the stride held.
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == pc {
+				newStride := actual - e.value
+				if newStride == e.stride {
+					if e.conf < t.cfg.ConfMax {
+						e.conf++
+					}
+				} else {
+					// Two-delta: adopt the new stride and restart the
+					// confidence climb; one confirmation away from use.
+					e.stride = newStride
+					e.conf = 1
+				}
+				e.value = actual
+				e.tick = t.tick
+				return
+			}
+		}
+		t.insert(set, pc, actual)
+		return
+	}
+
+	// Magic: up to 'ways' unique instances.
+	var match *entry
+	for w := range set {
+		e := &set[w]
+		if e.valid && e.tag == pc && e.value == actual {
+			match = e
+			break
+		}
+	}
+	if match != nil {
+		if match.conf < t.cfg.ConfMax {
+			match.conf++
+		}
+		match.tick = t.tick
+	} else {
+		t.insert(set, pc, actual)
+	}
+	// Penalise the instance that supplied a wrong prediction.
+	if wasPredicted && predicted != actual {
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == pc && e.value == predicted {
+				if e.conf > 0 {
+					e.conf--
+				}
+				break
+			}
+		}
+	}
+}
+
+func (t *Table) insert(set []entry, pc uint32, value isa.Word) {
+	t.stats.Inserts++
+	victim := 0
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].tick < set[victim].tick {
+			victim = w
+		}
+	}
+	if set[victim].valid {
+		t.stats.Evictions++
+	}
+	set[victim] = entry{valid: true, tag: pc, value: value, conf: 1, tick: t.tick}
+}
+
+// Instances returns the values currently buffered for pc (most recent
+// first); used by tests and by diagnostic tooling.
+func (t *Table) Instances(pc uint32) []isa.Word {
+	set := t.set(pc)
+	var out []isa.Word
+	// Selection sort by tick, newest first; ways is tiny.
+	idx := make([]int, 0, len(set))
+	for w := range set {
+		if set[w].valid && set[w].tag == pc {
+			idx = append(idx, w)
+		}
+	}
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if set[idx[j]].tick > set[idx[i]].tick {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+		out = append(out, set[idx[i]].value)
+	}
+	return out
+}
+
+// Reset clears the table and statistics.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.tick = 0
+	t.stats = Stats{}
+}

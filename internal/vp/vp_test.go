@@ -1,0 +1,270 @@
+package vp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+func small(s Scheme) Config {
+	return Config{Entries: 64, Ways: 4, Scheme: s, ConfThreshold: 2, ConfMax: 3}
+}
+
+func TestNoPredictionWhenCold(t *testing.T) {
+	vt := New(DefaultConfig(Magic))
+	if _, ok := vt.Predict(0x400000, 5, true, 0); ok {
+		t.Error("cold table must not predict")
+	}
+}
+
+func TestConfidenceGatesPrediction(t *testing.T) {
+	vt := New(small(Magic))
+	pc := uint32(0x400000)
+	vt.Train(pc, 42, 0, false) // conf = 1 < threshold
+	if _, ok := vt.Predict(pc, 42, true, 0); ok {
+		t.Error("conf=1 must not predict")
+	}
+	vt.Train(pc, 42, 0, false) // conf = 2
+	v, ok := vt.Predict(pc, 42, true, 0)
+	if !ok || v != 42 {
+		t.Errorf("predict = %d, %v", v, ok)
+	}
+}
+
+func TestMagicOracleSelectsCorrectInstance(t *testing.T) {
+	vt := New(small(Magic))
+	pc := uint32(0x400000)
+	// Build two confident instances: 10 (very confident) and 20.
+	for i := 0; i < 3; i++ {
+		vt.Train(pc, 10, 0, false)
+	}
+	for i := 0; i < 2; i++ {
+		vt.Train(pc, 20, 0, false)
+	}
+	// Oracle says 20: magic must pick 20 even though 10 is more confident.
+	if v, ok := vt.Predict(pc, 20, true, 0); !ok || v != 20 {
+		t.Errorf("oracle selection = %d, %v; want 20", v, ok)
+	}
+	// Oracle says 99 (not buffered): falls back to most confident (10).
+	if v, ok := vt.Predict(pc, 99, true, 0); !ok || v != 10 {
+		t.Errorf("fallback = %d, %v; want 10", v, ok)
+	}
+	// Wrong-path (no oracle): most confident.
+	if v, ok := vt.Predict(pc, 0, false, 0); !ok || v != 10 {
+		t.Errorf("no-oracle = %d, %v; want 10", v, ok)
+	}
+}
+
+func TestMagicBuffersUniqueInstances(t *testing.T) {
+	vt := New(small(Magic))
+	pc := uint32(0x400000)
+	for _, v := range []isa.Word{1, 2, 3, 4} {
+		vt.Train(pc, v, 0, false)
+		vt.Train(pc, v, 0, false)
+	}
+	got := vt.Instances(pc)
+	if len(got) != 4 {
+		t.Fatalf("instances = %v, want 4 values", got)
+	}
+	seen := map[isa.Word]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for _, v := range []isa.Word{1, 2, 3, 4} {
+		if !seen[v] {
+			t.Errorf("instance %d missing from %v", v, got)
+		}
+	}
+	// Training an existing value must not duplicate it.
+	vt.Train(pc, 3, 0, false)
+	if got := vt.Instances(pc); len(got) != 4 {
+		t.Errorf("duplicate instance created: %v", got)
+	}
+}
+
+func TestMagicEvictsLRUInstance(t *testing.T) {
+	vt := New(small(Magic))
+	pc := uint32(0x400000)
+	for _, v := range []isa.Word{1, 2, 3, 4} {
+		vt.Train(pc, v, 0, false)
+	}
+	vt.Train(pc, 1, 0, false) // touch 1, making 2 the LRU
+	vt.Train(pc, 5, 0, false) // must evict 2
+	seen := map[isa.Word]bool{}
+	for _, v := range vt.Instances(pc) {
+		seen[v] = true
+	}
+	if seen[2] {
+		t.Errorf("LRU instance 2 not evicted: %v", vt.Instances(pc))
+	}
+	if !seen[1] || !seen[5] {
+		t.Errorf("wrong eviction: %v", vt.Instances(pc))
+	}
+}
+
+func TestWrongPredictionDecrementsConfidence(t *testing.T) {
+	vt := New(small(Magic))
+	pc := uint32(0x400000)
+	vt.Train(pc, 10, 0, false)
+	vt.Train(pc, 10, 0, false) // conf(10)=2, predictable
+	// Now the instruction produces 11, and we had predicted 10.
+	vt.Train(pc, 11, 10, true)
+	// 10's confidence dropped to 1: no longer predictable by fallback.
+	if v, ok := vt.Predict(pc, 99, true, 0); ok {
+		t.Errorf("predicted %d from low-confidence instances", v)
+	}
+}
+
+func TestLVPSingleInstance(t *testing.T) {
+	vt := New(small(LVP))
+	pc := uint32(0x400000)
+	vt.Train(pc, 10, 0, false)
+	vt.Train(pc, 10, 0, false)
+	if v, ok := vt.Predict(pc, 0, false, 0); !ok || v != 10 {
+		t.Errorf("lvp predict = %d, %v", v, ok)
+	}
+	// New value replaces the old one (last value semantics).
+	vt.Train(pc, 20, 10, true)
+	if got := vt.Instances(pc); len(got) != 1 || got[0] != 20 {
+		t.Errorf("lvp instances = %v, want [20]", got)
+	}
+	// Confidence dropped to 1: not predictable until it repeats.
+	if _, ok := vt.Predict(pc, 0, false, 0); ok {
+		t.Error("lvp must lose confidence after a change")
+	}
+	vt.Train(pc, 20, 0, false)
+	if v, ok := vt.Predict(pc, 0, false, 0); !ok || v != 20 {
+		t.Errorf("lvp re-learned = %d, %v", v, ok)
+	}
+}
+
+func TestSetConflictEviction(t *testing.T) {
+	// 2 sets * 4 ways = 8 entries; pcs stride 8 bytes land in alternating sets.
+	vt := New(Config{Entries: 8, Ways: 4, Scheme: Magic, ConfThreshold: 2, ConfMax: 3})
+	// Five different pcs mapping to the same set: one must be evicted.
+	for i := 0; i < 5; i++ {
+		pc := uint32(0x400000 + i*8)
+		vt.Train(pc, isa.Word(i), 0, false)
+		vt.Train(pc, isa.Word(i), 0, false)
+	}
+	live := 0
+	for i := 0; i < 5; i++ {
+		pc := uint32(0x400000 + i*8)
+		if _, ok := vt.Predict(pc, isa.Word(i), true, 0); ok {
+			live++
+		}
+	}
+	if live != 4 {
+		t.Errorf("live instances in set = %d, want 4", live)
+	}
+	if s := vt.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	vt := New(small(Magic))
+	pc := uint32(0x400000)
+	vt.Predict(pc, 0, false, 0)
+	vt.Train(pc, 1, 0, false)
+	vt.Train(pc, 1, 0, false)
+	vt.Predict(pc, 1, true, 0)
+	s := vt.Stats()
+	if s.Lookups != 2 || s.Predictions != 1 || s.Inserts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	vt := New(small(LVP))
+	vt.Train(0x400000, 1, 0, false)
+	vt.Train(0x400000, 1, 0, false)
+	vt.Reset()
+	if _, ok := vt.Predict(0x400000, 0, false, 0); ok {
+		t.Error("prediction survives reset")
+	}
+	if s := vt.Stats(); s.Lookups != 1 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+// Property: after two trainings with the same value, Magic with the oracle
+// equal to that value always predicts it, for arbitrary pcs and values.
+func TestTrainPredictProperty(t *testing.T) {
+	vt := New(DefaultConfig(Magic))
+	f := func(pc uint32, v uint64) bool {
+		pc &= 0x00FF_FFFC
+		vt.Train(pc, isa.Word(v), 0, false)
+		vt.Train(pc, isa.Word(v), 0, false)
+		got, ok := vt.Predict(pc, isa.Word(v), true, 0)
+		return ok && got == isa.Word(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStridePredictor(t *testing.T) {
+	vt := New(Config{Entries: 64, Ways: 4, Scheme: Stride, ConfThreshold: 2, ConfMax: 3})
+	pc := uint32(0x400000)
+	// Train on 10, 14, 18: stride 4 established.
+	vt.Train(pc, 10, 0, false)
+	vt.Train(pc, 14, 0, false)
+	if _, ok := vt.Predict(pc, 0, false, 0); ok {
+		t.Error("stride must not predict before confidence builds")
+	}
+	vt.Train(pc, 18, 0, false) // stride 4 confirmed twice: conf >= 2
+	v, ok := vt.Predict(pc, 0, false, 0)
+	if !ok || v != 22 {
+		t.Errorf("stride predict = %d, %v; want 22", v, ok)
+	}
+	// A break in the stride drops confidence and relearns.
+	vt.Train(pc, 100, 22, true)
+	if _, ok := vt.Predict(pc, 0, false, 0); ok {
+		t.Error("stride must lose confidence after a break")
+	}
+	vt.Train(pc, 104, 0, false)
+	vt.Train(pc, 108, 0, false)
+	if v, ok := vt.Predict(pc, 0, false, 0); !ok || v != 112 {
+		t.Errorf("stride relearn = %d, %v; want 112", v, ok)
+	}
+}
+
+func TestStrideCapturesWhatLVPCannot(t *testing.T) {
+	// A pure stride walker: LVP never predicts correctly, stride always
+	// does after warmup. This is the "derivable" class of Figure 8.
+	st := New(Config{Entries: 64, Ways: 4, Scheme: Stride, ConfThreshold: 2, ConfMax: 3})
+	lv := New(Config{Entries: 64, Ways: 4, Scheme: LVP, ConfThreshold: 2, ConfMax: 3})
+	pc := uint32(0x400000)
+	var stOK, lvOK int
+	for i := 0; i < 50; i++ {
+		actual := isa.Word(i * 8)
+		if v, ok := st.Predict(pc, actual, true, 0); ok && v == actual {
+			stOK++
+		}
+		if v, ok := lv.Predict(pc, actual, true, 0); ok && v == actual {
+			lvOK++
+		}
+		st.Train(pc, actual, 0, false)
+		lv.Train(pc, actual, 0, false)
+	}
+	if stOK < 40 {
+		t.Errorf("stride correct %d/50, want >= 40", stOK)
+	}
+	if lvOK != 0 {
+		t.Errorf("lvp correct %d/50 on a pure stride, want 0", lvOK)
+	}
+}
+
+func TestStrideConstantSequence(t *testing.T) {
+	// A constant value is a zero-stride sequence: stride handles it too.
+	vt := New(Config{Entries: 64, Ways: 4, Scheme: Stride, ConfThreshold: 2, ConfMax: 3})
+	pc := uint32(0x400000)
+	for i := 0; i < 3; i++ {
+		vt.Train(pc, 7, 0, false)
+	}
+	if v, ok := vt.Predict(pc, 0, false, 0); !ok || v != 7 {
+		t.Errorf("constant via stride = %d, %v", v, ok)
+	}
+}

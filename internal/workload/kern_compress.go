@@ -1,0 +1,156 @@
+package workload
+
+import "fmt"
+
+// compress: LZW compression over LCG-generated 16-symbol text, dictionary
+// in an open-addressed hash table. The analogue of SPEC95 129.compress:
+// hash probing dominated, with dictionary stores that invalidate load reuse
+// (the behaviour behind compress's address-only reuse in Table 3).
+func init() {
+	register(&Workload{
+		Name: "compress",
+		Desc: "LZW compression, 16-symbol text, 4K-entry dictionary",
+		Source: func(scale int) string {
+			return fmt.Sprintf(compressAsm, 4096*scale)
+		},
+		Golden: goldenCompress,
+	})
+}
+
+const compressAsm = `
+# compress: LZW over a generated symbol stream. The stream is compressed
+# repeatedly with a dictionary clear in between — real compress95 clears its
+# table when the ratio drops. The second round repeats every probe with the
+# same address operands while the clearing stores have killed the buffered
+# load values: addresses reuse, results do not (the Table 3 signature).
+INSIZE = %d
+        .data
+input:  .space INSIZE
+htab:   .space 32768          # 4096 entries x (key word, value word)
+gvars:  .space 16             # globals: in_count, checksum (compress.c
+                              # keeps its state in globals; the loads have a
+                              # fixed address but ever-changing values)
+        .text
+main:   li    $s7, 0x1234     # LCG seed
+        la    $s0, input
+        li    $s6, INSIZE
+        li    $s1, 0
+gen:    jal   rand
+        andi  $t0, $v1, 15
+        addu  $t1, $s0, $s1
+        sb    $t0, 0($t1)
+        addiu $s1, $s1, 1
+        blt   $s1, $s6, gen
+
+        li    $s3, 0          # checksum, carried across rounds
+        li    $t8, 0          # round counter
+newround:
+        # clear the dictionary
+        la    $t0, htab
+        li    $t1, 4096
+clr:    sw    $zero, 0($t0)
+        sw    $zero, 4($t0)
+        addiu $t0, $t0, 8
+        addiu $t1, $t1, -1
+        bnez  $t1, clr
+
+        lbu   $s2, 0($s0)     # prefix = first symbol
+        li    $s1, 1          # input index
+        li    $s4, 256        # next dictionary code
+        la    $s5, htab
+        la    $t9, gvars
+        sw    $s1, 0($t9)
+        sw    $s3, 4($t9)
+loop:   lw    $s1, 0($t9)     # global in_count
+        lw    $s3, 4($t9)     # global checksum
+        addu  $t0, $s0, $s1
+        lbu   $t1, 0($t0)     # next symbol c
+        sll   $t2, $s2, 8
+        or    $t2, $t2, $t1
+        addiu $t2, $t2, 1     # key = (prefix<<8 | c) + 1, never zero
+        li    $at, 40503
+        mult  $t2, $at
+        mflo  $t3
+        srl   $t3, $t3, 4
+        andi  $t3, $t3, 4095  # initial probe slot
+probe:  sll   $t4, $t3, 3
+        addu  $t4, $t4, $s5
+        lw    $t5, 0($t4)
+        beq   $t5, $t2, hit
+        beqz  $t5, miss
+        addiu $t3, $t3, 1
+        andi  $t3, $t3, 4095
+        b     probe
+hit:    lw    $s2, 4($t4)     # prefix = dictionary code
+        b     next
+miss:   sll   $t6, $s3, 2     # emit prefix: cs = cs*5 + prefix
+        addu  $t6, $t6, $s3
+        addu  $s3, $t6, $s2
+        slti  $at, $s4, 3500  # leave slack so probes always terminate
+        beqz  $at, noins
+        sw    $t2, 0($t4)
+        sw    $s4, 4($t4)
+        addiu $s4, $s4, 1
+noins:  move  $s2, $t1        # prefix = c
+next:   addiu $s1, $s1, 1
+        sw    $s1, 0($t9)
+        sw    $s3, 4($t9)
+        blt   $s1, $s6, loop
+        sll   $t6, $s3, 2     # emit the final prefix
+        addu  $t6, $t6, $s3
+        addu  $s3, $t6, $s2
+        addiu $t8, $t8, 1
+        slti  $at, $t8, 3     # three compression rounds
+        bnez  $at, newround
+
+        move  $a0, $s3
+        li    $v0, 1
+        syscall
+        li    $a0, ' '
+        li    $v0, 11
+        syscall
+        move  $a0, $s4
+        li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+` + randAsm
+
+func goldenCompress(scale int) string {
+	n := 4096 * scale
+	s := lcg(0x1234)
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = byte(s.next() & 15)
+	}
+	type ent struct{ key, val uint32 }
+	var cs, nextCode uint32
+	for round := 0; round < 3; round++ {
+		tab := make([]ent, 4096)
+		prefix := uint32(input[0])
+		nextCode = 256
+		for i := 1; i < n; i++ {
+			c := uint32(input[i])
+			key := (prefix<<8 | c) + 1
+			h := (key * 40503) >> 4 & 4095
+			for {
+				if tab[h].key == key {
+					prefix = tab[h].val
+					break
+				}
+				if tab[h].key == 0 {
+					cs = cs*5 + prefix
+					if nextCode < 3500 {
+						tab[h] = ent{key, nextCode}
+						nextCode++
+					}
+					prefix = c
+					break
+				}
+				h = (h + 1) & 4095
+			}
+		}
+		cs = cs*5 + prefix
+	}
+	return fmt.Sprintf("%d %d", int32(cs), int32(nextCode))
+}

@@ -1,0 +1,397 @@
+package workload
+
+import "fmt"
+
+// gcc: two compiler passes over a generated expression IR, the analogue of
+// SPEC95 126.gcc: a constant-folding pass (dataflow over a DAG) and a
+// linear-scan register allocation pass (live ranges, spill decisions).
+// Compiler-like control flow: moderately predictable branches, lots of
+// small table walks.
+func init() {
+	register(&Workload{
+		Name: "gcc",
+		Desc: "constant folding + linear-scan allocation over generated IR",
+		Source: func(scale int) string {
+			return fmt.Sprintf(gccAsm, 6*scale)
+		},
+		Golden: goldenGcc,
+	})
+}
+
+const gccAsm = `
+# gcc: generate N IR triples, then ROUNDS x (fold pass + allocation pass).
+N = 1200
+ROUNDS = %d
+        .data
+ir:     .space 14400          # N x 12: op, src1, src2 (bit 31 of src = ref)
+val:    .space 4800           # computed value per entry
+flags:  .space 1200           # 1 = constant
+lastuse: .space 4800          # last entry index using this result
+regof:  .space 1200           # 1 = currently in a register
+        .text
+main:   li    $s7, 0x6CC6
+        # --- generate the IR ---
+        la    $s0, ir
+        li    $s1, 0          # entry index
+gen:    jal   rand
+        move  $t8, $v1        # op selector
+        li    $t0, 12
+        mult  $s1, $t0
+        mflo  $t0
+        addu  $t0, $t0, $s0   # entry address
+        slti  $at, $s1, 4
+        bnez  $at, genop
+        andi  $t1, $t8, 7
+        bnez  $t1, genop
+        # INPUT entry: runtime value, not foldable
+        li    $t1, 4
+        sw    $t1, 0($t0)
+        jal   rand
+        sw    $v1, 4($t0)
+        sw    $zero, 8($t0)
+        b     gennext
+genop:  andi  $t1, $t8, 7     # skewed op mix: 4-7 -> ADD
+        slti  $at, $t1, 4
+        bnez  $at, opkeep
+        li    $t1, 0
+opkeep: andi  $t1, $t1, 3
+        sw    $t1, 0($t0)
+        jal   rand
+        move  $t9, $v1
+        slti  $at, $s1, 2
+        bnez  $at, g1const
+        andi  $t2, $t9, 3     # 75%% references
+        beqz  $t2, g1const
+        srl   $t2, $t9, 1
+        divu  $t2, $s1
+        mfhi  $t2             # ref index = (r>>1) %% i
+        lui   $at, 0x8000
+        or    $t2, $t2, $at
+        sw    $t2, 4($t0)
+        b     g2
+g1const:
+        andi  $t2, $t9, 255
+        sw    $t2, 4($t0)
+g2:     jal   rand
+        move  $t9, $v1
+        slti  $at, $s1, 2
+        bnez  $at, g2const
+        andi  $t2, $t9, 3
+        beqz  $t2, g2const
+        srl   $t2, $t9, 1
+        divu  $t2, $s1
+        mfhi  $t2
+        lui   $at, 0x8000
+        or    $t2, $t2, $at
+        sw    $t2, 8($t0)
+        b     gennext
+g2const:
+        andi  $t2, $t9, 255
+        sw    $t2, 8($t0)
+gennext:
+        addiu $s1, $s1, 1
+        li    $at, N
+        blt   $s1, $at, gen
+
+        li    $s4, 0          # folds
+        li    $s5, 0          # spills
+        li    $s6, 0          # value checksum
+        li    $s3, 0          # round
+round:
+        # --- pass 1: constant folding ---
+        li    $s1, 0
+fold:   li    $t0, 12
+        mult  $s1, $t0
+        mflo  $t0
+        la    $at, ir
+        addu  $t0, $t0, $at
+        lw    $t1, 0($t0)     # op
+        li    $at, 4
+        beq   $t1, $at, finput
+        lw    $t2, 4($t0)     # src1 spec
+        jal   fetch           # -> $v0 value, $v1 const flag
+        move  $t4, $v0
+        move  $t5, $v1
+        lw    $t2, 8($t0)
+        jal   fetch
+        move  $t6, $v0
+        and   $t5, $t5, $v1   # both const?
+        # apply op
+        beqz  $t1, fadd
+        li    $at, 1
+        beq   $t1, $at, fsub
+        li    $at, 2
+        beq   $t1, $at, fxor
+        mult  $t4, $t6        # MUL
+        mflo  $t7
+        b     fstore
+fadd:   addu  $t7, $t4, $t6
+        b     fstore
+fsub:   subu  $t7, $t4, $t6
+        b     fstore
+fxor:   xor   $t7, $t4, $t6
+fstore: b     fdone
+finput: lw    $t7, 4($t0)     # runtime value
+        li    $t5, 0
+fdone:  sll   $t8, $s1, 2
+        la    $at, val
+        addu  $t8, $t8, $at
+        sw    $t7, 0($t8)
+        la    $at, flags
+        addu  $t8, $at, $s1
+        sb    $t5, 0($t8)
+        addu  $s4, $s4, $t5   # folds += const
+        addu  $s6, $s6, $t7   # checksum += value
+        addiu $s1, $s1, 1
+        li    $at, N
+        blt   $s1, $at, fold
+
+        # --- pass 2: last uses, then linear scan with 8 registers ---
+        li    $s1, 0
+luz:    sll   $t0, $s1, 2
+        la    $at, lastuse
+        addu  $t0, $t0, $at
+        sw    $zero, 0($t0)
+        addiu $s1, $s1, 1
+        li    $at, N
+        blt   $s1, $at, luz
+        li    $s1, 0
+lu:     li    $t0, 12
+        mult  $s1, $t0
+        mflo  $t0
+        la    $at, ir
+        addu  $t0, $t0, $at
+        lw    $t1, 0($t0)
+        li    $at, 4
+        beq   $t1, $at, lunext
+        lw    $t2, 4($t0)
+        jal   markuse
+        lw    $t2, 8($t0)
+        jal   markuse
+lunext: addiu $s1, $s1, 1
+        li    $at, N
+        blt   $s1, $at, lu
+
+        li    $s1, 0
+        li    $s2, 0          # live register count
+scan:   li    $t0, 12
+        mult  $s1, $t0
+        mflo  $t0
+        la    $at, ir
+        addu  $t0, $t0, $at
+        lw    $t1, 0($t0)
+        li    $at, 4
+        beq   $t1, $at, expire2   # INPUT has no refs
+        lw    $t2, 4($t0)
+        jal   expire
+        lw    $t2, 8($t0)
+        jal   expire
+expire2:
+        # allocate if the result is used later
+        sll   $t3, $s1, 2
+        la    $at, lastuse
+        addu  $t3, $t3, $at
+        lw    $t3, 0($t3)
+        bleu  $t3, $s1, scannext
+        slti  $at, $s2, 8
+        beqz  $at, spill
+        addiu $s2, $s2, 1
+        la    $at, regof
+        addu  $t4, $at, $s1
+        li    $t5, 1
+        sb    $t5, 0($t4)
+        b     scannext
+spill:  addiu $s5, $s5, 1
+        la    $at, regof
+        addu  $t4, $at, $s1
+        sb    $zero, 0($t4)
+scannext:
+        addiu $s1, $s1, 1
+        li    $at, N
+        blt   $s1, $at, scan
+
+        addiu $s3, $s3, 1
+        li    $at, ROUNDS
+        blt   $s3, $at, round
+
+        move  $a0, $s4
+        li    $v0, 1
+        syscall
+        li    $a0, ' '
+        li    $v0, 11
+        syscall
+        move  $a0, $s5
+        li    $v0, 1
+        syscall
+        li    $a0, ' '
+        li    $v0, 11
+        syscall
+        move  $a0, $s6
+        li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+
+# fetch: src spec in $t2 -> value in $v0, const flag in $v1.
+fetch:  bltz  $t2, fref
+        move  $v0, $t2
+        li    $v1, 1
+        jr    $ra
+fref:   sll   $t3, $t2, 1
+        srl   $t3, $t3, 1     # strip bit 31
+        sll   $t3, $t3, 2
+        la    $at, val
+        addu  $t3, $t3, $at
+        lw    $v0, 0($t3)
+        sll   $t3, $t2, 1
+        srl   $t3, $t3, 1
+        la    $at, flags
+        addu  $t3, $t3, $at
+        lbu   $v1, 0($t3)
+        jr    $ra
+
+# markuse: if $t2 is a ref, lastuse[ref] = current entry ($s1).
+markuse:
+        bgez  $t2, mdone
+        sll   $t3, $t2, 1
+        srl   $t3, $t3, 1
+        sll   $t3, $t3, 2
+        la    $at, lastuse
+        addu  $t3, $t3, $at
+        sw    $s1, 0($t3)
+mdone:  jr    $ra
+
+# expire: if $t2 is a ref whose last use is this entry and it holds a
+# register, free it.
+expire: bgez  $t2, edone
+        sll   $t3, $t2, 1
+        srl   $t3, $t3, 1     # ref index
+        sll   $t4, $t3, 2
+        la    $at, lastuse
+        addu  $t4, $t4, $at
+        lw    $t4, 0($t4)
+        bne   $t4, $s1, edone
+        la    $at, regof
+        addu  $t4, $at, $t3
+        lbu   $t5, 0($t4)
+        beqz  $t5, edone
+        sb    $zero, 0($t4)
+        addiu $s2, $s2, -1
+edone:  jr    $ra
+` + randAsm
+
+func goldenGcc(scale int) string {
+	const n = 1200
+	s := lcg(0x6CC6)
+	type ent struct{ op, s1, s2 uint32 }
+	ir := make([]ent, n)
+	for i := 0; i < n; i++ {
+		r := s.next()
+		if i >= 4 && r&7 == 0 {
+			ir[i] = ent{op: 4, s1: s.next()}
+			continue
+		}
+		op := r & 7
+		if op >= 4 {
+			op = 0
+		}
+		e := ent{op: op & 3}
+		for k := 0; k < 2; k++ {
+			r := s.next()
+			var spec uint32
+			if i >= 2 && r&3 != 0 {
+				spec = (r>>1)%uint32(i) | 0x8000_0000
+			} else {
+				spec = r & 255
+			}
+			if k == 0 {
+				e.s1 = spec
+			} else {
+				e.s2 = spec
+			}
+		}
+		ir[i] = e
+	}
+
+	val := make([]uint32, n)
+	flags := make([]uint32, n)
+	lastuse := make([]uint32, n)
+	regof := make([]bool, n)
+	var folds, spills, cs uint32
+	rounds := 6 * scale
+
+	fetch := func(spec uint32) (uint32, uint32) {
+		if spec&0x8000_0000 == 0 {
+			return spec, 1
+		}
+		j := spec &^ 0x8000_0000
+		return val[j], flags[j]
+	}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			e := ir[i]
+			if e.op == 4 {
+				val[i] = e.s1
+				flags[i] = 0
+			} else {
+				v1, f1 := fetch(e.s1)
+				v2, f2 := fetch(e.s2)
+				var v uint32
+				switch e.op {
+				case 0:
+					v = v1 + v2
+				case 1:
+					v = v1 - v2
+				case 2:
+					v = v1 ^ v2
+				default:
+					v = v1 * v2
+				}
+				val[i] = v
+				flags[i] = f1 & f2
+			}
+			folds += flags[i]
+			cs += val[i]
+		}
+		for i := range lastuse {
+			lastuse[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			e := ir[i]
+			if e.op == 4 {
+				continue
+			}
+			for _, spec := range []uint32{e.s1, e.s2} {
+				if spec&0x8000_0000 != 0 {
+					lastuse[spec&^0x8000_0000] = uint32(i)
+				}
+			}
+		}
+		live := 0
+		for i := 0; i < n; i++ {
+			e := ir[i]
+			if e.op != 4 {
+				for _, spec := range []uint32{e.s1, e.s2} {
+					if spec&0x8000_0000 != 0 {
+						j := spec &^ 0x8000_0000
+						if lastuse[j] == uint32(i) && regof[j] {
+							regof[j] = false
+							live--
+						}
+					}
+				}
+			}
+			if lastuse[i] <= uint32(i) {
+				continue
+			}
+			if live < 8 {
+				live++
+				regof[i] = true
+			} else {
+				spills++
+				regof[i] = false
+			}
+		}
+	}
+	return fmt.Sprintf("%d %d %d", int32(folds), int32(spills), int32(cs))
+}

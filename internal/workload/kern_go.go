@@ -1,0 +1,229 @@
+package workload
+
+import "fmt"
+
+// go: position evaluation over a 19x19 board, the analogue of SPEC95
+// 099.go. Neighbour scans with data-dependent branches on board contents —
+// the hardest benchmark for the branch predictor in the paper (75.8%),
+// and a modest one for both VP and IR.
+func init() {
+	register(&Workload{
+		Name: "go",
+		Desc: "19x19 board evaluation: chains, liberties, influence",
+		Source: func(scale int) string {
+			return fmt.Sprintf(goAsm, 24*scale)
+		},
+		Golden: goldenGo,
+	})
+}
+
+const goAsm = `
+# go: repeated evaluation of a random position with a mutation per pass.
+PASSES = %d
+        .data
+board:  .space 361            # 19x19 cells: 0 empty, 1 black, 2 white
+rowof:  .space 361            # row index of each cell
+colof:  .space 361            # column index
+        .text
+main:   li    $s7, 0x60B0
+        # Precompute row/col tables (avoids a divide per neighbour probe).
+        la    $t0, rowof
+        la    $t1, colof
+        li    $t2, 0          # cell
+        li    $t3, 0          # row
+        li    $t4, 0          # col
+rc:     addu  $t5, $t0, $t2
+        sb    $t3, 0($t5)
+        addu  $t5, $t1, $t2
+        sb    $t4, 0($t5)
+        addiu $t4, $t4, 1
+        slti  $at, $t4, 19
+        bnez  $at, rcnext
+        li    $t4, 0
+        addiu $t3, $t3, 1
+rcnext: addiu $t2, $t2, 1
+        li    $at, 361
+        blt   $t2, $at, rc
+
+        # Fill the board: ~60%% empty, ~20%% black, ~20%% white.
+        la    $s0, board
+        li    $t8, 0
+fill:   jal   rand
+        andi  $t0, $v1, 15
+        slti  $at, $t0, 10
+        beqz  $at, stone
+        li    $t0, 0
+        b     place
+stone:  andi  $t0, $v1, 1
+        addiu $t0, $t0, 1
+place:  addu  $t1, $s0, $t8
+        sb    $t0, 0($t1)
+        addiu $t8, $t8, 1
+        li    $at, 361
+        blt   $t8, $at, fill
+
+        li    $s6, 0          # checksum
+        li    $s5, 0          # pass counter
+pass:   li    $s1, 0          # cell index
+        li    $s2, 0          # pass score
+cell:   addu  $t0, $s0, $s1
+        lbu   $t1, 0($t0)     # colour
+        beqz  $t1, nextcell   # empty cells score nothing
+        la    $at, rowof
+        addu  $t2, $at, $s1
+        lbu   $t2, 0($t2)     # row
+        la    $at, colof
+        addu  $t3, $at, $s1
+        lbu   $t3, 0($t3)     # col
+        li    $t4, 0          # friends
+        li    $t5, 0          # liberties
+        li    $t6, 0          # enemies
+        # north neighbour
+        beqz  $t2, south
+        addiu $t7, $s1, -19
+        addu  $t7, $s0, $t7
+        lbu   $t7, 0($t7)
+        jal   classify
+        # south
+south:  li    $at, 18
+        beq   $t2, $at, west
+        addiu $t7, $s1, 19
+        addu  $t7, $s0, $t7
+        lbu   $t7, 0($t7)
+        jal   classify
+west:   beqz  $t3, east
+        addiu $t7, $s1, -1
+        addu  $t7, $s0, $t7
+        lbu   $t7, 0($t7)
+        jal   classify
+east:   li    $at, 18
+        beq   $t3, $at, score
+        addiu $t7, $s1, 1
+        addu  $t7, $s0, $t7
+        lbu   $t7, 0($t7)
+        jal   classify
+score:  # score: stones with no liberties are captured (big penalty);
+        # otherwise score liberties + 2*friends - enemies, sign by colour.
+        bnez  $t5, alive
+        addiu $s2, $s2, -20
+        b     nextcell
+alive:  sll   $t8, $t4, 1
+        addu  $t8, $t8, $t5
+        subu  $t8, $t8, $t6
+        li    $at, 1
+        beq   $t1, $at, black
+        subu  $s2, $s2, $t8
+        b     nextcell
+black:  addu  $s2, $s2, $t8
+nextcell:
+        addiu $s1, $s1, 1
+        li    $at, 361
+        blt   $s1, $at, cell
+
+        # fold the pass score and mutate one cell
+        sll   $t0, $s6, 1
+        addu  $s6, $t0, $s2
+        jal   rand
+        li    $at, 361
+        divu  $v1, $at
+        mfhi  $t0             # position = rnd %% 361
+        addu  $t0, $s0, $t0
+        lbu   $t1, 0($t0)
+        addiu $t1, $t1, 1
+        slti  $at, $t1, 3
+        bnez  $at, put
+        li    $t1, 0
+put:    sb    $t1, 0($t0)
+        addiu $s5, $s5, 1
+        li    $at, PASSES
+        blt   $s5, $at, pass
+
+        move  $a0, $s6
+        li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+
+# classify: neighbour colour in $t7 vs own colour in $t1; bumps
+# friends ($t4) / liberties ($t5) / enemies ($t6).
+classify:
+        bnez  $t7, occupied
+        addiu $t5, $t5, 1
+        jr    $ra
+occupied:
+        beq   $t7, $t1, friend
+        addiu $t6, $t6, 1
+        jr    $ra
+friend: addiu $t4, $t4, 1
+        jr    $ra
+` + randAsm
+
+func goldenGo(scale int) string {
+	s := lcg(0x60B0)
+	rowof := make([]int, 361)
+	colof := make([]int, 361)
+	for i := 0; i < 361; i++ {
+		rowof[i] = i / 19
+		colof[i] = i % 19
+	}
+	board := make([]byte, 361)
+	for i := range board {
+		r := s.next()
+		if r&15 < 10 {
+			board[i] = 0
+		} else {
+			board[i] = byte(r&1) + 1
+		}
+	}
+	var cs uint32
+	passes := 24 * scale
+	for p := 0; p < passes; p++ {
+		var score int32
+		for i := 0; i < 361; i++ {
+			c := board[i]
+			if c == 0 {
+				continue
+			}
+			var friends, libs, enemies int32
+			classify := func(n byte) {
+				switch {
+				case n == 0:
+					libs++
+				case n == c:
+					friends++
+				default:
+					enemies++
+				}
+			}
+			if rowof[i] != 0 {
+				classify(board[i-19])
+			}
+			if rowof[i] != 18 {
+				classify(board[i+19])
+			}
+			if colof[i] != 0 {
+				classify(board[i-1])
+			}
+			if colof[i] != 18 {
+				classify(board[i+1])
+			}
+			if libs == 0 {
+				score -= 20
+				continue
+			}
+			v := 2*friends + libs - enemies
+			if c == 1 {
+				score += v
+			} else {
+				score -= v
+			}
+		}
+		cs = cs*2 + uint32(score)
+		pos := s.next() % 361
+		board[pos]++
+		if board[pos] >= 3 {
+			board[pos] = 0
+		}
+	}
+	return fmt.Sprintf("%d", int32(cs))
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ijpeg: 8x8 integer DCT + quantization over a generated greyscale image,
+// the analogue of SPEC95 132.ijpeg. Regular multiply-accumulate loops with
+// highly predictable branches and strong value locality in the coefficient
+// operands.
+
+// dctCoef is the scaled separable DCT-II basis: round(C(u) * cos((2x+1)u *
+// pi/16) * 64), the same fixed-point form libjpeg-era integer DCTs use.
+func dctCoef() [64]int32 {
+	var t [64]int32
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			v := cu * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) * 64
+			t[u*8+x] = int32(math.Round(v))
+		}
+	}
+	return t
+}
+
+// qshift is the quantization table expressed as right-shift amounts (real
+// encoders divide; shifting keeps the integer divide unit free for the
+// latency kernel while preserving the dataflow shape).
+func qshift() [64]int32 {
+	var t [64]int32
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			t[u*8+v] = int32(2 + (u+v)/2)
+		}
+	}
+	return t
+}
+
+func wordList(vals []int32) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func init() {
+	register(&Workload{
+		Name: "ijpeg",
+		Desc: "8x8 integer DCT + quantization over a generated image",
+		Source: func(scale int) string {
+			c := dctCoef()
+			q := qshift()
+			return fmt.Sprintf(ijpegAsm, wordList(c[:]), wordList(q[:]), scale)
+		},
+		Golden: goldenIjpeg,
+	})
+}
+
+const ijpegAsm = `
+# ijpeg: per 8x8 block, tmp = coef * block, out = tmp * coef^T, quantize.
+W = 48
+        .data
+img:    .space 2304           # 48x48 bytes
+coef:   .word %s
+qsh:    .word %s
+tmp:    .space 256            # 8x8 words
+PASSES = %d
+        .text
+main:   li    $s7, 0x1eaf
+        la    $s0, img
+        li    $t8, 0
+fill:   jal   rand
+        andi  $t0, $v1, 0xFF
+        addu  $t1, $s0, $t8
+        sb    $t0, 0($t1)
+        addiu $t8, $t8, 1
+        li    $at, 2304
+        blt   $t8, $at, fill
+
+        li    $s6, 0          # checksum
+        li    $s5, 0          # pass
+pass:   li    $s1, 0          # block row (0, 8, .., 40)
+brow:   li    $s2, 0          # block col
+bcol:
+        # tmp[u][x] = (sum_y coef[u][y] * img[base + y][bx + x]) >> 6
+        li    $t8, 0          # u
+rowu:   li    $t9, 0          # x
+rowx:   li    $v0, 0          # acc
+        li    $t0, 0          # y
+rowy:   sll   $t1, $t8, 3
+        addu  $t1, $t1, $t0
+        sll   $t1, $t1, 2
+        la    $at, coef
+        addu  $t1, $t1, $at
+        lw    $t2, 0($t1)     # coef[u][y]
+        addu  $t3, $s1, $t0   # image row
+        li    $at, 48
+        mult  $t3, $at
+        mflo  $t3
+        addu  $t3, $t3, $s2
+        addu  $t3, $t3, $t9   # + block col + x
+        la    $at, img
+        addu  $t3, $t3, $at
+        lbu   $t4, 0($t3)
+        mult  $t2, $t4
+        mflo  $t5
+        addu  $v0, $v0, $t5
+        addiu $t0, $t0, 1
+        slti  $at, $t0, 8
+        bnez  $at, rowy
+        sra   $v0, $v0, 6
+        sll   $t1, $t8, 3
+        addu  $t1, $t1, $t9
+        sll   $t1, $t1, 2
+        la    $at, tmp
+        addu  $t1, $t1, $at
+        sw    $v0, 0($t1)
+        addiu $t9, $t9, 1
+        slti  $at, $t9, 8
+        bnez  $at, rowx
+        addiu $t8, $t8, 1
+        slti  $at, $t8, 8
+        bnez  $at, rowu
+
+        # out[u][v] = (sum_x tmp[u][x] * coef[v][x]) >> 6, quantized
+        li    $t8, 0          # u
+colu:   li    $t9, 0          # v
+colv:   li    $v0, 0
+        li    $t0, 0          # x
+colx:   sll   $t1, $t8, 3
+        addu  $t1, $t1, $t0
+        sll   $t1, $t1, 2
+        la    $at, tmp
+        addu  $t1, $t1, $at
+        lw    $t2, 0($t1)     # tmp[u][x]
+        sll   $t3, $t9, 3
+        addu  $t3, $t3, $t0
+        sll   $t3, $t3, 2
+        la    $at, coef
+        addu  $t3, $t3, $at
+        lw    $t4, 0($t3)     # coef[v][x]
+        mult  $t2, $t4
+        mflo  $t5
+        addu  $v0, $v0, $t5
+        addiu $t0, $t0, 1
+        slti  $at, $t0, 8
+        bnez  $at, colx
+        sra   $v0, $v0, 6
+        sll   $t1, $t8, 3
+        addu  $t1, $t1, $t9
+        sll   $t1, $t1, 2
+        la    $at, qsh
+        addu  $t1, $t1, $at
+        lw    $t2, 0($t1)     # shift amount
+        srav  $v0, $v0, $t2   # quantize
+        addu  $s6, $s6, $v0   # checksum += q
+        xor   $s6, $s6, $t9
+        addiu $t9, $t9, 1
+        slti  $at, $t9, 8
+        bnez  $at, colv
+        addiu $t8, $t8, 1
+        slti  $at, $t8, 8
+        bnez  $at, colu
+
+        addiu $s2, $s2, 8
+        li    $at, 48
+        blt   $s2, $at, bcol
+        addiu $s1, $s1, 8
+        li    $at, 48
+        blt   $s1, $at, brow
+        addiu $s5, $s5, 1
+        li    $at, PASSES
+        blt   $s5, $at, pass
+
+        move  $a0, $s6
+        li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+` + randAsm
+
+func goldenIjpeg(scale int) string {
+	s := lcg(0x1eaf)
+	img := make([]byte, 48*48)
+	for i := range img {
+		img[i] = byte(s.next() & 0xFF)
+	}
+	coef := dctCoef()
+	q := qshift()
+	var cs uint32
+	passes := scale
+	var tmp [64]int32
+	for p := 0; p < passes; p++ {
+		for br := 0; br < 48; br += 8 {
+			for bc := 0; bc < 48; bc += 8 {
+				for u := 0; u < 8; u++ {
+					for x := 0; x < 8; x++ {
+						var acc int32
+						for y := 0; y < 8; y++ {
+							acc += coef[u*8+y] * int32(img[(br+y)*48+bc+x])
+						}
+						tmp[u*8+x] = acc >> 6
+					}
+				}
+				for u := 0; u < 8; u++ {
+					for v := 0; v < 8; v++ {
+						var acc int32
+						for x := 0; x < 8; x++ {
+							acc += tmp[u*8+x] * coef[v*8+x]
+						}
+						qv := (acc >> 6) >> uint(q[u*8+v])
+						cs += uint32(qv)
+						cs ^= uint32(v)
+					}
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%d", int32(cs))
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// m88ksim: a bytecode CPU interpreter, the analogue of SPEC95 124.m88ksim
+// (a Motorola 88100 simulator). The interpreter decodes a guest word,
+// dispatches through a jump table (indirect jumps!) and executes against a
+// guest register file and data memory. Interpreters are the canonical
+// high-repetition workload: the same decode work runs over and over.
+
+// Guest ISA: one 32-bit word per instruction,
+// op | rd<<8 | rs<<16 | imm<<24 (op, rd, rs, imm are bytes).
+const (
+	gHALT  = 0
+	gLOADI = 1  // rd = imm
+	gADD   = 2  // rd += r[rs]
+	gSUB   = 3  // rd -= r[rs]
+	gMUL   = 4  // rd = low32(rd * r[rs])
+	gXOR   = 5  // rd ^= r[rs]
+	gSHL   = 6  // rd <<= imm & 31
+	gLOAD  = 7  // rd = dmem[r[rs] & 255]
+	gSTORE = 8  // dmem[r[rs] & 255] = r[rd]
+	gJNZ   = 9  // if r[rd] != 0 then pc = imm
+	gADDI  = 10 // rd += imm - 128
+)
+
+func gEnc(op, rd, rs, imm int) uint32 {
+	return uint32(op) | uint32(rd)<<8 | uint32(rs)<<16 | uint32(imm)<<24
+}
+
+// guestProgram computes a rolling hash over guest data memory: the inner
+// loop is LOAD / ADD / XOR / STORE / ADDI / ADDI / JNZ.
+func guestProgram() []uint32 {
+	return []uint32{
+		gEnc(gLOADI, 0, 0, 0),   //  0: r0 = 0        (index)
+		gEnc(gLOADI, 1, 0, 17),  //  1: r1 = 17       (acc)
+		gEnc(gLOADI, 2, 0, 125), //  2: r2 = 125
+		gEnc(gSHL, 2, 0, 4),     //  3: r2 <<= 4      (2000 iterations)
+		gEnc(gLOAD, 4, 0, 0),    //  4: r4 = dmem[r0 & 255]
+		gEnc(gADD, 1, 4, 0),     //  5: r1 += r4
+		gEnc(gXOR, 1, 2, 0),     //  6: r1 ^= r2
+		gEnc(gSTORE, 1, 0, 0),   //  7: dmem[r0 & 255] = r1
+		gEnc(gADDI, 0, 0, 131),  //  8: r0 += 3
+		gEnc(gADDI, 2, 0, 127),  //  9: r2 -= 1
+		gEnc(gJNZ, 2, 0, 4),     // 10: if r2 != 0 goto 4
+		gEnc(gHALT, 0, 0, 0),    // 11
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name: "m88ksim",
+		Desc: "bytecode CPU interpreter, jump-table dispatch",
+		Source: func(scale int) string {
+			words := make([]string, 0, 12)
+			for _, w := range guestProgram() {
+				words = append(words, fmt.Sprintf("0x%08x", w))
+			}
+			return fmt.Sprintf(m88kAsm, strings.Join(words, ", "), scale)
+		},
+		Golden: goldenM88ksim,
+	})
+}
+
+const m88kAsm = `
+# m88ksim: interpret the guest bytecode program ROUNDS times.
+        .data
+regs:   .space 32             # 8 guest registers
+dmem:   .space 1024           # 256 guest data words
+bprog:  .word %s
+jtab:   .word op_halt, op_loadi, op_add, op_sub, op_mul, op_xor
+        .word op_shl, op_load, op_store, op_jnz, op_addi
+opstat: .space 64             # per-opcode execution counts (the real
+instret: .space 4             # m88ksim keeps extensive statistics)
+trhash: .space 4              # rolling trace hash
+cycest: .space 4              # estimated guest cycles
+cycwt:  .word 1,1,1,1,3,1,1,2,2,1,1   # per-opcode cycle weights
+ROUNDS = %d
+        .text
+main:   li    $s7, 0xBEEF     # LCG seed
+        la    $s2, dmem
+        li    $t8, 0
+init:   jal   rand
+        sll   $t0, $t8, 2
+        addu  $t0, $t0, $s2
+        sw    $v1, 0($t0)
+        addiu $t8, $t8, 1
+        slti  $at, $t8, 256
+        bnez  $at, init
+
+        la    $s0, bprog
+        la    $s1, regs
+        la    $s4, jtab
+        li    $s5, 0          # rounds completed
+        li    $s6, 0          # checksum
+round:  li    $s3, 0          # guest pc
+step:   sll   $t0, $s3, 2
+        addu  $t0, $t0, $s0
+        lw    $t1, 0($t0)     # guest instruction
+        andi  $t2, $t1, 0xFF  # op
+        srl   $t3, $t1, 8
+        andi  $t3, $t3, 0xFF  # rd
+        sll   $t3, $t3, 2
+        addu  $t3, $t3, $s1   # &r[rd]
+        srl   $t4, $t1, 16
+        andi  $t4, $t4, 0xFF  # rs
+        sll   $t4, $t4, 2
+        addu  $t4, $t4, $s1   # &r[rs]
+        srl   $t5, $t1, 24    # imm
+        addiu $s3, $s3, 1
+        # statistics: opstat[op]++, instret++, trace hash folds the word
+        sll   $t6, $t2, 2
+        la    $at, opstat
+        addu  $t6, $t6, $at
+        lw    $t7, 0($t6)
+        addiu $t7, $t7, 1
+        sw    $t7, 0($t6)
+        la    $at, instret
+        lw    $t7, 0($at)
+        addiu $t7, $t7, 1
+        sw    $t7, 0($at)
+        la    $at, trhash
+        lw    $t7, 0($at)
+        sll   $t6, $t7, 1
+        xor   $t6, $t6, $t1
+        la    $at, trhash
+        sw    $t6, 0($at)
+        sll   $t6, $t2, 2
+        la    $at, cycwt
+        addu  $t6, $t6, $at
+        lw    $t7, 0($t6)     # cycle weight of this opcode
+        la    $at, cycest
+        lw    $t6, 0($at)
+        addu  $t6, $t6, $t7
+        la    $at, cycest
+        sw    $t6, 0($at)
+        sll   $t6, $t2, 2
+        addu  $t6, $t6, $s4
+        lw    $t6, 0($t6)
+        jr    $t6             # dispatch
+
+op_loadi:
+        sw    $t5, 0($t3)
+        b     step
+op_add: lw    $t7, 0($t3)
+        lw    $t9, 0($t4)
+        addu  $t7, $t7, $t9
+        sw    $t7, 0($t3)
+        b     step
+op_sub: lw    $t7, 0($t3)
+        lw    $t9, 0($t4)
+        subu  $t7, $t7, $t9
+        sw    $t7, 0($t3)
+        b     step
+op_mul: lw    $t7, 0($t3)
+        lw    $t9, 0($t4)
+        mult  $t7, $t9
+        mflo  $t7
+        sw    $t7, 0($t3)
+        b     step
+op_xor: lw    $t7, 0($t3)
+        lw    $t9, 0($t4)
+        xor   $t7, $t7, $t9
+        sw    $t7, 0($t3)
+        b     step
+op_shl: lw    $t7, 0($t3)
+        andi  $t5, $t5, 31
+        sllv  $t7, $t7, $t5
+        sw    $t7, 0($t3)
+        b     step
+op_load:
+        lw    $t9, 0($t4)
+        andi  $t9, $t9, 255
+        sll   $t9, $t9, 2
+        la    $at, dmem
+        addu  $t9, $t9, $at
+        lw    $t7, 0($t9)
+        sw    $t7, 0($t3)
+        b     step
+op_store:
+        lw    $t9, 0($t4)
+        andi  $t9, $t9, 255
+        sll   $t9, $t9, 2
+        la    $at, dmem
+        addu  $t9, $t9, $at
+        lw    $t7, 0($t3)
+        sw    $t7, 0($t9)
+        b     step
+op_jnz: lw    $t7, 0($t3)
+        beqz  $t7, step
+        move  $s3, $t5
+        b     step
+op_addi:
+        lw    $t7, 0($t3)
+        addiu $t5, $t5, -128
+        addu  $t7, $t7, $t5
+        sw    $t7, 0($t3)
+        b     step
+op_halt:
+        lw    $t7, 4($s1)     # guest r1 = final hash
+        sll   $t0, $s6, 1
+        addu  $s6, $t0, $t7   # checksum = checksum*2 + r1
+        addiu $s5, $s5, 1
+        slti  $at, $s5, ROUNDS
+        bnez  $at, round
+
+        move  $a0, $s6
+        li    $v0, 1
+        syscall
+        li    $a0, ' '
+        li    $v0, 11
+        syscall
+        lw    $a0, 0($s1)     # guest r0 (final index)
+        li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+` + randAsm
+
+func goldenM88ksim(scale int) string {
+	s := lcg(0xBEEF)
+	dmem := make([]uint32, 256)
+	for i := range dmem {
+		dmem[i] = s.next()
+	}
+	code := guestProgram()
+	var r [8]uint32
+	var cs uint32
+	for round := 0; round < scale; round++ {
+		pc := 0
+	run:
+		for {
+			w := code[pc]
+			op := w & 0xFF
+			rd := w >> 8 & 0xFF
+			rs := w >> 16 & 0xFF
+			imm := w >> 24
+			pc++
+			switch op {
+			case gHALT:
+				break run
+			case gLOADI:
+				r[rd] = imm
+			case gADD:
+				r[rd] += r[rs]
+			case gSUB:
+				r[rd] -= r[rs]
+			case gMUL:
+				r[rd] *= r[rs]
+			case gXOR:
+				r[rd] ^= r[rs]
+			case gSHL:
+				r[rd] <<= imm & 31
+			case gLOAD:
+				r[rd] = dmem[r[rs]&255]
+			case gSTORE:
+				dmem[r[rs]&255] = r[rd]
+			case gJNZ:
+				if r[rd] != 0 {
+					pc = int(imm)
+				}
+			case gADDI:
+				r[rd] += imm - 128
+			}
+		}
+		cs = cs*2 + r[1]
+	}
+	return fmt.Sprintf("%d %d", int32(cs), int32(r[0]))
+}

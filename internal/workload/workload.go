@@ -1,0 +1,118 @@
+// Package workload provides the seven benchmark kernels used to reproduce
+// the paper's evaluation. The SPEC95 integer benchmarks themselves (and
+// their reference inputs) are not redistributable, so each kernel is a
+// scaled-down algorithmic analogue of its namesake, hand-written in the
+// simulator's assembly language:
+//
+//	go       — board evaluation over a 19x19 position (pattern scans,
+//	           data-dependent branches, poor branch prediction)
+//	m88ksim  — a bytecode CPU interpreter (dispatch loops, indirect jumps,
+//	           extreme instruction repetition)
+//	ijpeg    — 8x8 integer DCT + quantization over an image (regular MAC
+//	           loops, high branch prediction)
+//	perl     — word hashing and scoring over generated text (string
+//	           processing, hash table lookups)
+//	vortex   — an object store: keyed record insert/lookup (pointer-heavy,
+//	           high branch prediction, low IPC)
+//	gcc      — constant folding and linear-scan allocation over a generated
+//	           IR (compiler-pass control flow)
+//	compress — LZW compression of generated text (hash probing, stores
+//	           that kill load reuse — the address-reuse case of Table 3)
+//
+// Inputs are produced by a deterministic LCG embedded in each program, so
+// runs are exactly reproducible; every kernel prints a checksum that a
+// golden Go reimplementation (see golden*.go) must match.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/vpir-sim/vpir/internal/asm"
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name string
+	// Desc is a one-line description shown by the harness.
+	Desc string
+	// Source returns the assembly text at a given scale (1 = default, the
+	// harness's standard run length; larger values run longer).
+	Source func(scale int) string
+	// Golden computes the expected program output at a given scale.
+	Golden func(scale int) string
+}
+
+var registry = map[string]*Workload{}
+var names []string
+
+func register(w *Workload) {
+	registry[w.Name] = w
+	names = append(names, w.Name)
+	sort.Strings(names)
+}
+
+// Names returns the benchmark names in the paper's order (Table 2).
+func Names() []string {
+	return []string{"go", "m88ksim", "ijpeg", "perl", "vortex", "gcc", "compress"}
+}
+
+// Get returns a registered workload.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+	}
+	return w, nil
+}
+
+// Register adds a custom workload; the examples use this to run user
+// programs through the harness.
+func Register(w *Workload) error {
+	if _, dup := registry[w.Name]; dup {
+		return fmt.Errorf("workload: %q already registered", w.Name)
+	}
+	register(w)
+	return nil
+}
+
+var progCache sync.Map // name/scale -> *prog.Program
+
+// Load assembles the workload at the given scale (cached).
+func (w *Workload) Load(scale int) (*prog.Program, error) {
+	key := fmt.Sprintf("%s/%d", w.Name, scale)
+	if p, ok := progCache.Load(key); ok {
+		return p.(*prog.Program), nil
+	}
+	p, err := asm.Assemble(w.Name+".s", w.Source(scale))
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	progCache.Store(key, p)
+	return p, nil
+}
+
+// lcg mirrors the linear congruential generator embedded in the assembly
+// kernels: state = state*1103515245 + 12345 (mod 2^32), returning
+// (state >> 16) & 0x7FFF.
+type lcg uint32
+
+func (s *lcg) next() uint32 {
+	*s = *s*1103515245 + 12345
+	return uint32(*s>>16) & 0x7FFF
+}
+
+// randAsm is the shared assembly LCG subroutine. It clobbers $at and $v1
+// and keeps its state in $s7. Seeded by the caller.
+const randAsm = `
+# rand: advance the LCG in $s7, return (state>>16)&0x7FFF in $v1.
+rand:   li    $at, 1103515245
+        mult  $s7, $at
+        mflo  $s7
+        addiu $s7, $s7, 12345
+        srl   $v1, $s7, 16
+        andi  $v1, $v1, 0x7FFF
+        jr    $ra
+`

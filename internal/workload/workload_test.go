@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/emu"
+)
+
+// runKernel executes a workload on the functional emulator and returns its
+// output.
+func runKernel(t testing.TB, name string, scale int) string {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Load(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := emu.New(p)
+	halted, err := c.Run(100_000_000)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !halted {
+		t.Fatalf("%s did not halt", name)
+	}
+	return c.Output.String()
+}
+
+// TestKernelsMatchGolden verifies every kernel against its Go
+// reimplementation at two scales.
+func TestKernelsMatchGolden(t *testing.T) {
+	for _, name := range Names() {
+		w, err := Get(name)
+		if err != nil {
+			t.Errorf("missing kernel %s: %v", name, err)
+			continue
+		}
+		for _, scale := range []int{1, 2} {
+			t.Run(w.Name, func(t *testing.T) {
+				got := runKernel(t, w.Name, scale)
+				want := w.Golden(scale)
+				if got != want {
+					t.Errorf("scale %d: output %q, want %q", scale, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelSizes reports the dynamic instruction counts; they must land in
+// the range the harness assumes (big enough to exercise the tables, small
+// enough to simulate quickly).
+func TestKernelSizes(t *testing.T) {
+	for _, name := range Names() {
+		w, err := Get(name)
+		if err != nil {
+			continue // reported by TestKernelsMatchGolden
+		}
+		p, err := w.Load(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := emu.New(p)
+		if _, err := c.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s %9d dynamic instructions", name, c.InstCount)
+		if c.InstCount < 50_000 {
+			t.Errorf("%s too small: %d insts", name, c.InstCount)
+		}
+		if c.InstCount > 5_000_000 {
+			t.Errorf("%s too large at scale 1: %d insts", name, c.InstCount)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	if err := Register(&Workload{Name: "compress"}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestLoadCache(t *testing.T) {
+	w, err := Get("compress")
+	if err != nil {
+		t.Skip("compress not registered")
+	}
+	p1, _ := w.Load(1)
+	p2, _ := w.Load(1)
+	if p1 != p2 {
+		t.Error("Load(1) not cached")
+	}
+	p3, _ := w.Load(2)
+	if p1 == p3 {
+		t.Error("different scales share a program")
+	}
+}

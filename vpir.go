@@ -1,0 +1,387 @@
+// Package vpir is a reproduction, as a library, of "Understanding the
+// Differences Between Value Prediction and Instruction Reuse" (Sodani &
+// Sohi, MICRO 1998).
+//
+// It provides a 4-way out-of-order superscalar timing simulator (the
+// paper's Table 1 machine) with Value Prediction (VP_Magic / VP_LVP, the
+// SB/NSB branch-resolution and ME/NME re-execution policies, configurable
+// verification latency) and Instruction Reuse (scheme S_{n+d} with the
+// paper's augmentations), seven scaled benchmark kernels standing in for
+// the SPEC95 integer suite, the §4.3 redundancy limit study, and a harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := vpir.RunBenchmark("compress", 1, vpir.Options{Technique: vpir.IR})
+//	fmt.Println(res.IPC, res.ReuseResultRate)
+//
+// Everything deeper (the assembler, the pipeline, the reuse buffer) lives
+// in internal packages; this package is the stable surface.
+package vpir
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/asm"
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/harness"
+	"github.com/vpir-sim/vpir/internal/prog"
+	"github.com/vpir-sim/vpir/internal/redundancy"
+	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// Technique selects the redundancy mechanism integrated into the pipeline.
+type Technique string
+
+const (
+	Base   Technique = "base"   // plain superscalar
+	VP     Technique = "vp"     // value prediction
+	IR     Technique = "ir"     // instruction reuse
+	Hybrid Technique = "hybrid" // IR first, VP on reuse misses (extension)
+)
+
+// Options configures a simulation. The zero value is the base machine.
+type Options struct {
+	Technique Technique
+
+	// VP knobs (§4.1.4 of the paper). Scheme is "magic" (default), "lvp",
+	// or "stride" (an extension scheme covering the paper's "derivable"
+	// class); BranchResolution is "sb" (default) or "nsb"; Reexec is "me"
+	// (default) or "nme"; VerifyLatency is the VP-verification latency.
+	Scheme           string
+	BranchResolution string
+	Reexec           string
+	VerifyLatency    int
+
+	// IR knob: LateValidation defers reuse benefits to the execute stage
+	// (the Figure 3 "late" experiment).
+	LateValidation bool
+
+	// MaxInsts caps the simulated dynamic instruction count (0 = run the
+	// program to completion).
+	MaxInsts uint64
+}
+
+func (o Options) config() (core.Config, error) {
+	switch o.Technique {
+	case "", Base:
+		return core.DefaultConfig(), nil
+	case IR:
+		return core.IRChoice(o.LateValidation), nil
+	case VP, Hybrid:
+		scheme := vp.Magic
+		switch strings.ToLower(o.Scheme) {
+		case "", "magic":
+		case "lvp":
+			scheme = vp.LVP
+		case "stride":
+			scheme = vp.Stride
+		default:
+			return core.Config{}, fmt.Errorf("vpir: unknown scheme %q (magic, lvp or stride)", o.Scheme)
+		}
+		res := core.SB
+		switch strings.ToLower(o.BranchResolution) {
+		case "", "sb":
+		case "nsb":
+			res = core.NSB
+		default:
+			return core.Config{}, fmt.Errorf("vpir: unknown branch resolution %q (sb or nsb)", o.BranchResolution)
+		}
+		re := core.ME
+		switch strings.ToLower(o.Reexec) {
+		case "", "me":
+		case "nme":
+			re = core.NME
+		default:
+			return core.Config{}, fmt.Errorf("vpir: unknown reexec policy %q (me or nme)", o.Reexec)
+		}
+		if o.Technique == Hybrid {
+			return core.HybridChoice(scheme, res, re, o.VerifyLatency), nil
+		}
+		return core.VPChoice(scheme, res, re, o.VerifyLatency), nil
+	}
+	return core.Config{}, fmt.Errorf("vpir: unknown technique %q", o.Technique)
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Config string // configuration label, e.g. "VP_Magic ME-SB vlat=0"
+
+	Cycles    uint64
+	Committed uint64
+	Executed  uint64
+	IPC       float64
+
+	BranchPredRate float64 // %
+	ReturnPredRate float64 // %
+
+	Squashes         uint64
+	SpuriousSquashes uint64
+
+	// IR metrics (% of committed instructions / memory ops).
+	ReuseResultRate float64
+	ReuseAddrRate   float64
+	ExecSquashedPct float64
+	RecoveredPct    float64
+
+	// VP metrics (% of committed instructions / memory ops).
+	VPResultPred    float64
+	VPResultMispred float64
+	VPAddrPred      float64
+	VPAddrMispred   float64
+	ExecTimesPct    [3]float64 // executed once / twice / three-or-more
+
+	Contention               float64
+	MeanBranchResolveLatency float64
+
+	Output   string
+	ExitCode int
+}
+
+func resultFrom(m *core.Machine) Result {
+	s := m.Stats()
+	rp, rm := s.VPResultRates()
+	ap, am := s.VPAddrRates()
+	return Result{
+		Config:                   m.Config().Name(),
+		Cycles:                   s.Cycles,
+		Committed:                s.Committed,
+		Executed:                 s.Executed,
+		IPC:                      s.IPC(),
+		BranchPredRate:           s.BranchPredRate(),
+		ReturnPredRate:           s.ReturnPredRate(),
+		Squashes:                 s.Squashes,
+		SpuriousSquashes:         s.SpuriousSquashes,
+		ReuseResultRate:          s.ReuseResultRate(),
+		ReuseAddrRate:            s.ReuseAddrRate(),
+		ExecSquashedPct:          s.ExecSquashedPct(),
+		RecoveredPct:             s.RecoveredPct(),
+		VPResultPred:             rp,
+		VPResultMispred:          rm,
+		VPAddrPred:               ap,
+		VPAddrMispred:            am,
+		ExecTimesPct:             s.ExecTimesPct(),
+		Contention:               s.Contention(),
+		MeanBranchResolveLatency: s.MeanBrResolveLat(),
+		Output:                   m.Output(),
+		ExitCode:                 m.ExitCode(),
+	}
+}
+
+// Benchmarks returns the seven benchmark names in the paper's order.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkInfo describes one benchmark kernel.
+type BenchmarkInfo struct {
+	Name string
+	Desc string
+}
+
+// BenchmarkInfos lists the benchmarks with their one-line descriptions.
+func BenchmarkInfos() []BenchmarkInfo {
+	out := make([]BenchmarkInfo, 0, len(workload.Names()))
+	for _, n := range workload.Names() {
+		w, err := workload.Get(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, BenchmarkInfo{Name: w.Name, Desc: w.Desc})
+	}
+	return out
+}
+
+func runProgram(p *prog.Program, opt Options) (Result, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := core.New(p, cfg, opt.MaxInsts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.Run(0); err != nil {
+		return Result{}, err
+	}
+	return resultFrom(m), nil
+}
+
+// RunBenchmark simulates one of the built-in benchmarks at the given scale
+// (1 = the standard ~0.2-1M instruction runs).
+func RunBenchmark(name string, scale int, opt Options) (Result, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return Result{}, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	p, err := w.Load(scale)
+	if err != nil {
+		return Result{}, err
+	}
+	return runProgram(p, opt)
+}
+
+// RunSource assembles the given assembly program (see the README for the
+// dialect) and simulates it.
+func RunSource(name, source string, opt Options) (Result, error) {
+	p, err := asm.Assemble(name, source)
+	if err != nil {
+		return Result{}, err
+	}
+	return runProgram(p, opt)
+}
+
+// Assemble checks a program without running it; it returns the number of
+// instructions and data bytes, or the assembly errors.
+func Assemble(name, source string) (textWords, dataBytes int, err error) {
+	p, err := asm.Assemble(name, source)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(p.Text), len(p.Data), nil
+}
+
+// RegisterBenchmark adds a custom workload so it can be used with
+// RunBenchmark and the experiment harness. golden may be nil if no
+// self-check is wanted.
+func RegisterBenchmark(name, desc, source string, golden func() string) error {
+	return workload.Register(&workload.Workload{
+		Name:   name,
+		Desc:   desc,
+		Source: func(int) string { return source },
+		Golden: func(int) string {
+			if golden == nil {
+				return ""
+			}
+			return golden()
+		},
+	})
+}
+
+// Redundancy is the §4.3 limit study result for one benchmark.
+type Redundancy struct {
+	Total       uint64
+	UniquePct   float64
+	RepeatedPct float64
+	DerivedPct  float64
+	UnaccPct    float64
+
+	ProducersReusedPct float64 // of repeated
+	ProdFarPct         float64
+	ProdNearPct        float64
+
+	RedundantPct float64
+	ReusablePct  float64 // of all instructions
+	// ReusableOfRedundant is the Figure 10 headline (84-97% in the paper).
+	ReusableOfRedundant float64
+}
+
+// AnalyzeRedundancy runs the limit study on one benchmark.
+func AnalyzeRedundancy(name string, scale int, maxInsts uint64) (Redundancy, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return Redundancy{}, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	p, err := w.Load(scale)
+	if err != nil {
+		return Redundancy{}, err
+	}
+	r, err := redundancy.Analyze(p, redundancy.DefaultConfig(), maxInsts)
+	if err != nil {
+		return Redundancy{}, err
+	}
+	rep := float64(r.Repeated)
+	if rep == 0 {
+		rep = 1
+	}
+	return Redundancy{
+		Total:               r.Total,
+		UniquePct:           r.Pct(r.Unique),
+		RepeatedPct:         r.Pct(r.Repeated),
+		DerivedPct:          r.Pct(r.Derivable),
+		UnaccPct:            r.Pct(r.Unaccounted),
+		ProducersReusedPct:  100 * float64(r.ProducersReused) / rep,
+		ProdFarPct:          100 * float64(r.ProdFar) / rep,
+		ProdNearPct:         100 * float64(r.ProdNear) / rep,
+		RedundantPct:        r.Pct(r.Redundant()),
+		ReusablePct:         r.Pct(r.Reusable),
+		ReusableOfRedundant: r.ReusablePct(),
+	}, nil
+}
+
+// Experiments lists the reproducible paper tables and figures.
+func Experiments() []string {
+	var out []string
+	for _, e := range harness.Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper table/figure and returns it rendered
+// as text. maxInsts caps each benchmark run (0 = full runs; the paper-shaped
+// standard), scale scales the workloads.
+func RunExperiment(id string, scale int, maxInsts uint64) (string, error) {
+	e, err := harness.Find(id)
+	if err != nil {
+		return "", err
+	}
+	r := harness.NewRunner()
+	if scale >= 1 {
+		r.Scale = scale
+	}
+	r.MaxInsts = maxInsts
+	tables, err := e.Run(r)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, t := range tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(t.String())
+	}
+	return b.String(), nil
+}
+
+// TracePipeline runs a benchmark under the given options with a pipeline
+// tracer attached and returns a rendered per-instruction diagram of the
+// first n instructions (fetch/decode/issue/complete/commit, with reuse and
+// squash markers). A quick way to see how IR collapses dependence chains at
+// decode and how VP overlaps dependent executions.
+func TracePipeline(bench string, scale int, opt Options, n int) (string, error) {
+	w, err := workload.Get(bench)
+	if err != nil {
+		return "", err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	p, err := w.Load(scale)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := opt.config()
+	if err != nil {
+		return "", err
+	}
+	m, err := core.New(p, cfg, opt.MaxInsts)
+	if err != nil {
+		return "", err
+	}
+	tr := &core.PipeTracer{Max: n}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	tr.Render(&b, 120)
+	return b.String(), nil
+}
