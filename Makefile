@@ -1,0 +1,41 @@
+# Developer entry points. `make check` is the pre-commit gate: it runs
+# everything CI would, including the deterministic fault-injection smoke
+# campaign described in docs/robustness.md.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short smoke check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite; the harness runs benchmarks in
+# parallel goroutines, so this exercises the Runner's locking for real.
+test-race:
+	$(GO) test -race ./...
+
+# Quick loop: skips the long fault-injection and full-kernel paths.
+test-short:
+	$(GO) test -short ./...
+
+# Deterministic fault-injection smoke campaign (seed fixed so the output
+# is byte-identical run to run; exit status is the campaign verdict).
+smoke:
+	$(GO) run ./cmd/vpir-faults -seed 1 -campaign smoke
+
+check: vet build test-race smoke
+	@echo "check: all gates passed"
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,7 @@ import (
 
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/faultinject"
 	"github.com/vpir-sim/vpir/internal/vp"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
@@ -18,6 +19,9 @@ const benchInsts = 100_000
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full experiment benchmark skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		out, err := RunExperiment(id, 1, benchInsts)
 		if err != nil {
@@ -48,6 +52,9 @@ func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
 // for each pipeline variant, on the compress kernel.
 func benchMachine(b *testing.B, cfg core.Config) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full-kernel machine benchmark skipped in -short mode")
+	}
 	w, err := workload.Get("compress")
 	if err != nil {
 		b.Fatal(err)
@@ -77,6 +84,24 @@ func BenchmarkMachineBase(b *testing.B) { benchMachine(b, core.DefaultConfig()) 
 func BenchmarkMachineIR(b *testing.B)   { benchMachine(b, core.IRChoice(false)) }
 func BenchmarkMachineVP(b *testing.B) {
 	benchMachine(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1))
+}
+
+// Fault-injection campaign throughput: how long a full deterministic smoke
+// campaign (baselines + injected runs + classification) takes end to end.
+func BenchmarkFaultCampaign(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fault campaign skipped in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		c := faultinject.SmokeCampaign(1)
+		reports, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := faultinject.Summarize(reports); !ok {
+			b.Fatal("smoke campaign verdict FAIL")
+		}
+	}
 }
 
 // Functional emulator throughput.

@@ -29,6 +29,8 @@ func main() {
 	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions (0 = full run)")
 	showOutput := flag.Bool("output", false, "print the program's output")
 	list := flag.Bool("list", false, "list the benchmarks and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none), e.g. 30s")
+	watchdog := flag.Int64("watchdog", 0, "livelock watchdog: abort after N cycles without a retirement (0 = default, negative = off)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +48,8 @@ func main() {
 		VerifyLatency:    *vlat,
 		LateValidation:   *late,
 		MaxInsts:         *maxInsts,
+		Timeout:          *timeout,
+		WatchdogCycles:   *watchdog,
 	}
 
 	var res vpir.Result

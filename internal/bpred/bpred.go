@@ -9,6 +9,11 @@
 // squash, which is what the State snapshot type is for.
 package bpred
 
+import (
+	"fmt"
+	"math/rand"
+)
+
 // Config sizes the predictor. DefaultConfig matches Table 1.
 type Config struct {
 	HistoryBits  int // global history register width
@@ -175,6 +180,52 @@ func (p *Predictor) Restore(s State) {
 	p.hist = s.Hist
 	p.rasTop = s.RASTop
 	copy(p.ras, s.RAS)
+}
+
+// CorruptCounter perturbs one direction counter chosen by r; for
+// fault-injection campaigns. Direction predictions are always verified by
+// branch resolution, so this is performance-only by construction.
+func (p *Predictor) CorruptCounter(r *rand.Rand) string {
+	idx := r.Intn(len(p.counters))
+	old := p.counters[idx]
+	p.counters[idx] = uint8(3 - old) // guaranteed state change for any 0..3
+	return fmt.Sprintf("bpred ctr[%d] %d->%d", idx, old, p.counters[idx])
+}
+
+// CorruptHistory flips bits of the speculative global history register.
+func (p *Predictor) CorruptHistory(r *rand.Rand) string {
+	mask := (r.Uint32() | 1) & p.histMask
+	p.hist ^= mask
+	return fmt.Sprintf("bpred hist^=%#x", mask)
+}
+
+// CorruptBTB redirects the target of one valid BTB entry chosen by r; ok is
+// false when the BTB is still empty. A wrong indirect target only misleads
+// fetch until the jump resolves and squashes, so this too is timing-only.
+func (p *Predictor) CorruptBTB(r *rand.Rand) (desc string, ok bool) {
+	victimSet, victimWay := -1, 0
+	seen := 0
+	for s := range p.btb {
+		for w := range p.btb[s] {
+			if !p.btb[s][w].valid {
+				continue
+			}
+			seen++
+			if r.Intn(seen) == 0 {
+				victimSet, victimWay = s, w
+			}
+		}
+	}
+	if victimSet < 0 {
+		return "", false
+	}
+	e := &p.btb[victimSet][victimWay]
+	mask := (r.Uint32() | 1) &^ 3 // keep the target word-aligned
+	if mask == 0 {
+		mask = 4
+	}
+	e.target ^= mask
+	return fmt.Sprintf("btb[%d,%d] pc=%#x target^=%#x", victimSet, victimWay, e.tag, mask), true
 }
 
 // Reset clears all predictor state.

@@ -73,6 +73,7 @@ func (m *Machine) commit() error {
 
 		m.commitCursor++
 		m.stats.Committed++
+		m.lastRetire = m.cycle
 		if m.commitCursor == int64(m.oracle.Len()) {
 			m.halted = true
 		}

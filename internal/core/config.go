@@ -134,7 +134,17 @@ type Config struct {
 	Technique Technique
 	VP        VPConfig
 	IR        IRConfig
+
+	// Watchdog is the livelock/deadlock detector: when more than this many
+	// cycles pass without a single retirement, Machine.Run aborts with a
+	// structured *SimError instead of spinning forever (0 disables). The
+	// base machine retires something every few dozen cycles at worst, so
+	// the default threshold is conservative by several orders of magnitude.
+	Watchdog uint64
 }
+
+// DefaultWatchdog is the default no-retirement threshold in cycles.
+const DefaultWatchdog = 100_000
 
 // DefaultConfig returns the paper's Table 1 base machine.
 func DefaultConfig() Config {
@@ -164,7 +174,8 @@ func DefaultConfig() Config {
 			ResultTable:      vp.DefaultConfig(vp.Magic),
 			AddrTable:        vp.DefaultConfig(vp.Magic),
 		},
-		IR: IRConfig{Buffer: reuse.DefaultConfig()},
+		IR:       IRConfig{Buffer: reuse.DefaultConfig()},
+		Watchdog: DefaultWatchdog,
 	}
 }
 
@@ -215,6 +226,26 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative verification latency")
 	}
 	return nil
+}
+
+// Key returns an unambiguous, stable identity string covering every
+// configuration field; the harness uses it (not the display Name) as its
+// simulation cache key, so two configs differing in any field never alias.
+//
+// Every field of Config and of its nested config structs must contribute.
+// The nested structs (cache, bpred, VP/IR tables) are flat value structs of
+// scalars, so the %+v expansion below is complete and deterministic for
+// them; TestConfigKeyCoversEveryField perturbs each leaf field reflectively
+// and fails if a future field is ever left out of the key.
+func (c Config) Key() string {
+	return fmt.Sprintf("fw%d dw%d iw%d cw%d wb%d rob%d lsq%d br%d fq%d "+
+		"alu%d mp%d fpa%d ic%+v dc%+v bp%+v tech%d "+
+		"vp{s%d r%d x%d vl%d pa%t rt%+v at%+v} ir{late%t rb%+v} wd%d",
+		c.FetchWidth, c.DecodeWidth, c.IssueWidth, c.CommitWidth, c.WBWidth,
+		c.ROBSize, c.LSQSize, c.MaxBranches, c.FetchQueue,
+		c.IntALUs, c.MemPorts, c.FPAdders, c.ICache, c.DCache, c.Bpred, c.Technique,
+		c.VP.Scheme, c.VP.Resolution, c.VP.Reexec, c.VP.VerifyLat, c.VP.PredictAddresses,
+		c.VP.ResultTable, c.VP.AddrTable, c.IR.LateValidation, c.IR.Buffer, c.Watchdog)
 }
 
 // Name returns a short configuration label like "VP_Magic ME-SB vlat=1" or

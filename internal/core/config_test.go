@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// perturbLeaves calls fn once per leaf field of base (recursing into nested
+// structs). Each call sees base with exactly that one leaf changed (ints and
+// uints +1, bools flipped); the leaf is restored before moving on.
+func perturbLeaves(t *testing.T, base *Config, fn func(path string)) {
+	t.Helper()
+	var walk func(path string, v reflect.Value)
+	walk = func(path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				walk(path+"."+v.Type().Field(i).Name, v.Field(i))
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			old := v.Int()
+			v.SetInt(old + 1)
+			fn(path)
+			v.SetInt(old)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			old := v.Uint()
+			v.SetUint(old + 1)
+			fn(path)
+			v.SetUint(old)
+		case reflect.Bool:
+			old := v.Bool()
+			v.SetBool(!old)
+			fn(path)
+			v.SetBool(old)
+		default:
+			t.Fatalf("Config leaf %s has kind %v; teach perturbLeaves (and check Key) about it", path, v.Kind())
+		}
+	}
+	walk("Config", reflect.ValueOf(base).Elem())
+}
+
+// TestConfigKeyCoversEveryField perturbs each leaf field of Config (ints +1,
+// bools flipped, recursing through the nested cache/bpred/VP/IR structs) and
+// asserts the cache key changes. This is the guard the harness relies on: if
+// a future Config field is left out of Key, ablation sweeps varying only
+// that field would silently alias cache entries.
+func TestConfigKeyCoversEveryField(t *testing.T) {
+	cfg := DefaultConfig()
+	baseKey := cfg.Key()
+	leaves := 0
+	seen := map[string]string{}
+	perturbLeaves(t, &cfg, func(path string) {
+		leaves++
+		k := cfg.Key()
+		if k == baseKey {
+			t.Errorf("Key() does not cover %s: perturbing it left the key unchanged", path)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key() collision: perturbing %s and %s produce the same key %q", path, prev, k)
+		}
+		seen[k] = path
+	})
+	if cfg.Key() != baseKey {
+		t.Fatal("perturbLeaves failed to restore the config")
+	}
+	// Sanity-check the walker visited a plausible number of leaves (Config
+	// currently has 30+; a broken walker visiting 0 or 2 must not pass).
+	if leaves < 25 {
+		t.Fatalf("perturbLeaves visited only %d leaves; walker is broken", leaves)
+	}
+	t.Logf("verified %d leaf fields contribute to Config.Key", leaves)
+}
+
+// TestConfigKeyDistinguishesConfigs spot-checks the satellite requirement
+// directly: two configurations differing in exactly one field must never
+// collide in the Runner cache — including fields that do not appear in the
+// display Name, which table-size ablations share across distinct configs.
+func TestConfigKeyDistinguishesConfigs(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.ROBSize = a.ROBSize * 2
+	if a.Key() == b.Key() {
+		t.Fatalf("configs differing only in ROBSize share key %q", a.Key())
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("display names unexpectedly differ (%q vs %q); the aliasing hazard premise changed", a.Name(), b.Name())
+	}
+
+	c := IRChoice(false)
+	d := IRChoice(true)
+	if c.Key() == d.Key() {
+		t.Fatalf("IR early and IR late share key %q", c.Key())
+	}
+
+	e := DefaultConfig()
+	f := DefaultConfig()
+	f.Bpred.HistoryBits++
+	if e.Key() == f.Key() {
+		t.Fatalf("configs differing only in Bpred.HistoryBits share key %q", e.Key())
+	}
+}

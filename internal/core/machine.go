@@ -91,6 +91,14 @@ type Machine struct {
 
 	stats Stats
 
+	// lastRetire is the cycle of the most recent retirement (or machine
+	// start); the watchdog measures no-progress stretches against it.
+	lastRetire uint64
+
+	// cycleHooks run at the top of every cycle; fault-injection campaigns
+	// use them to corrupt microarchitectural state mid-run.
+	cycleHooks []func(cycle uint64)
+
 	// debugCommit, when non-nil, observes each entry at commit (test hook).
 	debugCommit func(e *robEntry)
 	// tracer, when non-nil, records per-instruction pipeline events.
@@ -192,9 +200,42 @@ func (m *Machine) Halted() bool { return m.halted }
 // classification and for tests).
 func (m *Machine) Oracle() *emu.TraceLog { return m.oracle }
 
+// Cycle returns the current machine cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// The component accessors below expose the microarchitectural structures so
+// that fault-injection campaigns (internal/faultinject) can corrupt their
+// state mid-run. They return nil when the configuration does not
+// instantiate the structure.
+
+// VPT returns the result value-prediction table (nil unless VP is active).
+func (m *Machine) VPT() *vp.Table { return m.vpt }
+
+// VPA returns the address value-prediction table (nil unless VP predicts
+// addresses).
+func (m *Machine) VPA() *vp.Table { return m.vpa }
+
+// RB returns the reuse buffer (nil unless IR is active).
+func (m *Machine) RB() *reuse.Buffer { return m.rb }
+
+// BranchPredictor returns the front-end branch prediction unit.
+func (m *Machine) BranchPredictor() *bpred.Predictor { return m.bp }
+
+// Caches returns the instruction and data caches.
+func (m *Machine) Caches() (icache, dcache *mem.Cache) { return m.icache, m.dcache }
+
+// OnCycle registers a hook invoked at the top of every cycle, before any
+// pipeline stage runs. Hooks must not retain the machine across Run calls;
+// they exist for deterministic fault injection and instrumentation.
+func (m *Machine) OnCycle(fn func(cycle uint64)) {
+	m.cycleHooks = append(m.cycleHooks, fn)
+}
+
 // Run simulates up to maxCycles further cycles (0 = no limit), stopping
 // early when the program halts. It returns an error only on an internal
-// consistency failure (a divergence from the functional oracle).
+// consistency failure: a *SimError divergence from the functional oracle,
+// or a *SimError watchdog trip when Config.Watchdog cycles pass without a
+// retirement (livelock/deadlock detection).
 func (m *Machine) Run(maxCycles uint64) error {
 	limit := m.cycle + maxCycles
 	for !m.halted {
@@ -203,6 +244,9 @@ func (m *Machine) Run(maxCycles uint64) error {
 		}
 		if err := m.step(); err != nil {
 			return err
+		}
+		if wd := m.cfg.Watchdog; wd > 0 && m.cycle-m.lastRetire > wd {
+			return m.watchdogError(m.cycle - m.lastRetire)
 		}
 	}
 	return nil
@@ -215,6 +259,9 @@ func (m *Machine) Run(maxCycles uint64) error {
 func (m *Machine) step() error {
 	m.stats.Cycles++
 	m.dcPortsUsed = 0
+	for _, h := range m.cycleHooks {
+		h(m.cycle)
+	}
 	if err := m.processEvents(); err != nil {
 		return err
 	}
@@ -271,9 +318,22 @@ func (m *Machine) instAt(pc uint32) *isa.Inst {
 	return &m.decoded[(pc-prog.TextBase)/4]
 }
 
-// divergence builds the internal-error used when the timing core disagrees
+// divergence builds the structured error used when the timing core disagrees
 // with the functional oracle.
 func (m *Machine) divergence(e *robEntry, what string, got, want any) error {
-	return fmt.Errorf("core: divergence from oracle at pc %#x (inst %d, %s, line %d): %s: got %v want %v",
-		e.pc, e.traceIdx, m.cfg.Name(), m.prog.SrcLines[e.pc], what, got, want)
+	return &SimError{
+		Kind:         ErrDivergence,
+		Config:       m.cfg.Name(),
+		Cycle:        m.cycle,
+		PC:           e.pc,
+		Seq:          e.seq,
+		TraceIdx:     e.traceIdx,
+		SrcLine:      m.prog.SrcLines[e.pc],
+		Field:        what,
+		Got:          got,
+		Want:         want,
+		ROBOccupancy: int(m.robCount),
+		LSQOccupancy: int(m.lsqCount),
+		FetchPC:      m.fetchPC,
+	}
 }

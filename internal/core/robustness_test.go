@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/asm"
+	"github.com/vpir-sim/vpir/internal/reuse"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// livelockProg has a store on its path: with MemPorts=0 the store can
+// neither issue nor commit, so the pipeline wedges permanently.
+const livelockProg = `
+start:  li   $t0, 42
+        li   $t1, 0x20000000
+        sw   $t0, 0($t1)
+        li   $v0, 10
+        syscall
+`
+
+// TestWatchdogTripsOnLivelock starves the machine of memory ports so no
+// store can ever issue or commit, and checks that Run terminates with a
+// structured watchdog SimError instead of spinning forever.
+func TestWatchdogTripsOnLivelock(t *testing.T) {
+	p, err := asm.Assemble("livelock.s", livelockProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemPorts = 0 // no load/store units: stores stall in the LSQ forever
+	cfg.Watchdog = 5000
+	m, err := New(p, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(10 * cfg.Watchdog)
+	if err == nil {
+		t.Fatal("livelocked machine returned without error")
+	}
+	se, ok := AsSimError(err)
+	if !ok {
+		t.Fatalf("want *SimError, got %T: %v", err, err)
+	}
+	if se.Kind != ErrWatchdog || !IsWatchdog(err) {
+		t.Fatalf("want watchdog SimError, got kind %v: %v", se.Kind, err)
+	}
+	if IsDivergence(err) {
+		t.Fatal("watchdog error misclassified as divergence")
+	}
+	if se.Cycle <= cfg.Watchdog {
+		t.Errorf("trip cycle %d not past the %d-cycle threshold", se.Cycle, cfg.Watchdog)
+	}
+	if se.PC == 0 {
+		t.Error("watchdog SimError missing ROB-head PC")
+	}
+	if se.ROBOccupancy <= 0 {
+		t.Errorf("watchdog SimError reports empty ROB (%d); a wedged store should occupy it", se.ROBOccupancy)
+	}
+	if se.LSQOccupancy <= 0 {
+		t.Errorf("watchdog SimError reports empty LSQ (%d); the un-issuable store should occupy it", se.LSQOccupancy)
+	}
+	if se.Pipetrace == "" {
+		t.Error("watchdog SimError missing pipetrace window")
+	}
+	for _, want := range []string{"watchdog", "no retirement", "ROB"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("watchdog message %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+// TestWatchdogDisabled checks that Watchdog=0 really disables the detector:
+// the same wedged machine just runs out its cycle budget with no error (the
+// harness deadline is then the only bound, which is exactly why the default
+// config enables the watchdog).
+func TestWatchdogDisabled(t *testing.T) {
+	p, err := asm.Assemble("livelock.s", livelockProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemPorts = 0
+	cfg.Watchdog = 0
+	m, err := New(p, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(20_000); err != nil {
+		t.Fatalf("disabled watchdog still errored: %v", err)
+	}
+	if m.Halted() {
+		t.Fatal("wedged machine halted?")
+	}
+}
+
+// TestOracleCatchesRBResultCorruption forces the VP-vs-IR asymmetry the
+// fault campaign is built on: the reuse buffer's result field is the one
+// state element the reuse test does not guard, so corrupting it produces
+// wrong architectural results — which the commit-time oracle must flag as a
+// "result" divergence rather than let through silently.
+func TestOracleCatchesRBResultCorruption(t *testing.T) {
+	w, err := workload.Get("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, IRChoice(false), 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Corrupt every eligible buffered result periodically until the oracle
+	// objects; reuse of any corrupted entry retires a wrong value.
+	for !m.Halted() {
+		if err = m.Run(2000); err != nil {
+			break
+		}
+		m.RB().CorruptAllResults(rng)
+	}
+	if err == nil {
+		t.Fatal("RB result corruption retired silently: oracle never flagged it")
+	}
+	se, ok := AsSimError(err)
+	if !ok {
+		t.Fatalf("want *SimError, got %T: %v", err, err)
+	}
+	if se.Kind != ErrDivergence || !IsDivergence(err) {
+		t.Fatalf("want divergence SimError, got kind %v: %v", se.Kind, err)
+	}
+	if se.Field != "result" {
+		t.Errorf("divergence field = %q, want %q (corruption targets only the unguarded result field)", se.Field, "result")
+	}
+	if se.PC == 0 || se.Cycle == 0 {
+		t.Errorf("divergence SimError missing location: pc=%#x cycle=%d", se.PC, se.Cycle)
+	}
+}
+
+// TestGuardedRBFieldsAreRejected corrupts only the *guarded* RB fields —
+// operand values, operand names, dependence pointers — and checks the run
+// still retires the exact oracle trace: the reuse test itself screens these
+// faults out, which is the paper's "IR never uses a wrong value" property.
+func TestGuardedRBFieldsAreRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full guarded-corruption run skipped in -short mode")
+	}
+	w, err := workload.Get("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, IRChoice(false), 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for !m.Halted() {
+		if err := m.Run(2000); err != nil {
+			t.Fatalf("guarded-field corruption caused a failure: %v", err)
+		}
+		// One of each guarded flavor per window.
+		m.RB().Corrupt(reuse.CorruptOperandValue, rng)
+		m.RB().Corrupt(reuse.CorruptOperandName, rng)
+		m.RB().Corrupt(reuse.CorruptDepPointer, rng)
+	}
+	if m.ExitCode() != 0 {
+		t.Fatalf("exit code %d after guarded corruption", m.ExitCode())
+	}
+}

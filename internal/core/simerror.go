@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// SimErrorKind classifies the structured simulation errors.
+type SimErrorKind int
+
+const (
+	// ErrDivergence: a retiring instruction disagreed with the functional
+	// oracle. Always a simulator bug or an injected architectural fault,
+	// never a modeling choice.
+	ErrDivergence SimErrorKind = iota
+	// ErrWatchdog: the pipeline made no retirement progress for the
+	// configured number of cycles (livelock or deadlock).
+	ErrWatchdog
+)
+
+func (k SimErrorKind) String() string {
+	if k == ErrWatchdog {
+		return "watchdog"
+	}
+	return "divergence"
+}
+
+// SimError is the typed error returned by Machine.Run on an internal
+// failure: an oracle divergence at commit or a watchdog trip. It carries
+// enough machine state for a campaign driver or a bug report to be useful
+// without re-running the simulation.
+type SimError struct {
+	Kind   SimErrorKind
+	Config string // configuration label (Config.Name)
+
+	Cycle uint64
+	PC    uint32 // diverging instruction / ROB-head (or fetch) PC at the trip
+	Seq   uint64 // dynamic sequence number of that instruction (0 if none)
+
+	// Divergence details.
+	TraceIdx int64  // correct-path trace index of the diverging instruction
+	SrcLine  int    // assembly source line of the diverging instruction
+	Field    string // which quantity diverged: "result", "pc", "address", "direction", "commit order"
+	Got      any
+	Want     any
+
+	// Occupancy at the failure point.
+	ROBOccupancy int
+	LSQOccupancy int
+	FetchPC      uint32
+
+	// Pipetrace is a rendered pipeline-diagram window of the in-flight
+	// instructions (see pipetrace.go); populated on watchdog trips.
+	Pipetrace string
+}
+
+func (e *SimError) Error() string {
+	switch e.Kind {
+	case ErrWatchdog:
+		return fmt.Sprintf("core: watchdog: no retirement for %d cycles at cycle %d (%s): "+
+			"ROB head pc %#x seq %d, ROB %d, LSQ %d, fetch pc %#x",
+			e.Got, e.Cycle, e.Config, e.PC, e.Seq, e.ROBOccupancy, e.LSQOccupancy, e.FetchPC)
+	default:
+		return fmt.Sprintf("core: divergence from oracle at pc %#x (inst %d, %s, line %d): %s: got %v want %v",
+			e.PC, e.TraceIdx, e.Config, e.SrcLine, e.Field, e.Got, e.Want)
+	}
+}
+
+// IsDivergence reports whether err is (or wraps) an oracle-divergence
+// SimError; the fault-injection campaign keys its "detected" outcome off it.
+func IsDivergence(err error) bool {
+	se, ok := AsSimError(err)
+	return ok && se.Kind == ErrDivergence
+}
+
+// IsWatchdog reports whether err is (or wraps) a watchdog SimError.
+func IsWatchdog(err error) bool {
+	se, ok := AsSimError(err)
+	return ok && se.Kind == ErrWatchdog
+}
+
+// AsSimError unwraps err to a *SimError if there is one in its chain.
+func AsSimError(err error) (*SimError, bool) {
+	for err != nil {
+		if se, ok := err.(*SimError); ok {
+			return se, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil, false
+		}
+		err = u.Unwrap()
+	}
+	return nil, false
+}
+
+// watchdogError builds the structured livelock/deadlock error, including a
+// pipetrace window synthesized from the in-flight ROB contents so the stall
+// is diagnosable without re-running under a tracer.
+func (m *Machine) watchdogError(stalled uint64) *SimError {
+	se := &SimError{
+		Kind:         ErrWatchdog,
+		Config:       m.cfg.Name(),
+		Cycle:        m.cycle,
+		Got:          stalled,
+		ROBOccupancy: int(m.robCount),
+		LSQOccupancy: int(m.lsqCount),
+		FetchPC:      m.fetchPC,
+		PC:           m.fetchPC,
+	}
+	if m.robCount > 0 {
+		head := &m.rob[m.robHead]
+		se.PC = head.pc
+		se.Seq = head.seq
+		se.TraceIdx = head.traceIdx
+	}
+	se.Pipetrace = m.snapshotTrace(64)
+	return se
+}
+
+// snapshotTrace renders the current in-flight window (oldest to youngest
+// ROB entry) as a pipetrace diagram clamped to maxCycles columns. Events are
+// synthesized from the ROB, so it works without a tracer attached and costs
+// nothing during normal runs.
+func (m *Machine) snapshotTrace(maxCycles int) string {
+	tr := &PipeTracer{}
+	m.forEachROB(func(idx int32, e *robEntry) bool {
+		ev := PipeEvent{
+			Seq:     e.seq,
+			PC:      e.pc,
+			Disasm:  isa.Disasm(e.in, e.pc),
+			Fetch:   e.decodeCycle,
+			Decode:  e.decodeCycle,
+			Reused:  e.reused,
+			Pred:    e.predicted,
+			Execs:   e.execCount,
+			TraceID: e.traceIdx,
+		}
+		if e.final {
+			ev.Done = e.finalAt
+		}
+		tr.Events = append(tr.Events, ev)
+		return true
+	})
+	var b strings.Builder
+	if len(tr.Events) == 0 {
+		fmt.Fprintf(&b, "(ROB empty; fetch stalled at pc %#x)\n", m.fetchPC)
+		return b.String()
+	}
+	tr.Render(&b, maxCycles)
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// Outcome classifies one fault-injection run against its fault-free
+// baseline.
+type Outcome int
+
+const (
+	// Masked: the run finished and every statistic matches the baseline —
+	// the corrupted state was refreshed, evicted or never consulted.
+	Masked Outcome = iota
+	// Benign: the run finished with bit-identical architectural results
+	// (program output, exit code, every retired instruction oracle-checked)
+	// but shifted timing/statistics — the fault was absorbed by validation.
+	Benign
+	// Detected: the commit-time oracle flagged an architectural divergence.
+	Detected
+	// Hung: the pipeline watchdog tripped.
+	Hung
+	// Failed: any other error (including a silent output mismatch, which
+	// the oracle makes impossible short of a simulator bug).
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case Benign:
+		return "benign"
+	case Detected:
+		return "detected"
+	case Hung:
+		return "hung"
+	}
+	return "failed"
+}
+
+// RunReport is the result of one (benchmark, fault-kind) campaign cell.
+type RunReport struct {
+	Bench    string
+	Config   string // configuration label the fault ran under
+	Kind     Kind
+	Injected int
+	Skipped  int
+	Outcome  Outcome
+	Detail   string
+	Log      []string // per-fault injection log (deterministic)
+	// Expected says the outcome matches the fault model: unguarded RB
+	// result corruption must be Detected; every guarded or
+	// performance-only fault must finish with the oracle green (Masked or
+	// Benign).
+	Expected bool
+}
+
+// Campaign describes a deterministic fault-injection sweep.
+type Campaign struct {
+	Seed         int64
+	Benches      []string
+	Kinds        []Kind
+	MaxInsts     uint64 // per-run dynamic instruction cap (0 = full runs)
+	FaultsPerRun int
+}
+
+// DefaultCampaign is the standard sweep: every fault kind against a
+// store-heavy kernel (compress) and a reuse-heavy one (m88ksim), three
+// injection points per run, truncated runs.
+func DefaultCampaign(seed int64) Campaign {
+	return Campaign{
+		Seed:         seed,
+		Benches:      []string{"compress", "m88ksim"},
+		Kinds:        Kinds(),
+		MaxInsts:     60_000,
+		FaultsPerRun: 3,
+	}
+}
+
+// SmokeCampaign is the abbreviated sweep used by CI and -short tests.
+func SmokeCampaign(seed int64) Campaign {
+	return Campaign{
+		Seed:         seed,
+		Benches:      []string{"compress"},
+		Kinds:        Kinds(),
+		MaxInsts:     30_000,
+		FaultsPerRun: 3,
+	}
+}
+
+// configFor picks the machine configuration that instantiates the faulted
+// structure. VP runs use the last-value predictor (no oracle selection, so
+// a corrupted instance is actually consumed as a prediction) with a 1-cycle
+// verification latency.
+func configFor(k Kind) core.Config {
+	switch k {
+	case VPTValue, VPAValue:
+		return core.VPChoice(vp.LVP, core.SB, core.ME, 1)
+	case RBResult, RBOperand, RBOperandName, RBDepPointer:
+		return core.IRChoice(false)
+	default:
+		return core.DefaultConfig()
+	}
+}
+
+// baseline is the fault-free reference for one (bench, config) pair.
+type baseline struct {
+	stats  core.Stats
+	output string
+	exit   int
+}
+
+// Run executes the campaign and returns one report per (bench, kind) cell,
+// in deterministic order. The returned error covers campaign setup
+// problems only; per-run failures are reported as outcomes.
+func (c Campaign) Run() ([]RunReport, error) {
+	baselines := map[string]*baseline{}
+	var reports []RunReport
+	for _, bench := range c.Benches {
+		w, err := workload.Get(bench)
+		if err != nil {
+			return reports, err
+		}
+		p, err := w.Load(1)
+		if err != nil {
+			return reports, err
+		}
+		for _, kind := range c.Kinds {
+			cfg := configFor(kind)
+			bkey := bench + "|" + cfg.Key()
+			base := baselines[bkey]
+			if base == nil {
+				m, err := core.New(p, cfg, c.MaxInsts)
+				if err != nil {
+					return reports, err
+				}
+				if err := m.Run(0); err != nil {
+					return reports, fmt.Errorf("faultinject: baseline %s/%s: %w", bench, cfg.Name(), err)
+				}
+				base = &baseline{stats: m.Stats(), output: m.Output(), exit: m.ExitCode()}
+				baselines[bkey] = base
+			}
+
+			rep := RunReport{Bench: bench, Config: cfg.Name(), Kind: kind}
+			m, err := core.New(p, cfg, c.MaxInsts)
+			if err != nil {
+				return reports, err
+			}
+			plan := NewPlan(runSeed(c.Seed, bench, kind), kind, c.FaultsPerRun, base.stats.Cycles)
+			inj := Attach(m, plan)
+			runErr := m.Run(0)
+			rep.Injected, rep.Skipped = inj.Applied, inj.Skipped
+			rep.Log = inj.Log
+
+			switch {
+			case runErr == nil:
+				switch {
+				case m.Output() != base.output || m.ExitCode() != base.exit:
+					rep.Outcome = Failed
+					rep.Detail = "silent architectural divergence (output mismatch)"
+				case m.Stats() == base.stats:
+					rep.Outcome = Masked
+				default:
+					rep.Outcome = Benign
+					s := m.Stats()
+					rep.Detail = fmt.Sprintf("cycles %+d", int64(s.Cycles)-int64(base.stats.Cycles))
+				}
+			case core.IsDivergence(runErr):
+				se, _ := core.AsSimError(runErr)
+				rep.Outcome = Detected
+				rep.Detail = fmt.Sprintf("oracle: %s at pc %#x", se.Field, se.PC)
+			case core.IsWatchdog(runErr):
+				rep.Outcome = Hung
+				rep.Detail = runErr.Error()
+			default:
+				rep.Outcome = Failed
+				rep.Detail = runErr.Error()
+			}
+
+			if kind.Unguarded() {
+				rep.Expected = rep.Outcome == Detected
+			} else {
+				rep.Expected = rep.Outcome == Masked || rep.Outcome == Benign
+			}
+			reports = append(reports, rep)
+		}
+	}
+	return reports, nil
+}
+
+// runSeed derives a per-run RNG seed deterministically from the campaign
+// seed and the run identity.
+func runSeed(seed int64, bench string, kind Kind) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s", bench, kind)
+	return seed ^ int64(h.Sum64())
+}
+
+// Summarize renders the reports as a fixed-width table plus a PASS/FAIL
+// verdict line; allOK reports whether every cell matched its expectation.
+func Summarize(reports []RunReport) (table string, allOK bool) {
+	var b strings.Builder
+	allOK = true
+	counts := map[Outcome]int{}
+	fmt.Fprintf(&b, "%-9s %-20s %-17s %3s %3s  %-9s %-5s %s\n",
+		"bench", "config", "fault", "inj", "skp", "outcome", "ok", "detail")
+	for _, r := range reports {
+		counts[r.Outcome]++
+		okStr := "ok"
+		if !r.Expected {
+			okStr = "FAIL"
+			allOK = false
+		}
+		fmt.Fprintf(&b, "%-9s %-20s %-17s %3d %3d  %-9s %-5s %s\n",
+			r.Bench, r.Config, r.Kind.String(), r.Injected, r.Skipped,
+			r.Outcome.String(), okStr, r.Detail)
+	}
+	fmt.Fprintf(&b, "\n%d runs: %d masked, %d benign, %d detected, %d hung, %d failed\n",
+		len(reports), counts[Masked], counts[Benign], counts[Detected], counts[Hung], counts[Failed])
+	if allOK {
+		b.WriteString("PASS: VP/bpred/cache faults performance-only; unguarded RB result corruption caught by the oracle\n")
+	} else {
+		b.WriteString("FAIL: at least one run violated the fault model\n")
+	}
+	return b.String(), allOK
+}

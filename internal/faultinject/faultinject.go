@@ -1,0 +1,207 @@
+// Package faultinject implements deterministic fault-injection campaigns
+// against the timing simulator's microarchitectural state.
+//
+// The paper's central contrast — Value Prediction is speculative with late
+// validation, Instruction Reuse is non-speculative with early validation —
+// is directly testable as a robustness property. A corrupted VPT entry, a
+// perturbed branch-predictor counter or a flipped cache tag can change
+// *timing* but never architectural results: every predicted value is
+// verified against an actual execution, every predicted direction against a
+// resolution, and the caches are tag-only timing models. A reuse-buffer
+// entry is different: the S_{n+d} reuse test guards its operand names,
+// operand values and dependence pointers, but the buffered *result* is
+// unguarded — a reused result skips execution entirely, so a corrupted
+// result field flows straight into architectural state, where only the
+// commit-time oracle cross-check (core.checkOracle) can flag it.
+//
+// Everything here is deterministic: faults are planned from a fixed seed
+// and injected at fixed cycles, with no wall-clock anywhere, so a campaign
+// run twice produces byte-identical reports.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/reuse"
+)
+
+// Kind names one corruptible structure/field.
+type Kind int
+
+const (
+	VPTValue   Kind = iota // value-prediction table: buffered result value
+	VPAValue               // address-prediction table: buffered address value
+	RBResult               // reuse buffer: buffered result (UNGUARDED)
+	RBOperand              // reuse buffer: stored operand value
+	RBOperandName          // reuse buffer: stored operand register name
+	RBDepPointer           // reuse buffer: dependence pointer
+	BpredCounter           // gshare direction counter
+	BpredHistory           // speculative global history register
+	BpredBTB               // branch target buffer target
+	ICacheTag              // instruction cache tag line
+	DCacheTag              // data cache tag line
+	numKinds
+)
+
+// Kinds returns every fault kind in a fixed order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+func (k Kind) String() string {
+	switch k {
+	case VPTValue:
+		return "vpt-value"
+	case VPAValue:
+		return "vpa-value"
+	case RBResult:
+		return "rb-result"
+	case RBOperand:
+		return "rb-operand-value"
+	case RBOperandName:
+		return "rb-operand-name"
+	case RBDepPointer:
+		return "rb-dep-pointer"
+	case BpredCounter:
+		return "bpred-counter"
+	case BpredHistory:
+		return "bpred-history"
+	case BpredBTB:
+		return "bpred-btb"
+	case ICacheTag:
+		return "icache-tag"
+	case DCacheTag:
+		return "dcache-tag"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Unguarded reports whether faults of this kind can reach architectural
+// state. Only the RB result field is unguarded: everything else is either
+// validated before use (VP values, branch predictions), rejected by the
+// reuse test (RB operands and links), or timing-only by construction
+// (cache tags).
+func (k Kind) Unguarded() bool { return k == RBResult }
+
+// Fault is one planned corruption.
+type Fault struct {
+	Cycle uint64
+	Kind  Kind
+}
+
+// Plan is a deterministic, seeded fault schedule for one run.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// NewPlan schedules count faults of the given kind, evenly spaced across
+// (0, horizon] — the caller typically passes the fault-free run's cycle
+// count as the horizon so every injection lands mid-run.
+func NewPlan(seed int64, kind Kind, count int, horizon uint64) *Plan {
+	p := &Plan{Seed: seed}
+	if count <= 0 || horizon == 0 {
+		return p
+	}
+	step := horizon / uint64(count+1)
+	if step == 0 {
+		step = 1
+	}
+	for i := 1; i <= count; i++ {
+		p.Faults = append(p.Faults, Fault{Cycle: uint64(i) * step, Kind: kind})
+	}
+	return p
+}
+
+// Injector applies a Plan to a running machine via its per-cycle hook.
+type Injector struct {
+	rng    *rand.Rand
+	m      *core.Machine
+	faults []Fault
+	next   int
+
+	Applied int      // faults that mutated state
+	Skipped int      // faults with no valid target yet (empty structure)
+	Log     []string // one deterministic line per planned fault
+}
+
+// Attach registers plan against m. Must be called before Run.
+func Attach(m *core.Machine, plan *Plan) *Injector {
+	inj := &Injector{
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		m:      m,
+		faults: plan.Faults,
+	}
+	m.OnCycle(inj.tick)
+	return inj
+}
+
+func (inj *Injector) tick(cycle uint64) {
+	for inj.next < len(inj.faults) && inj.faults[inj.next].Cycle <= cycle {
+		f := inj.faults[inj.next]
+		inj.next++
+		inj.apply(f)
+	}
+}
+
+func (inj *Injector) apply(f Fault) {
+	var desc string
+	var ok bool
+	switch f.Kind {
+	case VPTValue:
+		if t := inj.m.VPT(); t != nil {
+			desc, ok = t.CorruptValue(inj.rng)
+		}
+	case VPAValue:
+		if t := inj.m.VPA(); t != nil {
+			desc, ok = t.CorruptValue(inj.rng)
+		}
+	case RBResult:
+		if b := inj.m.RB(); b != nil {
+			// Burst form: corrupt every value-producing entry so at least
+			// one corrupted result is consumed by a later reuse test before
+			// refresh or eviction — the detection outcome stays
+			// deterministic instead of depending on one entry's luck.
+			if n := b.CorruptAllResults(inj.rng); n > 0 {
+				desc, ok = fmt.Sprintf("rb burst: %d results corrupted", n), true
+			}
+		}
+	case RBOperand:
+		if b := inj.m.RB(); b != nil {
+			desc, ok = b.Corrupt(reuse.CorruptOperandValue, inj.rng)
+		}
+	case RBOperandName:
+		if b := inj.m.RB(); b != nil {
+			desc, ok = b.Corrupt(reuse.CorruptOperandName, inj.rng)
+		}
+	case RBDepPointer:
+		if b := inj.m.RB(); b != nil {
+			desc, ok = b.Corrupt(reuse.CorruptDepPointer, inj.rng)
+		}
+	case BpredCounter:
+		desc, ok = inj.m.BranchPredictor().CorruptCounter(inj.rng), true
+	case BpredHistory:
+		desc, ok = inj.m.BranchPredictor().CorruptHistory(inj.rng), true
+	case BpredBTB:
+		desc, ok = inj.m.BranchPredictor().CorruptBTB(inj.rng)
+	case ICacheTag:
+		ic, _ := inj.m.Caches()
+		desc, ok = ic.CorruptTag(inj.rng)
+	case DCacheTag:
+		_, dc := inj.m.Caches()
+		desc, ok = dc.CorruptTag(inj.rng)
+	}
+	if ok {
+		inj.Applied++
+		inj.Log = append(inj.Log, fmt.Sprintf("cycle %d: %s: %s", f.Cycle, f.Kind, desc))
+	} else {
+		inj.Skipped++
+		inj.Log = append(inj.Log, fmt.Sprintf("cycle %d: %s: skipped (no valid target)", f.Cycle, f.Kind))
+	}
+}

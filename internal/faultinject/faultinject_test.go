@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanDeterminism: same seed, same parameters → identical plan. The
+// whole campaign's byte-identical-output guarantee rests on this.
+func TestPlanDeterminism(t *testing.T) {
+	a := NewPlan(42, RBResult, 3, 90_000)
+	b := NewPlan(42, RBResult, 3, 90_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed plans differ:\n%+v\n%+v", a, b)
+	}
+	c := NewPlan(43, RBResult, 3, 90_000)
+	if c.Seed == a.Seed {
+		t.Fatal("different seeds produced the same plan seed")
+	}
+	if len(a.Faults) != 3 {
+		t.Fatalf("want 3 faults, got %d", len(a.Faults))
+	}
+	var prev uint64
+	for i, f := range a.Faults {
+		if f.Cycle == 0 {
+			t.Errorf("fault %d scheduled at cycle 0 (before any state exists)", i)
+		}
+		if f.Cycle <= prev && i > 0 {
+			t.Errorf("fault cycles not strictly increasing: %d then %d", prev, f.Cycle)
+		}
+		if f.Cycle >= 90_000 {
+			t.Errorf("fault %d at cycle %d past the %d-cycle horizon", i, f.Cycle, 90_000)
+		}
+		prev = f.Cycle
+	}
+}
+
+// TestKindProperties pins the fault taxonomy: exactly one kind is unguarded
+// (the RB result field), and every kind has a stable printable name.
+func TestKindProperties(t *testing.T) {
+	unguarded := 0
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		if k.Unguarded() {
+			unguarded++
+			if k != RBResult {
+				t.Errorf("kind %v claims to be unguarded; only the RB result field is", k)
+			}
+		}
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if unguarded != 1 {
+		t.Fatalf("want exactly 1 unguarded kind (rb-result), got %d", unguarded)
+	}
+}
+
+// TestSmokeCampaign runs the short campaign twice and checks the paper's
+// asymmetry plus end-to-end determinism:
+//
+//   - every VP / bpred / cache fault is performance-only (Masked or Benign;
+//     the oracle stays green);
+//   - guarded RB fields (operands, names, dep pointers) are likewise
+//     rejected by the reuse test;
+//   - the unguarded RB result field is Detected by the commit-time oracle;
+//   - the rendered report is byte-identical across runs.
+func TestSmokeCampaign(t *testing.T) {
+	run := func() ([]RunReport, string) {
+		c := SmokeCampaign(1)
+		reports, err := c.Run()
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		table, ok := Summarize(reports)
+		if !ok {
+			t.Fatalf("campaign verdict FAIL:\n%s", table)
+		}
+		return reports, table
+	}
+	reports, table1 := run()
+
+	for _, r := range reports {
+		switch {
+		case r.Kind.Unguarded():
+			if r.Outcome != Detected {
+				t.Errorf("%s/%s: unguarded fault outcome %v, want Detected\n  detail: %s",
+					r.Bench, r.Kind, r.Outcome, r.Detail)
+			}
+		default:
+			if r.Outcome != Masked && r.Outcome != Benign {
+				t.Errorf("%s/%s: guarded fault outcome %v, want Masked or Benign\n  detail: %s",
+					r.Bench, r.Kind, r.Outcome, r.Detail)
+			}
+		}
+		if r.Injected == 0 && r.Skipped == 0 {
+			t.Errorf("%s/%s: plan applied no faults at all", r.Bench, r.Kind)
+		}
+	}
+
+	_, table2 := run()
+	if table1 != table2 {
+		t.Fatalf("campaign output not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", table1, table2)
+	}
+}
+
+// TestRunSeedIndependence: per-run seeds must differ across (bench, kind)
+// so runs do not share fault streams, yet derive only from the campaign
+// seed (no wall clock, no global state).
+func TestRunSeedIndependence(t *testing.T) {
+	s1 := runSeed(1, "compress", RBResult)
+	s2 := runSeed(1, "compress", VPTValue)
+	s3 := runSeed(1, "m88ksim", RBResult)
+	s4 := runSeed(2, "compress", RBResult)
+	if s1 == s2 || s1 == s3 || s1 == s4 {
+		t.Fatalf("run seeds collide: %d %d %d %d", s1, s2, s3, s4)
+	}
+	if s1 != runSeed(1, "compress", RBResult) {
+		t.Fatal("runSeed not deterministic")
+	}
+}

@@ -5,9 +5,12 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/redundancy"
@@ -16,7 +19,12 @@ import (
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
-// Runner executes and caches simulations.
+// Runner executes and caches simulations. It is hardened for long
+// campaigns: each run is bounded by an optional wall-clock deadline, panics
+// in a simulation are converted to errors instead of killing the whole
+// fleet, failures marked Transient are retried a bounded number of times,
+// and RunAll aggregates every per-benchmark error while still returning the
+// successful partial results.
 type Runner struct {
 	// Scale multiplies the workload sizes (1 = the standard runs).
 	Scale int
@@ -25,10 +33,33 @@ type Runner struct {
 	MaxInsts uint64
 	// Parallel runs benchmarks concurrently (per experiment).
 	Parallel bool
+	// Timeout bounds each simulation's wall-clock time (0 = unbounded).
+	// A run that exceeds it fails with context.DeadlineExceeded.
+	Timeout time.Duration
+	// Retries is how many times a run whose error is marked Transient is
+	// re-attempted (deterministic simulator failures are never retried).
+	Retries int
 
 	mu    sync.Mutex
 	cache map[string]core.Stats
 	red   map[string]*redundancy.Result
+
+	// runHook, when non-nil, replaces the simulation in attempt; tests use
+	// it to inject failures, panics and transient errors.
+	runHook func(bench string, cfg core.Config) (core.Stats, error)
+}
+
+// Transient wraps an error to mark the failed run as retryable (an external
+// resource hiccup rather than a deterministic simulator failure).
+type Transient struct{ Err error }
+
+func (t *Transient) Error() string { return "transient: " + t.Err.Error() }
+func (t *Transient) Unwrap() error { return t.Err }
+
+// IsTransient reports whether err is (or wraps) a Transient failure.
+func IsTransient(err error) bool {
+	var t *Transient
+	return errors.As(err, &t)
 }
 
 // NewRunner builds a Runner with the standard scale.
@@ -42,10 +73,11 @@ func NewRunner() *Runner {
 }
 
 // Run simulates one benchmark under one configuration (cached). The cache
-// key covers the entire configuration, not just its display name — ablation
-// sweeps vary structure sizes under the same name.
+// key is Config.Key, which covers the entire configuration field by field,
+// not just its display name — ablation sweeps vary structure sizes under
+// the same name, and a sloppier key would silently alias their entries.
 func (r *Runner) Run(bench string, cfg core.Config) (core.Stats, error) {
-	key := fmt.Sprintf("%s/%+v/%d/%d", bench, cfg, r.Scale, r.MaxInsts)
+	key := fmt.Sprintf("%s|%s|%d|%d", bench, cfg.Key(), r.Scale, r.MaxInsts)
 	r.mu.Lock()
 	if s, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -53,6 +85,31 @@ func (r *Runner) Run(bench string, cfg core.Config) (core.Stats, error) {
 	}
 	r.mu.Unlock()
 
+	s, err := r.attempt(bench, cfg)
+	for retry := 0; err != nil && IsTransient(err) && retry < r.Retries; retry++ {
+		s, err = r.attempt(bench, cfg)
+	}
+	if err != nil {
+		return core.Stats{}, err
+	}
+	r.mu.Lock()
+	r.cache[key] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// attempt performs one simulation, converting panics to errors so a bad
+// run cannot take down a whole campaign (RunAll runs these in goroutines,
+// where an unrecovered panic kills the process).
+func (r *Runner) attempt(bench string, cfg core.Config) (s core.Stats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: panic simulating %s under %s: %v", bench, cfg.Name(), p)
+		}
+	}()
+	if r.runHook != nil {
+		return r.runHook(bench, cfg)
+	}
 	w, err := workload.Get(bench)
 	if err != nil {
 		return core.Stats{}, err
@@ -65,28 +122,49 @@ func (r *Runner) Run(bench string, cfg core.Config) (core.Stats, error) {
 	if err != nil {
 		return core.Stats{}, err
 	}
-	if err := m.Run(0); err != nil {
+	ctx := context.Background()
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	if err := runMachine(ctx, m); err != nil {
 		return core.Stats{}, err
 	}
-	s := m.Stats()
-	r.mu.Lock()
-	r.cache[key] = s
-	r.mu.Unlock()
-	return s, nil
+	return m.Stats(), nil
+}
+
+// runMachine drives m to completion in bounded cycle slices so the context
+// deadline is observed; the machine's own watchdog separately bounds
+// no-progress livelock in simulated time.
+func runMachine(ctx context.Context, m *core.Machine) error {
+	const slice = 200_000 // cycles between deadline checks
+	for !m.Halted() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("harness: %s at cycle %d: %w", m.Config().Name(), m.Cycle(), err)
+		}
+		if err := m.Run(slice); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunAll simulates every benchmark under cfg, in the paper's order,
-// optionally in parallel.
+// optionally in parallel. All per-benchmark errors are aggregated with
+// errors.Join, and the successful runs are returned regardless — a single
+// failing benchmark no longer discards an entire campaign's work.
 func (r *Runner) RunAll(cfg core.Config) (map[string]core.Stats, error) {
-	out := make(map[string]core.Stats, len(workload.Names()))
+	benches := workload.Names()
+	out := make(map[string]core.Stats, len(benches))
+	errs := make([]error, len(benches))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	errs := make(chan error, len(workload.Names()))
-	for _, bench := range workload.Names() {
-		run := func(bench string) {
+	for i, bench := range benches {
+		run := func(i int, bench string) {
 			s, err := r.Run(bench, cfg)
 			if err != nil {
-				errs <- fmt.Errorf("%s: %w", bench, err)
+				errs[i] = fmt.Errorf("%s: %w", bench, err)
 				return
 			}
 			mu.Lock()
@@ -95,20 +173,18 @@ func (r *Runner) RunAll(cfg core.Config) (map[string]core.Stats, error) {
 		}
 		if r.Parallel {
 			wg.Add(1)
-			go func(b string) {
+			go func(i int, b string) {
 				defer wg.Done()
-				run(b)
-			}(bench)
+				run(i, b)
+			}(i, bench)
 		} else {
-			run(bench)
+			run(i, bench)
 		}
 	}
 	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
-	}
-	return out, nil
+	// errs is indexed by benchmark so the joined error is deterministic
+	// regardless of goroutine finishing order.
+	return out, errors.Join(errs...)
 }
 
 // Redundancy runs the §4.3 limit study for one benchmark (cached).

@@ -1,5 +1,10 @@
 package mem
 
+import (
+	"fmt"
+	"math/rand"
+)
+
 // CacheConfig describes a set-associative cache. The defaults used by the
 // simulator come from Table 1: 64 KB, 2-way, 32-byte lines, 6-cycle miss.
 type CacheConfig struct {
@@ -127,6 +132,33 @@ func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 // boundaries" rule from Table 1.
 func (c *Cache) SameLine(a, b uint32) bool {
 	return a>>c.lineShift == b>>c.lineShift
+}
+
+// CorruptTag flips bits in the tag of one valid line chosen by r; ok is
+// false when every line is still invalid. The cache is a tag-only timing
+// model (data always lives in Memory), so tag corruption can create
+// spurious misses or spurious hits but never a wrong value — by
+// construction it is performance-only.
+func (c *Cache) CorruptTag(r *rand.Rand) (desc string, ok bool) {
+	victimSet, victimWay := -1, 0
+	seen := 0
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			if c.tags[s][w] == invalidTag {
+				continue
+			}
+			seen++
+			if r.Intn(seen) == 0 {
+				victimSet, victimWay = s, w
+			}
+		}
+	}
+	if victimSet < 0 {
+		return "", false
+	}
+	mask := r.Uint32() | 1
+	c.tags[victimSet][victimWay] ^= mask
+	return fmt.Sprintf("cache tag[%d,%d]^=%#x", victimSet, victimWay, mask), true
 }
 
 // Reset invalidates all lines and zeroes the statistics.

@@ -55,8 +55,16 @@ func (p *Program) Symbol(name string) (uint32, error) {
 	return a, nil
 }
 
-// MustSymbol is Symbol but panics on a missing label; for use in tests and
-// workload construction where the label is known to exist.
+// MustSymbol is Symbol but panics on a missing label.
+//
+// It is for tests and workload *construction* only — code paths where the
+// label is statically known to exist and a panic is a programming error.
+// Production load paths (workload.Workload.Load, the harness Runner, the
+// command-line tools) must use Symbol and propagate the error: a missing
+// symbol there is bad input, not a bug, and long simulation campaigns must
+// degrade to a per-run error instead of crashing the fleet. (The harness
+// additionally converts stray panics in a run to errors, but that is a
+// backstop, not an excuse.)
 func (p *Program) MustSymbol(name string) uint32 {
 	a, err := p.Symbol(name)
 	if err != nil {

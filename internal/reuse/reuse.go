@@ -28,6 +28,9 @@
 package reuse
 
 import (
+	"fmt"
+	"math/rand"
+
 	"github.com/vpir-sim/vpir/internal/isa"
 )
 
@@ -470,6 +473,128 @@ func (b *Buffer) MarkWrongPath(l Link) {
 	if e := b.get(l); e != nil {
 		e.wrongPath = true
 	}
+}
+
+// CorruptTarget selects which RB entry field a fault-injection campaign
+// corrupts. The distinction matters because IR validates *early*: the
+// S_{n+d} reuse test guards the operand names, operand values and
+// dependence pointers (a corrupted entry simply stops matching and the
+// instruction executes normally), but nothing guards the buffered result
+// itself — a reused result skips execution entirely, so a corrupted result
+// field reaches architectural state and is only caught by the commit-time
+// oracle. VP, by contrast, verifies every predicted value against the
+// actual execution, so no VPT field is unguarded.
+type CorruptTarget int
+
+const (
+	// CorruptResult flips bits in the buffered result: UNGUARDED. If the
+	// entry later passes the reuse test, the wrong value retires.
+	CorruptResult CorruptTarget = iota
+	// CorruptOperandValue flips bits in a stored operand value: guarded by
+	// the reuse test's value comparison (the entry stops matching).
+	CorruptOperandValue
+	// CorruptOperandName renames a stored source register: guarded — the
+	// test still compares the stored operand value against the consuming
+	// instruction's actual operand, so at worst the entry stops matching.
+	CorruptOperandName
+	// CorruptDepPointer redirects a dependence pointer: guarded by the
+	// generation check (a stale link never revalidates).
+	CorruptDepPointer
+)
+
+func (t CorruptTarget) String() string {
+	switch t {
+	case CorruptOperandValue:
+		return "operand-value"
+	case CorruptOperandName:
+		return "operand-name"
+	case CorruptDepPointer:
+		return "dependence-pointer"
+	}
+	return "result"
+}
+
+// Corrupt applies one fault of the given target to a valid entry chosen by
+// r; ok is false when no suitable entry exists. Control-transfer entries
+// are skipped by CorruptResult (their buffered "result" is direction/target
+// bookkeeping whose corruption strands fetch on a garbage path — that
+// failure mode is the watchdog's, not the oracle's, and campaigns want the
+// deterministic oracle-detection outcome).
+func (b *Buffer) Corrupt(target CorruptTarget, r *rand.Rand) (desc string, ok bool) {
+	victim := -1
+	seen := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid {
+			continue
+		}
+		if target == CorruptResult && (e.op.IsControl() || e.isMem && !e.isLoad) {
+			continue // control bookkeeping / address-only store entries
+		}
+		if target == CorruptOperandName && e.src1Name == isa.NoReg && e.src2Name == isa.NoReg {
+			continue
+		}
+		seen++
+		if r.Intn(seen) == 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return "", false
+	}
+	e := &b.entries[victim]
+	switch target {
+	case CorruptResult:
+		mask := isa.Word(r.Uint32() | 1)
+		e.result ^= mask
+		return fmt.Sprintf("rb[%d] pc=%#x result^=%#x", victim, e.tag, uint32(mask)), true
+	case CorruptOperandValue:
+		mask := isa.Word(r.Uint32() | 1)
+		if e.src1Name != isa.NoReg || e.src2Name == isa.NoReg {
+			e.src1Val ^= mask
+		} else {
+			e.src2Val ^= mask
+		}
+		return fmt.Sprintf("rb[%d] pc=%#x operand^=%#x", victim, e.tag, uint32(mask)), true
+	case CorruptOperandName:
+		// Rotate to a different *architectural* register; never to NoReg,
+		// which would erase the operand guard rather than perturb it.
+		slot := &e.src1Name
+		if e.src1Name == isa.NoReg {
+			slot = &e.src2Name
+		}
+		nr := isa.Reg((int(*slot) + 1 + r.Intn(int(isa.NumArchRegs)-2)) % int(isa.NumArchRegs))
+		old := *slot
+		*slot = nr
+		return fmt.Sprintf("rb[%d] pc=%#x opname %v->%v", victim, e.tag, old, nr), true
+	default: // CorruptDepPointer
+		l := Link{Idx: int32(r.Intn(len(b.entries))), Gen: r.Uint32()}
+		if e.src1Link.Idx >= 0 || e.src2Link.Idx < 0 {
+			e.src1Link = l
+		} else {
+			e.src2Link = l
+		}
+		return fmt.Sprintf("rb[%d] pc=%#x deplink->{%d,%d}", victim, e.tag, l.Idx, l.Gen), true
+	}
+}
+
+// CorruptAllResults corrupts the buffered result of every valid
+// value-producing entry (same skip rules as Corrupt/CorruptResult) and
+// returns how many entries were hit. Campaigns use the burst form so that
+// at least one corrupted entry is consumed by a later reuse test before
+// being refreshed or evicted, making the oracle-detection outcome
+// deterministic rather than probabilistic.
+func (b *Buffer) CorruptAllResults(r *rand.Rand) int {
+	n := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid || e.op.IsControl() || e.isMem && !e.isLoad {
+			continue
+		}
+		e.result ^= isa.Word(r.Uint32() | 1)
+		n++
+	}
+	return n
 }
 
 // Instances returns how many instances are buffered for pc; for tests.

@@ -18,7 +18,12 @@
 // effective addresses of memory operations.
 package vp
 
-import "github.com/vpir-sim/vpir/internal/isa"
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
 
 // Scheme selects the prediction policy.
 type Scheme int
@@ -286,6 +291,37 @@ func (t *Table) Instances(pc uint32) []isa.Word {
 		out = append(out, set[idx[i]].value)
 	}
 	return out
+}
+
+// CorruptValue flips bits in the buffered value (and, for Stride, the
+// stride) of one valid instance chosen by r; for fault-injection campaigns.
+// Because a VPT value is only ever used speculatively — the instruction
+// still executes and the prediction is verified against the actual result —
+// a corrupted instance can change timing but never architectural state.
+// ok is false when the table holds no valid instance yet.
+func (t *Table) CorruptValue(r *rand.Rand) (desc string, ok bool) {
+	victim := -1
+	seen := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			continue
+		}
+		seen++
+		// Reservoir sample so the choice is uniform without a second pass.
+		if r.Intn(seen) == 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return "", false
+	}
+	e := &t.entries[victim]
+	mask := isa.Word(r.Uint32() | 1) // non-zero: the value always changes
+	e.value ^= mask
+	if t.cfg.Scheme == Stride {
+		e.stride ^= isa.Word(r.Uint32() | 1)
+	}
+	return fmt.Sprintf("vpt[%d] pc=%#x value^=%#x", victim, e.tag, uint32(mask)), true
 }
 
 // Reset clears the table and statistics.

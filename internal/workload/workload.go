@@ -80,13 +80,21 @@ func Register(w *Workload) error {
 
 var progCache sync.Map // name/scale -> *prog.Program
 
-// Load assembles the workload at the given scale (cached).
-func (w *Workload) Load(scale int) (*prog.Program, error) {
+// Load assembles the workload at the given scale (cached). It never
+// panics: source-generator or encoder panics (e.g. an out-of-range
+// immediate in a registered custom workload) are converted to errors so
+// campaign load paths always degrade to a per-benchmark failure.
+func (w *Workload) Load(scale int) (p *prog.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("workload %s: load panicked: %v", w.Name, r)
+		}
+	}()
 	key := fmt.Sprintf("%s/%d", w.Name, scale)
-	if p, ok := progCache.Load(key); ok {
-		return p.(*prog.Program), nil
+	if cached, ok := progCache.Load(key); ok {
+		return cached.(*prog.Program), nil
 	}
-	p, err := asm.Assemble(w.Name+".s", w.Source(scale))
+	p, err = asm.Assemble(w.Name+".s", w.Source(scale))
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
 	}

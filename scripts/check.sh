@@ -1,0 +1,21 @@
+#!/bin/sh
+# Pre-commit gate, equivalent to `make check` for environments without make:
+# vet, build, race-enabled tests, and the deterministic fault-injection
+# smoke campaign (see docs/robustness.md).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fault-injection smoke campaign =="
+go run ./cmd/vpir-faults -seed 1 -campaign smoke
+
+echo "check: all gates passed"

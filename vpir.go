@@ -22,6 +22,7 @@ package vpir
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/vpir-sim/vpir/internal/asm"
 	"github.com/vpir-sim/vpir/internal/core"
@@ -62,9 +63,31 @@ type Options struct {
 	// MaxInsts caps the simulated dynamic instruction count (0 = run the
 	// program to completion).
 	MaxInsts uint64
+
+	// WatchdogCycles overrides the pipeline livelock watchdog: when more
+	// than this many cycles pass without a retirement the run aborts with
+	// a structured error instead of spinning forever. 0 keeps the default
+	// (core.DefaultWatchdog); negative disables the watchdog.
+	WatchdogCycles int64
+
+	// Timeout bounds the simulation's wall-clock time (0 = unbounded).
+	Timeout time.Duration
 }
 
 func (o Options) config() (core.Config, error) {
+	cfg, err := o.baseConfig()
+	if err != nil {
+		return cfg, err
+	}
+	if o.WatchdogCycles > 0 {
+		cfg.Watchdog = uint64(o.WatchdogCycles)
+	} else if o.WatchdogCycles < 0 {
+		cfg.Watchdog = 0
+	}
+	return cfg, nil
+}
+
+func (o Options) baseConfig() (core.Config, error) {
 	switch o.Technique {
 	case "", Base:
 		return core.DefaultConfig(), nil
@@ -201,7 +224,21 @@ func runProgram(p *prog.Program, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := m.Run(0); err != nil {
+	if opt.Timeout > 0 {
+		// Drive the machine in slices so the wall-clock deadline is
+		// observed; the watchdog separately bounds simulated-time livelock.
+		deadline := time.Now().Add(opt.Timeout)
+		const slice = 200_000
+		for !m.Halted() {
+			if time.Now().After(deadline) {
+				return Result{}, fmt.Errorf("vpir: %s timed out after %v at cycle %d",
+					cfg.Name(), opt.Timeout, m.Cycle())
+			}
+			if err := m.Run(slice); err != nil {
+				return Result{}, err
+			}
+		}
+	} else if err := m.Run(0); err != nil {
 		return Result{}, err
 	}
 	return resultFrom(m), nil
