@@ -4,12 +4,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short smoke check bench clean
+.PHONY: all build fmt vet test test-race test-short smoke check bench bench-all clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Formatting gate: fails (and lists the offenders) if any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -31,10 +36,19 @@ test-short:
 smoke:
 	$(GO) run ./cmd/vpir-faults -seed 1 -campaign smoke
 
-check: vet build test-race smoke
+check: fmt vet build test-race smoke
 	@echo "check: all gates passed"
 
+# Simulator throughput benchmarks, recorded as the perf baseline: the text
+# goes to BENCH_baseline.txt (benchstat-compatible) and a JSONL rendering
+# to BENCH_baseline.json. The observability-overhead budget in
+# docs/observability.md is checked against this baseline.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem . | tee BENCH_baseline.txt
+	$(GO) run ./cmd/vpir-metrics -bench2json BENCH_baseline.txt > BENCH_baseline.json
+
+# Every benchmark in the repo, one iteration each (smoke, not measurement).
+bench-all:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 clean:

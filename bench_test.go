@@ -49,8 +49,11 @@ func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
 func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
 
 // Raw simulator throughput: simulated cycles and instructions per second
-// for each pipeline variant, on the compress kernel.
-func benchMachine(b *testing.B, cfg core.Config) {
+// for each pipeline variant, on the compress kernel. These are the
+// benchmarks recorded in BENCH_baseline.json by `make bench`; the Metrics
+// variant measures the observability overhead against them (the budget is
+// <3% with instrumentation detached — see docs/observability.md).
+func benchMachine(b *testing.B, cfg core.Config, observed bool) {
 	b.Helper()
 	if testing.Short() {
 		b.Skip("full-kernel machine benchmark skipped in -short mode")
@@ -69,6 +72,9 @@ func benchMachine(b *testing.B, cfg core.Config) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if observed {
+			m.AttachObserver(core.NewObserver(0, 0))
+		}
 		if err := m.Run(0); err != nil {
 			b.Fatal(err)
 		}
@@ -80,11 +86,16 @@ func benchMachine(b *testing.B, cfg core.Config) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
 }
 
-func BenchmarkMachineBase(b *testing.B) { benchMachine(b, core.DefaultConfig()) }
-func BenchmarkMachineIR(b *testing.B)   { benchMachine(b, core.IRChoice(false)) }
-func BenchmarkMachineVP(b *testing.B) {
-	benchMachine(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1))
+func BenchmarkSimBase(b *testing.B) { benchMachine(b, core.DefaultConfig(), false) }
+func BenchmarkSimIR(b *testing.B)   { benchMachine(b, core.IRChoice(false), false) }
+func BenchmarkSimVP(b *testing.B) {
+	benchMachine(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1), false)
 }
+
+// BenchmarkSimBaseMetrics is the instrumented counterpart of
+// BenchmarkSimBase: same machine with an Observer attached at the default
+// sampling interval, to keep the cost of enabled observability visible.
+func BenchmarkSimBaseMetrics(b *testing.B) { benchMachine(b, core.DefaultConfig(), true) }
 
 // Fault-injection campaign throughput: how long a full deterministic smoke
 // campaign (baselines + injected runs + classification) takes end to end.

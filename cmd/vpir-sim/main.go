@@ -6,17 +6,34 @@
 //	vpir-sim -bench compress -tech ir
 //	vpir-sim -bench go -tech vp -scheme lvp -resolution nsb -vlat 1
 //	vpir-sim -file prog.s -tech base
+//
+// Observability (see docs/observability.md):
+//
+//	vpir-sim -bench gcc -tech ir -metrics gcc.series.jsonl -events gcc.events.jsonl
+//	vpir-metrics gcc.series.jsonl
+//
+// Profiling the simulator itself: -cpuprofile, -memprofile and -trace
+// write standard pprof/runtime-trace files for `go tool pprof` /
+// `go tool trace`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"github.com/vpir-sim/vpir"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "", "benchmark name (go, m88ksim, ijpeg, perl, vortex, gcc, compress)")
 	file := flag.String("file", "", "assembly source file to run instead of a benchmark")
 	scale := flag.Int("scale", 1, "workload scale factor")
@@ -31,13 +48,46 @@ func main() {
 	list := flag.Bool("list", false, "list the benchmarks and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none), e.g. 30s")
 	watchdog := flag.Int64("watchdog", 0, "livelock watchdog: abort after N cycles without a retirement (0 = default, negative = off)")
+
+	metrics := flag.String("metrics", "", "write the sampled time series as JSONL to this file")
+	metricsCSV := flag.String("metrics-csv", "", "write the sampled time series as CSV to this file")
+	events := flag.String("events", "", "write the structured event log as JSONL to this file")
+	prom := flag.String("prom", "", "write a final Prometheus text-format metrics snapshot to this file")
+	interval := flag.Uint64("metrics-interval", 0, "cycles between metric samples (0 = default 10000)")
+
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile of the simulator to this file")
+	tracefile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *list {
 		for _, b := range vpir.BenchmarkInfos() {
 			fmt.Printf("%-9s %s\n", b.Name, b.Desc)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fail(err)
+		}
+		defer trace.Stop()
 	}
 
 	opt := vpir.Options{
@@ -50,6 +100,9 @@ func main() {
 		MaxInsts:         *maxInsts,
 		Timeout:          *timeout,
 		WatchdogCycles:   *watchdog,
+	}
+	if *metrics != "" || *metricsCSV != "" || *events != "" || *prom != "" || *interval > 0 {
+		opt.Metrics = &vpir.MetricsOptions{Interval: *interval}
 	}
 
 	var res vpir.Result
@@ -65,11 +118,29 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "vpir-sim: need -bench or -file (try -list)")
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vpir-sim: %v\n", err)
-		os.Exit(1)
+		return fail(err)
+	}
+
+	if res.Obs != nil {
+		for _, exp := range []struct {
+			path  string
+			write func(io.Writer) error
+		}{
+			{*metrics, res.Obs.WriteSeriesJSONL},
+			{*metricsCSV, res.Obs.WriteSeriesCSV},
+			{*events, res.Obs.WriteEventsJSONL},
+			{*prom, res.Obs.WritePrometheus},
+		} {
+			if exp.path == "" {
+				continue
+			}
+			if err := writeFile(exp.path, exp.write); err != nil {
+				return fail(err)
+			}
+		}
 	}
 
 	fmt.Printf("config                %s\n", res.Config)
@@ -94,7 +165,38 @@ func main() {
 		fmt.Printf("exec 1/2/3+ times     %.1f%% / %.1f%% / %.1f%%\n",
 			res.ExecTimesPct[0], res.ExecTimesPct[1], res.ExecTimesPct[2])
 	}
+	if res.Obs != nil {
+		fmt.Printf("metric samples        %d (every %d cycles)\n", res.Obs.Samples(), res.Obs.SampleInterval())
+		fmt.Printf("events buffered       %d (%d dropped)\n", res.Obs.EventsBuffered(), res.Obs.EventsDropped())
+	}
 	if *showOutput {
 		fmt.Printf("--- program output ---\n%s\n", res.Output)
 	}
+
+	if *memprofile != "" {
+		runtime.GC()
+		if err := writeFile(*memprofile, func(w io.Writer) error {
+			return pprof.Lookup("heap").WriteTo(w, 0)
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "vpir-sim: %v\n", err)
+	return 1
 }

@@ -27,7 +27,10 @@ func (m *Machine) commit() error {
 			m.dcache.Access(e.addr)
 			emu.StoreValue(m.mem, e.in.Op, e.addr, e.srcVal[1])
 			if m.rb != nil {
-				m.rb.InvalidateStores(e.addr, emu.StoreWidth(e.in.Op))
+				killed := m.rb.InvalidateStores(e.addr, emu.StoreWidth(e.in.Op))
+				if killed > 0 && m.obs != nil {
+					m.obs.reuseInvalidateEvent(m.cycle, e.pc, e.seq, killed)
+				}
 			}
 		}
 
@@ -139,8 +142,12 @@ func (m *Machine) commitStats(e *robEntry) {
 		}
 	}
 	if op.IsCondBranch() || op.IsIndirect() {
-		m.stats.BrResolveLatSum += e.resolveCycle - e.decodeCycle
+		lat := e.resolveCycle - e.decodeCycle
+		m.stats.BrResolveLatSum += lat
 		m.stats.BrResolveLatN++
+		if m.obs != nil {
+			m.obs.hBrLat.Observe(float64(lat))
+		}
 	}
 	if op.IsMem() {
 		m.stats.MemOps++

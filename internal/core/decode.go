@@ -211,6 +211,9 @@ func (m *Machine) tryReuse(idx int32, e *robEntry) {
 	}
 
 	if res.Hit {
+		if m.obs != nil {
+			m.obs.reuseHitEvent(m.cycle, e, uint64(res.Value), res.WrongPathWork)
+		}
 		if m.cfg.IR.LateValidation {
 			// Figure 3 "late": behave like a correctly predicted value —
 			// the result is available to dependents now, but the
@@ -256,6 +259,9 @@ func (m *Machine) tryReuse(idx int32, e *robEntry) {
 		return
 	}
 	if res.AddrHit && in.Op.IsMem() && !m.cfg.IR.LateValidation {
+		if m.obs != nil {
+			m.obs.reuseAddrHitEvent(m.cycle, e, res.Addr)
+		}
 		e.addrKnown = true
 		e.addr = res.Addr
 		e.addrReused = true

@@ -132,6 +132,9 @@ func (m *Machine) verify(idx int32, e *robEntry) {
 	actual := e.computed
 	e.hasResult = true
 	if actual != e.predVal {
+		if m.obs != nil {
+			m.obs.vpMispredictEvent(m.cycle, e)
+		}
 		e.result = actual
 		m.broadcast(e, actual)
 	} else {
@@ -292,10 +295,13 @@ func (m *Machine) resolveBranch(idx int32, e *robEntry) {
 		return
 	}
 	m.stats.Squashes++
-	if e.traceIdx >= 0 && e.traceIdx+1 < int64(m.oracle.Len()) {
-		if e.actualNext != m.oracle.PC[e.traceIdx+1] {
-			m.stats.SpuriousSquashes++
-		}
+	spurious := e.traceIdx >= 0 && e.traceIdx+1 < int64(m.oracle.Len()) &&
+		e.actualNext != m.oracle.PC[e.traceIdx+1]
+	if spurious {
+		m.stats.SpuriousSquashes++
+	}
+	if m.obs != nil {
+		m.obs.squashEvent(m.cycle, e.pc, e.seq, e.actualNext, spurious)
 	}
 	m.squashAfter(idx, e)
 }

@@ -99,6 +99,10 @@ type Machine struct {
 	// use them to corrupt microarchitectural state mid-run.
 	cycleHooks []func(cycle uint64)
 
+	// obs, when non-nil, is the observability layer: inline metrics,
+	// structured events and the interval sampler (see obs.go).
+	obs *Observer
+
 	// debugCommit, when non-nil, observes each entry at commit (test hook).
 	debugCommit func(e *robEntry)
 	// tracer, when non-nil, records per-instruction pipeline events.
@@ -243,12 +247,19 @@ func (m *Machine) Run(maxCycles uint64) error {
 			return nil
 		}
 		if err := m.step(); err != nil {
+			m.flushObs()
 			return err
 		}
+		if m.obs != nil {
+			m.maybeSample()
+		}
 		if wd := m.cfg.Watchdog; wd > 0 && m.cycle-m.lastRetire > wd {
-			return m.watchdogError(m.cycle - m.lastRetire)
+			err := m.watchdogError(m.cycle - m.lastRetire)
+			m.flushObs()
+			return err
 		}
 	}
+	m.flushObs()
 	return nil
 }
 
@@ -321,6 +332,9 @@ func (m *Machine) instAt(pc uint32) *isa.Inst {
 // divergence builds the structured error used when the timing core disagrees
 // with the functional oracle.
 func (m *Machine) divergence(e *robEntry, what string, got, want any) error {
+	if m.obs != nil {
+		m.obs.faultEvent(m.cycle, e.pc, e.seq, what)
+	}
 	return &SimError{
 		Kind:         ErrDivergence,
 		Config:       m.cfg.Name(),

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/obs"
+	"github.com/vpir-sim/vpir/internal/vp"
+)
+
+// loopSrc is a small branchy kernel with loads and stores so squash,
+// reuse and memory events all fire.
+const loopSrc = `
+        .data
+xs:     .word 3,1,4,1,5,9,2,6
+        .text
+main:   li   $s0, 0
+        li   $s2, 0
+loop:   andi $t0, $s0, 7
+        sll  $t0, $t0, 2
+        la   $t1, xs
+        addu $t1, $t1, $t0
+        lw   $t2, 0($t1)
+        addu $s2, $s2, $t2
+        sw   $s2, 0($t1)
+        addiu $s0, $s0, 1
+        slti $at, $s0, 60
+        bnez $at, loop
+        li   $v0, 10
+        syscall
+`
+
+func runObserved(t *testing.T, src string, cfg Config, interval uint64) (*Machine, *Observer) {
+	t.Helper()
+	m := buildMachine(t, src, cfg)
+	o := NewObserver(interval, 0)
+	m.AttachObserver(o)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return m, o
+}
+
+// TestFinalSampleMatchesStats is the acceptance check: the cumulative
+// counters of the last interval sample must equal the run's Stats,
+// field for field.
+func TestFinalSampleMatchesStats(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), IRChoice(false), VPChoice(vp.LVP, SB, ME, 1)} {
+		m, o := runObserved(t, loopSrc, cfg, 64)
+		samples := o.Series().Samples()
+		if len(samples) < 2 {
+			t.Fatalf("%s: only %d samples; want interval samples plus a final flush", cfg.Name(), len(samples))
+		}
+		names := StatsFieldNames()
+		want := StatsValues(m.Stats())
+		last := samples[len(samples)-1]
+		if last.Cycle != m.Cycle() {
+			t.Errorf("%s: final sample at cycle %d, machine at %d", cfg.Name(), last.Cycle, m.Cycle())
+		}
+		for i, n := range names {
+			if last.Values[i] != want[i] {
+				t.Errorf("%s: final sample %s = %v, Stats has %v", cfg.Name(), n, last.Values[i], want[i])
+			}
+		}
+		// Cumulative counters must be monotone across samples.
+		committed := o.Series().Column("committed")
+		for i := 1; i < len(committed); i++ {
+			if committed[i] < committed[i-1] {
+				t.Errorf("%s: committed not monotone at sample %d: %v -> %v",
+					cfg.Name(), i, committed[i-1], committed[i])
+			}
+		}
+	}
+}
+
+func TestObserverEventsAndCounters(t *testing.T) {
+	m, o := runObserved(t, loopSrc, IRChoice(false), 128)
+	ev := o.Events()
+	if ev.Count(obs.EvReuseHit) == 0 {
+		t.Error("no reuse-hit events on a loop kernel under IR")
+	}
+	if ev.Count(obs.EvReuseInvalidate) == 0 {
+		t.Error("no reuse-invalidate events despite stores over loaded words")
+	}
+	if got := o.Registry().Counter("reuse.hits").Value(); got != ev.Count(obs.EvReuseHit) {
+		t.Errorf("reuse.hits counter %d != event count %d", got, ev.Count(obs.EvReuseHit))
+	}
+	s := m.Stats()
+	if got := o.Registry().Counter("squash.total").Value(); got != s.Squashes {
+		t.Errorf("squash.total counter %d != Stats.Squashes %d", got, s.Squashes)
+	}
+	// The event log JSONL must render every buffered event.
+	var b strings.Builder
+	if err := ev.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != ev.Len() {
+		t.Errorf("event JSONL lines %d != buffered events %d", lines, ev.Len())
+	}
+}
+
+func TestObserverVPMispredictEvents(t *testing.T) {
+	cfg := VPChoice(vp.LVP, SB, ME, 1)
+	m, o := runObserved(t, loopSrc, cfg, 128)
+	s := m.Stats()
+	if s.VPResultPredicted == 0 {
+		t.Skip("kernel produced no predictions under LVP")
+	}
+	if s.VPResultPredicted > s.VPResultCorrect && o.Events().Count(obs.EvVPMispredict) == 0 {
+		t.Error("mispredictions in Stats but no vp_mispredict events")
+	}
+}
+
+func TestObserverSeriesExportParses(t *testing.T) {
+	_, o := runObserved(t, loopSrc, DefaultConfig(), 64)
+	var b strings.Builder
+	if err := o.Series().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Every line must be valid standalone JSON with a cycle key.
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var mp map[string]float64
+		if err := json.Unmarshal([]byte(line), &mp); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if _, ok := mp["cycle"]; !ok {
+			t.Fatalf("line missing cycle: %q", line)
+		}
+	}
+	got, err := obs.ReadSeriesJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != o.Series().Len() {
+		t.Errorf("round-trip lost samples: %d != %d", got.Len(), o.Series().Len())
+	}
+}
+
+func TestObserverPrometheusDump(t *testing.T) {
+	_, o := runObserved(t, loopSrc, DefaultConfig(), 64)
+	var b strings.Builder
+	if err := o.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"vpir_squash_total",                  // counter
+		"vpir_stats_cycles",                  // flushed stats gauge
+		"vpir_branch_resolve_latency_bucket", // histogram
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus dump missing %q", want)
+		}
+	}
+}
+
+// TestDetachedObserverIsFree checks the disabled path stays identical:
+// a run with no observer produces the same Stats as one with.
+func TestDetachedObserverIsFree(t *testing.T) {
+	plain := buildMachine(t, loopSrc, IRChoice(false))
+	if err := plain.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	observed, _ := runObserved(t, loopSrc, IRChoice(false), 64)
+	if plain.Stats() != observed.Stats() {
+		t.Errorf("observer changed simulation results:\nplain    %+v\nobserved %+v",
+			plain.Stats(), observed.Stats())
+	}
+}
+
+func TestStatsFieldNamesCoverEveryField(t *testing.T) {
+	names := StatsFieldNames()
+	vals := StatsValues(Stats{Cycles: 1, ExecTimes: [4]uint64{7, 8, 9, 10}})
+	if len(names) != len(vals) {
+		t.Fatalf("names %d != values %d", len(names), len(vals))
+	}
+	idx := func(n string) int {
+		for i, s := range names {
+			if s == n {
+				return i
+			}
+		}
+		t.Fatalf("field %q missing from StatsFieldNames: %v", n, names)
+		return -1
+	}
+	if vals[idx("cycles")] != 1 {
+		t.Error("cycles not flattened")
+	}
+	for i, want := range []float64{7, 8, 9, 10} {
+		if vals[idx("exec_times_1")+i] != want {
+			t.Errorf("exec_times_%d = %v, want %v", i+1, vals[idx("exec_times_1")+i], want)
+		}
+	}
+	// Spot-check the snake_case mapping on tricky names.
+	for _, n := range []string{"vp_result_predicted", "i_cache_misses", "br_resolve_lat_sum"} {
+		idx(n)
+	}
+}
+
+func TestWatchdogTripEmitsEvent(t *testing.T) {
+	// A healthy pipeline has multi-cycle stretches without a retirement
+	// (cache misses, dependence chains), so a 1-cycle threshold trips on
+	// any real kernel.
+	cfg := DefaultConfig()
+	cfg.Watchdog = 1
+	m := buildMachine(t, loopSrc, cfg)
+	o := NewObserver(64, 0)
+	m.AttachObserver(o)
+	err := m.Run(0)
+	if err == nil {
+		t.Skip("watchdog did not trip at threshold 1")
+	}
+	if !IsWatchdog(err) {
+		t.Fatalf("expected watchdog error, got %v", err)
+	}
+	if o.Events().Count(obs.EvWatchdog) != 1 {
+		t.Errorf("watchdog events = %d, want 1", o.Events().Count(obs.EvWatchdog))
+	}
+	// The error path must still flush a final sample.
+	if o.Series().Len() == 0 {
+		t.Error("no final sample flushed on the watchdog path")
+	}
+}

@@ -31,28 +31,70 @@ type PipeEvent struct {
 type PipeTracer struct {
 	// Max bounds how many instructions are recorded (0 = unlimited —
 	// beware, this is one record per dynamic instruction).
-	Max    int
+	Max int
+	// Ring, together with Max > 0, keeps the *last* Max instructions
+	// instead of the first Max: when the buffer fills, the oldest record
+	// is overwritten, so arbitrarily long runs trace in bounded memory.
+	// The default (Ring false) is the historical truncating behavior.
+	Ring   bool
 	Events []PipeEvent
+
+	next      int    // ring write cursor (valid when wrapped)
+	wrapped   bool   // the ring has overwritten at least one record
+	overwrote uint64 // how many records the ring discarded
 }
 
 // Trace attaches a pipeline tracer to the machine. Must be called before
 // Run.
 func (m *Machine) Trace(t *PipeTracer) { m.tracer = t }
 
+// Overwrote returns how many records the ring mode discarded.
+func (t *PipeTracer) Overwrote() uint64 { return t.overwrote }
+
+// Ordered returns the recorded events oldest-first, undoing the ring
+// rotation. In truncating mode it is simply a copy of Events.
+func (t *PipeTracer) Ordered() []PipeEvent {
+	if !t.wrapped {
+		return append([]PipeEvent(nil), t.Events...)
+	}
+	out := make([]PipeEvent, 0, len(t.Events))
+	out = append(out, t.Events[t.next:]...)
+	return append(out, t.Events[:t.next]...)
+}
+
 func (m *Machine) traceDispatch(e *robEntry, fetchCycle uint64) {
 	t := m.tracer
-	if t == nil || (t.Max > 0 && len(t.Events) >= t.Max) {
+	if t == nil {
 		return
 	}
-	e.traceSlot = int32(len(t.Events))
-	t.Events = append(t.Events, PipeEvent{
+	ev := PipeEvent{
 		Seq:     e.seq,
 		PC:      e.pc,
 		Disasm:  isa.Disasm(e.in, e.pc),
 		Fetch:   fetchCycle,
 		Decode:  m.cycle,
 		TraceID: e.traceIdx,
-	})
+	}
+	if t.Max > 0 && len(t.Events) >= t.Max {
+		if !t.Ring {
+			return
+		}
+		// Overwrite the oldest slot. A stale traceSlot held by an older
+		// in-flight instruction is harmless: traceEvent rejects it by the
+		// Seq mismatch.
+		slot := t.next
+		t.Events[slot] = ev
+		e.traceSlot = int32(slot)
+		t.next = (t.next + 1) % t.Max
+		t.wrapped = true
+		t.overwrote++
+		return
+	}
+	e.traceSlot = int32(len(t.Events))
+	t.Events = append(t.Events, ev)
+	if t.Max > 0 {
+		t.next = len(t.Events) % t.Max
+	}
 }
 
 func (m *Machine) traceEvent(e *robEntry, update func(ev *PipeEvent)) {
@@ -73,13 +115,14 @@ func (m *Machine) traceEvent(e *robEntry, update func(ev *PipeEvent)) {
 // Rows for squashed instructions are marked with an x. The window is
 // clamped to maxCycles columns starting at the first event.
 func (t *PipeTracer) Render(w io.Writer, maxCycles int) {
-	if len(t.Events) == 0 {
+	events := t.Ordered()
+	if len(events) == 0 {
 		fmt.Fprintln(w, "(no events)")
 		return
 	}
-	start := t.Events[0].Fetch
+	start := events[0].Fetch
 	end := start
-	for _, ev := range t.Events {
+	for _, ev := range events {
 		last := ev.Commit
 		if last == 0 {
 			last = ev.Done
@@ -96,7 +139,7 @@ func (t *PipeTracer) Render(w io.Writer, maxCycles int) {
 	}
 	width := int(end - start + 1)
 	fmt.Fprintf(w, "cycles %d..%d; F=fetched D=decoded E=executing R=reused C=commit x=squashed\n", start, end)
-	for _, ev := range t.Events {
+	for _, ev := range events {
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = ' '

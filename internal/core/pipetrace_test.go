@@ -99,6 +99,93 @@ loop:   addiu $t0, $t0, 1
 	}
 }
 
+// ringSrc retires well over 20 instructions so a Max of 10 must wrap.
+const ringSrc = `
+        .text
+main:   li   $t0, 0
+loop:   addiu $t0, $t0, 1
+        slti $at, $t0, 50
+        bnez $at, loop
+        li   $v0, 10
+        syscall
+`
+
+func TestPipeTracerRingKeepsLast(t *testing.T) {
+	trunc := &PipeTracer{Max: 10}
+	m := buildMachine(t, ringSrc, DefaultConfig())
+	m.Trace(trunc)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	ring := &PipeTracer{Max: 10, Ring: true}
+	m2 := buildMachine(t, ringSrc, DefaultConfig())
+	m2.Trace(ring)
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ring.Events) != 10 || len(trunc.Events) != 10 {
+		t.Fatalf("lens = %d/%d, want 10/10", len(ring.Events), len(trunc.Events))
+	}
+	if ring.Overwrote() == 0 {
+		t.Fatal("ring never overwrote on a >10-instruction run")
+	}
+	maxSeq := func(evs []PipeEvent) uint64 {
+		var mx uint64
+		for _, ev := range evs {
+			if ev.Seq > mx {
+				mx = ev.Seq
+			}
+		}
+		return mx
+	}
+	if maxSeq(ring.Events) <= maxSeq(trunc.Events) {
+		t.Errorf("ring max seq %d not beyond truncating max seq %d — it did not keep the tail",
+			maxSeq(ring.Events), maxSeq(trunc.Events))
+	}
+	// Ordered must be chronological by dispatch.
+	ord := ring.Ordered()
+	for i := 1; i < len(ord); i++ {
+		if ord[i].Seq < ord[i-1].Seq {
+			t.Fatalf("Ordered not chronological at %d: seq %d after %d", i, ord[i].Seq, ord[i-1].Seq)
+		}
+	}
+	// The final instructions of the program (the syscall tail) must be in
+	// the ring but cannot be in the truncating trace.
+	last := ord[len(ord)-1]
+	if last.Commit == 0 {
+		t.Errorf("ring tail event never committed: %+v", last)
+	}
+}
+
+func TestPipeTracerRingRenders(t *testing.T) {
+	ring := &PipeTracer{Max: 8, Ring: true}
+	m := buildMachine(t, ringSrc, DefaultConfig())
+	m.Trace(ring)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	ring.Render(&sb, 60)
+	out := sb.String()
+	if !strings.Contains(out, "cycles") || strings.Count(out, "\n") < 8 {
+		t.Errorf("ring render incomplete:\n%s", out)
+	}
+}
+
+func TestPipeTracerUnboundedIgnoresRing(t *testing.T) {
+	// Ring without Max has nothing to wrap: behaves like unlimited.
+	tr := &PipeTracer{Ring: true}
+	m := buildMachine(t, ringSrc, DefaultConfig())
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) <= 10 || tr.Overwrote() != 0 {
+		t.Errorf("unbounded ring recorded %d events, overwrote %d", len(tr.Events), tr.Overwrote())
+	}
+}
+
 func TestPipeTracerRender(t *testing.T) {
 	m := buildMachine(t, `
         .text

@@ -117,6 +117,9 @@ func (m *Machine) watchdogError(stalled uint64) *SimError {
 		se.TraceIdx = head.traceIdx
 	}
 	se.Pipetrace = m.snapshotTrace(64)
+	if m.obs != nil {
+		m.obs.watchdogEvent(m.cycle, se.PC, se.Seq, stalled)
+	}
 	return se
 }
 

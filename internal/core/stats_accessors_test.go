@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestStatsAccessorsZeroGuarded audits every rate accessor against the
+// zero-denominator case: a zero-valued Stats must yield exactly 0 from
+// every accessor, never NaN or Inf. The explicit table pins the accessors
+// that exist today; the reflective sweep below catches any accessor added
+// later without a guard.
+func TestStatsAccessorsZeroGuarded(t *testing.T) {
+	var s Stats
+
+	scalar := map[string]float64{
+		"IPC":              s.IPC(),
+		"BranchPredRate":   s.BranchPredRate(),
+		"ReturnPredRate":   s.ReturnPredRate(),
+		"Contention":       s.Contention(),
+		"MeanBrResolveLat": s.MeanBrResolveLat(),
+		"ReuseResultRate":  s.ReuseResultRate(),
+		"ReuseAddrRate":    s.ReuseAddrRate(),
+		"ExecSquashedPct":  s.ExecSquashedPct(),
+		"RecoveredPct":     s.RecoveredPct(),
+	}
+	for name, got := range scalar {
+		if got != 0 {
+			t.Errorf("%s() on zero Stats = %v, want 0", name, got)
+		}
+	}
+	if p, m := s.VPResultRates(); p != 0 || m != 0 {
+		t.Errorf("VPResultRates() on zero Stats = %v, %v, want 0, 0", p, m)
+	}
+	if p, m := s.VPAddrRates(); p != 0 || m != 0 {
+		t.Errorf("VPAddrRates() on zero Stats = %v, %v, want 0, 0", p, m)
+	}
+	if pct := s.ExecTimesPct(); pct != [3]float64{} {
+		t.Errorf("ExecTimesPct() on zero Stats = %v, want zeros", pct)
+	}
+}
+
+// TestStatsAccessorsReflectiveSweep calls every no-argument method of
+// Stats on a zero value and requires every float in the result to be
+// finite and zero. A future accessor that divides by an unguarded
+// denominator fails here without anyone having to remember this test.
+func TestStatsAccessorsReflectiveSweep(t *testing.T) {
+	v := reflect.ValueOf(Stats{})
+	typ := v.Type()
+	checked := 0
+	for i := 0; i < typ.NumMethod(); i++ {
+		meth := typ.Method(i)
+		if meth.Type.NumIn() != 1 { // receiver only
+			continue
+		}
+		out := v.Method(i).Call(nil)
+		for _, res := range out {
+			checkZeroFinite(t, meth.Name, res)
+		}
+		checked++
+	}
+	if checked < 12 {
+		t.Errorf("swept only %d accessors; expected at least 12 — did the method set shrink?", checked)
+	}
+}
+
+func checkZeroFinite(t *testing.T, name string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("%s on zero Stats returned non-finite %v", name, f)
+		}
+		if f != 0 {
+			t.Errorf("%s on zero Stats returned %v, want 0", name, f)
+		}
+	case reflect.Array, reflect.Slice:
+		for j := 0; j < v.Len(); j++ {
+			checkZeroFinite(t, name, v.Index(j))
+		}
+	}
+}

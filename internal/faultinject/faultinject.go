@@ -31,17 +31,17 @@ import (
 type Kind int
 
 const (
-	VPTValue   Kind = iota // value-prediction table: buffered result value
-	VPAValue               // address-prediction table: buffered address value
-	RBResult               // reuse buffer: buffered result (UNGUARDED)
-	RBOperand              // reuse buffer: stored operand value
-	RBOperandName          // reuse buffer: stored operand register name
-	RBDepPointer           // reuse buffer: dependence pointer
-	BpredCounter           // gshare direction counter
-	BpredHistory           // speculative global history register
-	BpredBTB               // branch target buffer target
-	ICacheTag              // instruction cache tag line
-	DCacheTag              // data cache tag line
+	VPTValue      Kind = iota // value-prediction table: buffered result value
+	VPAValue                  // address-prediction table: buffered address value
+	RBResult                  // reuse buffer: buffered result (UNGUARDED)
+	RBOperand                 // reuse buffer: stored operand value
+	RBOperandName             // reuse buffer: stored operand register name
+	RBDepPointer              // reuse buffer: dependence pointer
+	BpredCounter              // gshare direction counter
+	BpredHistory              // speculative global history register
+	BpredBTB                  // branch target buffer target
+	ICacheTag                 // instruction cache tag line
+	DCacheTag                 // data cache tag line
 	numKinds
 )
 

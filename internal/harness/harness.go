@@ -39,6 +39,11 @@ type Runner struct {
 	// Retries is how many times a run whose error is marked Transient is
 	// re-attempted (deterministic simulator failures are never retried).
 	Retries int
+	// Obs, when non-nil, attaches observability instrumentation to every
+	// simulation and writes per-run series/event files into Obs.Dir (see
+	// docs/observability.md). Export failures fail the run: a campaign
+	// asked to record its time series must not silently drop it.
+	Obs *ObsExport
 
 	mu    sync.Mutex
 	cache map[string]core.Stats
@@ -122,6 +127,11 @@ func (r *Runner) attempt(bench string, cfg core.Config) (s core.Stats, err error
 	if err != nil {
 		return core.Stats{}, err
 	}
+	var obs *core.Observer
+	if r.Obs != nil {
+		obs = core.NewObserver(r.Obs.Interval, r.Obs.EventCap)
+		m.AttachObserver(obs)
+	}
 	ctx := context.Background()
 	if r.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -130,6 +140,11 @@ func (r *Runner) attempt(bench string, cfg core.Config) (s core.Stats, err error
 	}
 	if err := runMachine(ctx, m); err != nil {
 		return core.Stats{}, err
+	}
+	if r.Obs != nil {
+		if err := r.Obs.export(bench, cfg, obs); err != nil {
+			return core.Stats{}, err
+		}
 	}
 	return m.Stats(), nil
 }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/core"
+)
+
+// ObsExport configures per-run observability export for a campaign: when a
+// Runner carries one, every simulation it performs runs with a
+// core.Observer attached and writes its sampled time series (and
+// optionally its event log and a Prometheus snapshot) into Dir. File names
+// are `<bench>__<sanitized config name>__<fnv of the full config key>` so
+// ablation sweeps that reuse a display name cannot collide.
+type ObsExport struct {
+	// Dir is the output directory; it is created if missing.
+	Dir string
+	// Interval is the sampling period in cycles (0 = core default).
+	Interval uint64
+	// EventCap bounds the event ring (0 = core default).
+	EventCap int
+	// CSV additionally writes the series as `.series.csv`.
+	CSV bool
+	// Events additionally writes the event ring as `.events.jsonl`.
+	Events bool
+	// Prometheus additionally writes a final `.prom` metrics snapshot.
+	Prometheus bool
+}
+
+// runName builds the per-run file stem.
+func (x *ObsExport) runName(bench string, cfg core.Config) string {
+	h := fnv.New32a()
+	h.Write([]byte(cfg.Key()))
+	return fmt.Sprintf("%s__%s__%08x", sanitize(bench), sanitize(cfg.Name()), h.Sum32())
+}
+
+// sanitize maps a config display name to a filesystem-safe token.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// export writes the observer's data for one finished run.
+func (x *ObsExport) export(bench string, cfg core.Config, o *core.Observer) error {
+	if err := os.MkdirAll(x.Dir, 0o755); err != nil {
+		return fmt.Errorf("harness: obs export: %w", err)
+	}
+	stem := filepath.Join(x.Dir, x.runName(bench, cfg))
+	write := func(suffix string, fn func(*os.File) error) error {
+		f, err := os.Create(stem + suffix)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(".series.jsonl", func(f *os.File) error { return o.Series().WriteJSONL(f) }); err != nil {
+		return fmt.Errorf("harness: obs export %s: %w", bench, err)
+	}
+	if x.CSV {
+		if err := write(".series.csv", func(f *os.File) error { return o.Series().WriteCSV(f) }); err != nil {
+			return fmt.Errorf("harness: obs export %s: %w", bench, err)
+		}
+	}
+	if x.Events {
+		if err := write(".events.jsonl", func(f *os.File) error { return o.Events().WriteJSONL(f) }); err != nil {
+			return fmt.Errorf("harness: obs export %s: %w", bench, err)
+		}
+	}
+	if x.Prometheus {
+		if err := write(".prom", func(f *os.File) error { return o.Registry().WritePrometheus(f) }); err != nil {
+			return fmt.Errorf("harness: obs export %s: %w", bench, err)
+		}
+	}
+	return nil
+}

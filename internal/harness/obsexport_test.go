@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/obs"
+)
+
+func TestObsExportWritesPerRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner()
+	r.MaxInsts = 20_000 // truncated: this is an export test, not a timing run
+	r.Obs = &ObsExport{
+		Dir:        dir,
+		Interval:   512,
+		CSV:        true,
+		Events:     true,
+		Prometheus: true,
+	}
+	cfg := core.IRChoice(false)
+	s, err := r.Run("compress", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Committed == 0 {
+		t.Fatal("run committed nothing")
+	}
+
+	stem := r.Obs.runName("compress", cfg)
+	for _, suffix := range []string{".series.jsonl", ".series.csv", ".events.jsonl", ".prom"} {
+		if _, err := os.Stat(filepath.Join(dir, stem+suffix)); err != nil {
+			t.Errorf("missing export %s%s: %v", stem, suffix, err)
+		}
+	}
+
+	// The series must parse and its final sample must agree with the
+	// returned Stats on the committed-instruction count.
+	f, err := os.Open(filepath.Join(dir, stem+".series.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	series, err := obs.ReadSeriesJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := series.Column("committed")
+	if len(committed) == 0 {
+		t.Fatal("series has no committed column")
+	}
+	if got := committed[len(committed)-1]; got != float64(s.Committed) {
+		t.Errorf("final sample committed = %v, Stats has %d", got, s.Committed)
+	}
+
+	prom, err := os.ReadFile(filepath.Join(dir, stem+".prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "vpir_stats_committed") {
+		t.Errorf("prometheus snapshot missing vpir_stats_committed:\n%s", prom)
+	}
+}
+
+func TestObsExportNameIsFilesystemSafe(t *testing.T) {
+	x := &ObsExport{}
+	name := x.runName("go", core.VPChoice(0, core.SB, core.ME, 1))
+	if strings.ContainsAny(name, "/\\ :=()") {
+		t.Errorf("unsafe run name %q", name)
+	}
+	// Distinct configurations under the same display name must not collide:
+	// the key hash separates them.
+	a := core.DefaultConfig()
+	b := core.DefaultConfig()
+	b.ROBSize *= 2
+	if an, bn := x.runName("go", a), x.runName("go", b); an == bn {
+		t.Errorf("ablation variants collide: %q", an)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies structured simulator events.
+type EventKind uint8
+
+const (
+	// EvSquash: a control-flow squash. A = redirect target PC, B = 1 when
+	// the redirect was spurious (toward a non-final direction).
+	EvSquash EventKind = iota
+	// EvVPMispredict: a value prediction failed verification. A = cycles
+	// the wrong value was live (decode to verify), B = number of
+	// executions the instruction had performed by then.
+	EvVPMispredict
+	// EvReuseHit: the reuse test fully matched at decode. A = reused
+	// result value, B = 1 when the hit recovered squashed wrong-path work.
+	EvReuseHit
+	// EvReuseAddrHit: address-only reuse for a memory op. A = reused
+	// effective address.
+	EvReuseAddrHit
+	// EvReuseInvalidate: a committing store killed buffered load results.
+	// A = number of reuse-buffer entries invalidated.
+	EvReuseInvalidate
+	// EvWatchdog: the livelock watchdog tripped. A = stalled cycles.
+	EvWatchdog
+	// EvFault: an oracle divergence was detected at commit (a simulator
+	// bug or an injected architectural fault).
+	EvFault
+)
+
+var eventKindNames = [...]string{
+	EvSquash:          "squash",
+	EvVPMispredict:    "vp_mispredict",
+	EvReuseHit:        "reuse_hit",
+	EvReuseAddrHit:    "reuse_addr_hit",
+	EvReuseInvalidate: "reuse_invalidate",
+	EvWatchdog:        "watchdog",
+	EvFault:           "fault",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one structured simulator event. A and B are kind-specific
+// arguments (documented per kind); Note carries an optional static
+// description such as the diverging field name.
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	PC    uint32
+	Seq   uint64
+	A, B  uint64
+	Note  string
+}
+
+// EventLog is a bounded ring buffer of events. When full, the oldest
+// event is overwritten and Dropped is incremented, so long runs can log
+// without unbounded memory. A nil *EventLog discards appends.
+type EventLog struct {
+	cap     int
+	events  []Event
+	next    int
+	wrapped bool
+	dropped uint64
+	counts  [len(eventKindNames)]uint64
+}
+
+// NewEventLog builds a log bounded to capacity events (min 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Append records an event; no-op on a nil receiver.
+func (l *EventLog) Append(e Event) {
+	if l == nil {
+		return
+	}
+	if int(e.Kind) < len(l.counts) {
+		l.counts[e.Kind]++
+	}
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.next] = e
+	l.next = (l.next + 1) % l.cap
+	l.wrapped = true
+	l.dropped++
+}
+
+// Len returns the number of buffered events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Dropped returns how many events were overwritten by the ring.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Count returns how many events of the kind were ever appended, including
+// ones the ring has since overwritten.
+func (l *EventLog) Count(k EventKind) uint64 {
+	if l == nil || int(k) >= len(l.counts) {
+		return 0
+	}
+	return l.counts[k]
+}
+
+// Events returns the buffered events oldest-first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	if !l.wrapped {
+		return append([]Event(nil), l.events...)
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	return append(out, l.events[:l.next]...)
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object per
+// line.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	for _, e := range l.Events() {
+		line := fmt.Sprintf(`{"cycle":%d,"kind":%q,"pc":"0x%08x","seq":%d,"a":%d,"b":%d`,
+			e.Cycle, e.Kind.String(), e.PC, e.Seq, e.A, e.B)
+		if e.Note != "" {
+			line += fmt.Sprintf(`,"note":%q`, e.Note)
+		}
+		if _, err := io.WriteString(w, line+"}\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

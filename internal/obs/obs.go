@@ -1,0 +1,271 @@
+// Package obs is the simulator's observability layer: a registry of named
+// counters, gauges and fixed-bucket histograms, a bounded ring-buffered
+// structured event log, and a cycle-indexed time series of interval
+// samples, with JSONL, CSV and Prometheus text-format exporters.
+//
+// The package is built around one invariant: when observability is
+// disabled, its cost is a nil check. Every mutating method on Counter,
+// Gauge, Histogram, EventLog and Series is a no-op on a nil receiver, and
+// a nil *Registry hands out nil instruments, so instrumentation sites can
+// hold instruments unconditionally and never branch on configuration.
+//
+// Nothing here is synchronized: one simulation owns one Registry, one
+// EventLog and one Series, exactly like it owns its core.Stats. Parallel
+// campaigns attach one set per machine.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Add increases the counter; no-op on a nil receiver.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Inc increases the counter by one; no-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set records the current value; no-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the last set value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed upper-bound buckets. The bucket
+// slice is the sorted list of inclusive upper bounds; observations above
+// the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	name    string
+	bounds  []float64
+	buckets []uint64 // len(bounds)+1; last is +Inf
+	count   uint64
+	sum     float64
+}
+
+// Observe records one value; no-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the average observation (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Buckets returns the upper bounds and the per-bucket counts (the final
+// count is the +Inf bucket).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.buckets...)
+}
+
+// Registry holds named instruments in registration order. A nil *Registry
+// is a valid "disabled" registry: it hands out nil instruments whose
+// methods are all no-ops.
+type Registry struct {
+	order      []string
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given sorted upper bounds; nil on a nil registry. The bounds of an
+// existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:    name,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// WritePrometheus dumps every instrument in the Prometheus text exposition
+// format (registration order). Counters get a _total suffix if they lack
+// one; histograms expose cumulative le-labeled buckets plus _sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, name := range r.order {
+		if c, ok := r.counters[name]; ok {
+			pn := promName(name)
+			if !hasSuffix(pn, "_total") {
+				pn += "_total"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, c.v); err != nil {
+				return err
+			}
+		}
+		if g, ok := r.gauges[name]; ok {
+			pn := promName(name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(g.v)); err != nil {
+				return err
+			}
+		}
+		if h, ok := r.histograms[name]; ok {
+			pn := promName(name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.buckets[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.buckets[len(h.bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				pn, cum, pn, formatFloat(h.sum), pn, h.count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName maps an instrument name like "reuse.hits" to a Prometheus
+// metric name like "vpir_reuse_hits".
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+5)
+	out = append(out, "vpir_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c-'A'+'a')
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// formatFloat renders a float compactly, with integral values kept
+// integral ("4" rather than "4e+00").
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

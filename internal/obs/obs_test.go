@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	// The disabled fast path: every mutator must be callable through nil.
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if b, n := h.Buckets(); b != nil || n != nil {
+		t.Error("nil histogram buckets must be nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+
+	var l *EventLog
+	l.Append(Event{Kind: EvSquash})
+	if l.Len() != 0 || l.Dropped() != 0 || l.Count(EvSquash) != 0 || l.Events() != nil {
+		t.Error("nil event log must stay empty")
+	}
+	if err := l.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+
+	var s *Series
+	s.Append(1, []float64{1})
+	if s.Len() != 0 || s.Fields() != nil || s.Samples() != nil || s.Column("cycle") != nil {
+		t.Error("nil series must stay empty")
+	}
+	if err := s.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if err := s.WriteCSV(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("squashes")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("squashes") != c {
+		t.Error("counter not interned by name")
+	}
+	g := r.Gauge("rob")
+	g.Set(17)
+	if g.Value() != 17 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("lat", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 1, 3, 20, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 124.5 {
+		t.Errorf("histogram count %d sum %v", h.Count(), h.Sum())
+	}
+	_, counts := h.Buckets()
+	want := []uint64{2, 1, 0, 2} // <=1: {0.5, 1}; <=4: {3}; <=16: none; +Inf: {20, 100}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+	if h.Mean() != 124.5/5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reuse.hits").Add(42)
+	r.Gauge("rob_occupancy").Set(12.5)
+	h := r.Histogram("br_resolve_latency", []float64{2, 8})
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(50)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vpir_reuse_hits_total counter",
+		"vpir_reuse_hits_total 42",
+		"# TYPE vpir_rob_occupancy gauge",
+		"vpir_rob_occupancy 12.5",
+		`vpir_br_resolve_latency_bucket{le="2"} 1`,
+		`vpir_br_resolve_latency_bucket{le="8"} 2`,
+		`vpir_br_resolve_latency_bucket{le="+Inf"} 3`,
+		"vpir_br_resolve_latency_sum 56",
+		"vpir_br_resolve_latency_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(Event{Cycle: i, Kind: EvSquash, Seq: i})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", l.Dropped())
+	}
+	if l.Count(EvSquash) != 5 {
+		t.Errorf("count = %d, want 5 (includes overwritten)", l.Count(EvSquash))
+	}
+	evs := l.Events()
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (oldest-first)", i, evs[i].Cycle, want)
+		}
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	l := NewEventLog(8)
+	l.Append(Event{Cycle: 10, Kind: EvVPMispredict, PC: 0x400010, Seq: 7, A: 3, B: 1})
+	l.Append(Event{Cycle: 20, Kind: EvFault, PC: 0x400020, Note: "result"})
+	var b strings.Builder
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"vp_mispredict"`) || !strings.Contains(lines[0], `"pc":"0x00400010"`) {
+		t.Errorf("bad event line: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"note":"result"`) {
+		t.Errorf("missing note: %s", lines[1])
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	s := NewSeries([]string{"committed", "ipc"})
+	s.Append(100, []float64{90, 0.9})
+	s.Append(200, []float64{185, 0.925})
+	s.Append(200, []float64{186, 0.93}) // same-cycle flush replaces
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (same-cycle append replaces)", s.Len())
+	}
+
+	var jb strings.Builder
+	if err := s.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesJSONL(strings.NewReader(jb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := got.Fields(); len(f) != 2 || f[0] != "committed" || f[1] != "ipc" {
+		t.Errorf("round-trip fields = %v", f)
+	}
+	if c := got.Column("cycle"); len(c) != 2 || c[1] != 200 {
+		t.Errorf("cycle column = %v", c)
+	}
+	if c := got.Column("ipc"); c[1] != 0.93 {
+		t.Errorf("ipc column = %v", c)
+	}
+	if got.Column("nope") != nil {
+		t.Error("unknown column must be nil")
+	}
+
+	var cb strings.Builder
+	if err := s.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "cycle,committed,ipc\n100,90,0.9\n200,186,0.93\n"
+	if cb.String() != wantCSV {
+		t.Errorf("csv:\n%s\nwant:\n%s", cb.String(), wantCSV)
+	}
+}
+
+func TestReadSeriesJSONLErrors(t *testing.T) {
+	if _, err := ReadSeriesJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := ReadSeriesJSONL(strings.NewReader("[1,2]\n")); err == nil {
+		t.Error("non-object line must error")
+	}
+	if _, err := ReadSeriesJSONL(strings.NewReader(`{"cycle":1,"x":}`)); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}
+
+func TestSeriesAppendMismatchIgnored(t *testing.T) {
+	s := NewSeries([]string{"a"})
+	s.Append(1, []float64{1, 2})
+	if s.Len() != 0 {
+		t.Error("length-mismatched append must be dropped")
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sample is one interval snapshot: the machine cycle it was taken at plus
+// one value per Series field. Counter-valued fields are cumulative — the
+// final sample of a run holds the run's end-of-run totals.
+type Sample struct {
+	Cycle  uint64
+	Values []float64
+}
+
+// Series is a cycle-indexed time series with a fixed schema. A nil
+// *Series discards appends.
+type Series struct {
+	fields  []string
+	samples []Sample
+}
+
+// NewSeries builds a series over the given field names (excluding the
+// implicit leading "cycle").
+func NewSeries(fields []string) *Series {
+	return &Series{fields: append([]string(nil), fields...)}
+}
+
+// Fields returns the schema (without the implicit "cycle").
+func (s *Series) Fields() []string {
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s.fields...)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}
+
+// Samples returns the recorded samples in cycle order.
+func (s *Series) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}
+
+// Append records one sample; values are copied. Appending at the same
+// cycle as the previous sample replaces it (a final flush that coincides
+// with an interval boundary does not duplicate the sample). A no-op on a
+// nil receiver or on a length mismatch.
+func (s *Series) Append(cycle uint64, values []float64) {
+	if s == nil || len(values) != len(s.fields) {
+		return
+	}
+	vs := append([]float64(nil), values...)
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle == cycle {
+		s.samples[n-1].Values = vs
+		return
+	}
+	s.samples = append(s.samples, Sample{Cycle: cycle, Values: vs})
+}
+
+// Column returns the values of one field across all samples, or nil if
+// the field is unknown ("cycle" returns the cycle numbers).
+func (s *Series) Column(field string) []float64 {
+	if s == nil {
+		return nil
+	}
+	if field == "cycle" {
+		out := make([]float64, len(s.samples))
+		for i, sm := range s.samples {
+			out[i] = float64(sm.Cycle)
+		}
+		return out
+	}
+	for j, f := range s.fields {
+		if f == field {
+			out := make([]float64, len(s.samples))
+			for i, sm := range s.samples {
+				out[i] = sm.Values[j]
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes one self-describing JSON object per sample, keys in
+// schema order, "cycle" first.
+func (s *Series) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, sm := range s.samples {
+		bw.WriteByte('{')
+		fmt.Fprintf(bw, `"cycle":%d`, sm.Cycle)
+		for j, f := range s.fields {
+			fmt.Fprintf(bw, `,%q:%s`, f, formatFloat(sm.Values[j]))
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes a header row followed by one row per sample.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("cycle")
+	for _, f := range s.fields {
+		bw.WriteByte(',')
+		bw.WriteString(f)
+	}
+	bw.WriteByte('\n')
+	for _, sm := range s.samples {
+		fmt.Fprintf(bw, "%d", sm.Cycle)
+		for _, v := range sm.Values {
+			bw.WriteByte(',')
+			bw.WriteString(formatFloat(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadSeriesJSONL parses a series written by WriteJSONL (or any JSONL
+// stream of flat numeric objects with a "cycle" key). The field order of
+// the first line fixes the schema; later lines may list keys in any order
+// and missing fields read as 0.
+func ReadSeriesJSONL(r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var s *Series
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if s == nil {
+			fields, err := objectKeys(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			schema := make([]string, 0, len(fields))
+			for _, f := range fields {
+				if f != "cycle" {
+					schema = append(schema, f)
+				}
+			}
+			s = NewSeries(schema)
+		}
+		var m map[string]float64
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		vals := make([]float64, len(s.fields))
+		for j, f := range s.fields {
+			vals[j] = m[f]
+		}
+		s.Append(uint64(m["cycle"]), vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("obs: empty series")
+	}
+	return s, nil
+}
+
+// objectKeys returns the keys of a flat JSON object in document order.
+func objectKeys(line string) ([]string, error) {
+	dec := json.NewDecoder(strings.NewReader(line))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fmt.Errorf("not a JSON object")
+	}
+	var keys []string
+	for dec.More() {
+		kt, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		k, ok := kt.(string)
+		if !ok {
+			return nil, fmt.Errorf("non-string key")
+		}
+		keys = append(keys, k)
+		if _, err := dec.Token(); err != nil { // skip the value
+			return nil, err
+		}
+	}
+	return keys, nil
+}

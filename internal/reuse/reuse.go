@@ -447,8 +447,9 @@ func (b *Buffer) removeFromIndex(word uint32, idx int32) {
 // InvalidateStores kills the result-validity of load entries whose byte
 // range overlaps a store of width bytes at addr; the address computation
 // stays reusable (that is the paper's "address reuse"). Called when a store
-// commits.
-func (b *Buffer) InvalidateStores(addr, width uint32) {
+// commits. Returns how many entries were invalidated.
+func (b *Buffer) InvalidateStores(addr, width uint32) int {
+	killed := 0
 	w := loadWords(addr, width)
 	for word := w[0]; ; word++ {
 		for _, idx := range b.loadIndex[word] {
@@ -459,12 +460,14 @@ func (b *Buffer) InvalidateStores(addr, width uint32) {
 			if e.addr < addr+width && addr < e.addr+e.width {
 				e.memValid = false
 				b.stats.StoreKills++
+				killed++
 			}
 		}
 		if word == w[1] {
 			break
 		}
 	}
+	return killed
 }
 
 // MarkWrongPath flags an entry as wrong-path work (called when the inserting

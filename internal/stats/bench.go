@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimBase-8   12  95314958 ns/op  5131289 B/op  33916 allocs/op
+//
+// Name keeps the -P GOMAXPROCS suffix stripped so baselines recorded on
+// machines with different core counts still compare. Custom metrics
+// reported via b.ReportMetric land in Metrics keyed by unit
+// ("simcycles/s" etc.).
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ParseBench reads `go test -bench` text output and returns the result
+// lines in encounter order. Non-benchmark lines (goos/goarch headers,
+// PASS, ok ...) are skipped. Malformed Benchmark lines are an error so a
+// truncated baseline file is caught rather than silently shortened.
+func ParseBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad run count in %q: %v", line, err)
+		}
+		res := BenchResult{Name: name, Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteBenchJSON writes results as deterministic JSONL, one object per
+// line with metric keys sorted, so baseline files diff cleanly.
+func WriteBenchJSON(w io.Writer, results []BenchResult) error {
+	for _, r := range results {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `{"name":%q,"runs":%d,"ns_per_op":%s`,
+			r.Name, r.Runs, jsonNum(r.NsPerOp))
+		if r.BytesPerOp != 0 {
+			fmt.Fprintf(&sb, `,"bytes_per_op":%s`, jsonNum(r.BytesPerOp))
+		}
+		if r.AllocsPerOp != 0 {
+			fmt.Fprintf(&sb, `,"allocs_per_op":%s`, jsonNum(r.AllocsPerOp))
+		}
+		if len(r.Metrics) > 0 {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			sb.WriteString(`,"metrics":{`)
+			for i, k := range keys {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%q:%s", k, jsonNum(r.Metrics[k]))
+			}
+			sb.WriteByte('}')
+		}
+		sb.WriteString("}\n")
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompareBench returns the fractional slowdown (new-old)/old in ns/op for
+// each benchmark present in both sets, keyed by name. Positive means new
+// is slower.
+func CompareBench(old, new []BenchResult) map[string]float64 {
+	base := make(map[string]float64, len(old))
+	for _, r := range old {
+		if r.NsPerOp > 0 {
+			base[r.Name] = r.NsPerOp
+		}
+	}
+	out := make(map[string]float64)
+	for _, r := range new {
+		if b, ok := base[r.Name]; ok && b > 0 {
+			out[r.Name] = (r.NsPerOp - b) / b
+		}
+	}
+	return out
+}
+
+func jsonNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

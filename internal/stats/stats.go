@@ -6,7 +6,9 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // HarmonicMean returns the harmonic mean of xs; it is the paper's "HM" bar
@@ -44,31 +46,48 @@ func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// String renders the table in aligned monospace.
+// String renders the table in aligned monospace. Widths are measured in
+// runes, not bytes, so multi-byte cells (sparklines, ellipses) stay
+// aligned; rows may have fewer or more cells than there are columns —
+// missing cells render empty, extra cells render unaligned rather than
+// panicking.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if i < len(widths) && utf8.RuneCountInString(cell) > widths[i] {
+				widths[i] = utf8.RuneCountInString(cell)
 			}
 		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	pad := func(cell string, w int, leftAlign bool) {
+		n := w - utf8.RuneCountInString(cell)
+		if n < 0 {
+			n = 0
+		}
+		if leftAlign {
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", n))
+		} else {
+			b.WriteString(strings.Repeat(" ", n))
+			b.WriteString(cell)
+		}
+	}
 	line := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			if i == 0 {
-				fmt.Fprintf(&b, "%-*s", widths[i], cell)
-			} else {
-				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
 			}
+			pad(cell, w, i == 0)
 		}
 		b.WriteByte('\n')
 	}
@@ -89,6 +108,69 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// sparkRunes are the eight block characters used by Sparkline, lowest to
+// highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a unicode block-character strip of at most
+// width runes (width <= 0 means one rune per value). Values are scaled
+// between the min and max of the series; a flat series renders as all-low
+// blocks. Non-finite values render as spaces. When the series is longer
+// than width, each output rune shows the mean of its bucket.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(vals) {
+		width = len(vals)
+	}
+	// Bucket by mean so long series compress instead of being sampled.
+	buckets := make([]float64, width)
+	ok := make([]bool, width)
+	counts := make([]int, width)
+	for i, v := range vals {
+		b := i * width / len(vals)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		buckets[b] += v
+		counts[b]++
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for b := range buckets {
+		if counts[b] == 0 {
+			continue
+		}
+		buckets[b] /= float64(counts[b])
+		ok[b] = true
+		if buckets[b] < lo {
+			lo = buckets[b]
+		}
+		if buckets[b] > hi {
+			hi = buckets[b]
+		}
+	}
+	var sb strings.Builder
+	for b := range buckets {
+		if !ok[b] {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((buckets[b] - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
 }
 
 // F formats a float with one decimal (the paper's usual precision).

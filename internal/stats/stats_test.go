@@ -68,3 +68,166 @@ func TestFormatters(t *testing.T) {
 		t.Error("formatter output changed")
 	}
 }
+
+func TestTableEmptyRows(t *testing.T) {
+	tab := &Table{ID: "t0", Title: "empty", Columns: []string{"a", "b"}}
+	out := tab.String()
+	if !strings.Contains(out, "t0 — empty") || !strings.Contains(out, "a") {
+		t.Errorf("empty table render broken:\n%s", out)
+	}
+	// No rows means header, rule, nothing else.
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Errorf("empty table has %d lines, want 3 (title, header, rule):\n%s", n, out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{ID: "t1", Title: "ragged", Columns: []string{"bench", "ipc", "speedup"}}
+	tab.AddRow("go")                           // fewer cells than columns
+	tab.AddRow("gcc", "1.02")                  // fewer cells
+	tab.AddRow("perl", "0.98", "1.10", "oops") // more cells than columns
+	var out string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ragged rows panicked: %v", r)
+			}
+		}()
+		out = tab.String()
+	}()
+	for _, want := range []string{"go", "gcc", "perl", "oops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMultiByteRunes(t *testing.T) {
+	tab := &Table{ID: "t2", Title: "unicode", Columns: []string{"name", "trend"}}
+	tab.AddRow("short", "▁▂▃▄")
+	tab.AddRow("a-much-longer-name", "▇█")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All data lines must be the same rune width: sparkline runes count as
+	// one column each, not three bytes.
+	var widths []int
+	for _, l := range lines[1:] { // skip title
+		widths = append(widths, len([]rune(l)))
+	}
+	for i := 1; i < len(widths); i++ {
+		if widths[i] != widths[0] {
+			t.Errorf("line %d rune width %d != %d; multi-byte cells misaligned:\n%s",
+				i, widths[i], widths[0], out)
+		}
+	}
+}
+
+func TestTableNotesOnly(t *testing.T) {
+	tab := &Table{ID: "t3", Title: "notes"}
+	tab.Note("only a footnote")
+	out := tab.String()
+	if !strings.Contains(out, "note: only a footnote") {
+		t.Errorf("notes-only table lost its note:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("Sparkline(nil) = %q", got)
+	}
+	up := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+	if up != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ascending ramp = %q", up)
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 0)
+	if flat != "▁▁▁" {
+		t.Errorf("flat series = %q", flat)
+	}
+	// Compression: 100 points into 10 runes, still monotone.
+	long := make([]float64, 100)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	comp := Sparkline(long, 10)
+	if n := len([]rune(comp)); n != 10 {
+		t.Errorf("compressed width = %d, want 10 (%q)", n, comp)
+	}
+	r := []rune(comp)
+	for i := 1; i < len(r); i++ {
+		if r[i] < r[i-1] {
+			t.Errorf("compressed ramp not monotone: %q", comp)
+		}
+	}
+	// Non-finite values render as spaces, finite neighbors survive.
+	gap := Sparkline([]float64{1, math.NaN(), 3}, 0)
+	if len([]rune(gap)) != 3 || []rune(gap)[1] != ' ' {
+		t.Errorf("NaN gap = %q", gap)
+	}
+}
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: github.com/vpir-sim/vpir
+cpu: AMD EPYC
+BenchmarkSimBase-8   	      12	  95314958 ns/op	  5131289 B/op	   33916 allocs/op
+BenchmarkSimIR-8     	       9	 112233445 ns/op	 14400741 simcycles/s	  6100100 siminsts/s
+PASS
+ok  	github.com/vpir-sim/vpir	30.1s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(res))
+	}
+	b := res[0]
+	if b.Name != "BenchmarkSimBase" || b.Runs != 12 || b.NsPerOp != 95314958 ||
+		b.BytesPerOp != 5131289 || b.AllocsPerOp != 33916 {
+		t.Errorf("first result wrong: %+v", b)
+	}
+	ir := res[1]
+	if ir.Name != "BenchmarkSimIR" || ir.Metrics["simcycles/s"] != 14400741 ||
+		ir.Metrics["siminsts/s"] != 6100100 {
+		t.Errorf("custom metrics wrong: %+v", ir)
+	}
+	if _, err := ParseBench(strings.NewReader("BenchmarkBroken-8 twelve 5 ns/op\n")); err == nil {
+		t.Error("malformed run count accepted")
+	}
+	if _, err := ParseBench(strings.NewReader("BenchmarkBroken-8 12 5\n")); err == nil {
+		t.Error("odd field count accepted")
+	}
+}
+
+func TestBenchJSONAndCompare(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBenchJSON(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("JSONL line count wrong:\n%s", out)
+	}
+	for _, want := range []string{`"name":"BenchmarkSimBase"`, `"ns_per_op":95314958`, `"simcycles/s":14400741`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench JSON missing %s:\n%s", want, out)
+		}
+	}
+	// A 10% slower re-run compares as +0.10.
+	newer := make([]BenchResult, len(res))
+	copy(newer, res)
+	newer[0].NsPerOp *= 1.10
+	d := CompareBench(res, newer)
+	if math.Abs(d["BenchmarkSimBase"]-0.10) > 1e-9 {
+		t.Errorf("slowdown = %v, want 0.10", d["BenchmarkSimBase"])
+	}
+	if d["BenchmarkSimIR"] != 0 {
+		t.Errorf("unchanged benchmark compares as %v", d["BenchmarkSimIR"])
+	}
+}

@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:"
+    echo "$unformatted"
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 

@@ -21,6 +21,7 @@ package vpir
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -72,6 +73,23 @@ type Options struct {
 
 	// Timeout bounds the simulation's wall-clock time (0 = unbounded).
 	Timeout time.Duration
+
+	// Metrics, when non-nil, attaches the time-resolved observability
+	// instrumentation to the run: an interval sampler of derived series
+	// (IPC, occupancies, hit rates) and a bounded ring of structured
+	// pipeline events. The collected data comes back in Result.Obs. A nil
+	// Metrics keeps the fully uninstrumented fast path.
+	Metrics *MetricsOptions
+}
+
+// MetricsOptions tunes the observability instrumentation (see
+// docs/observability.md).
+type MetricsOptions struct {
+	// Interval is the sampling period in cycles (0 = the default 10k).
+	Interval uint64
+	// EventCap bounds the structured event ring (0 = the default 4096);
+	// when full, the oldest events are dropped and counted.
+	EventCap int
 }
 
 func (o Options) config() (core.Config, error) {
@@ -161,13 +179,54 @@ type Result struct {
 
 	Output   string
 	ExitCode int
+
+	// Obs carries the observability data when Options.Metrics was set;
+	// nil otherwise.
+	Obs *Obs
 }
+
+// Obs is the observability payload of an instrumented run: the sampled
+// time series, the structured event ring, and the metric registry, with
+// exporters for each. See docs/observability.md for the formats.
+type Obs struct {
+	o *core.Observer
+}
+
+// Samples is the number of interval samples collected (including the
+// final flush at halt).
+func (ob *Obs) Samples() int { return ob.o.Series().Len() }
+
+// SampleInterval is the effective sampling period in cycles.
+func (ob *Obs) SampleInterval() uint64 { return ob.o.Interval() }
+
+// SampleFields names the series columns in export order ("cycle" first).
+func (ob *Obs) SampleFields() []string { return ob.o.Series().Fields() }
+
+// EventsBuffered is how many events the ring currently holds; EventsDropped
+// is how many older ones were overwritten.
+func (ob *Obs) EventsBuffered() int   { return ob.o.Events().Len() }
+func (ob *Obs) EventsDropped() uint64 { return ob.o.Events().Dropped() }
+
+// WriteSeriesJSONL writes the sampled time series as JSON Lines, one
+// object per sample with deterministic key order.
+func (ob *Obs) WriteSeriesJSONL(w io.Writer) error { return ob.o.Series().WriteJSONL(w) }
+
+// WriteSeriesCSV writes the sampled time series as CSV.
+func (ob *Obs) WriteSeriesCSV(w io.Writer) error { return ob.o.Series().WriteCSV(w) }
+
+// WriteEventsJSONL writes the buffered structured events as JSON Lines.
+func (ob *Obs) WriteEventsJSONL(w io.Writer) error { return ob.o.Events().WriteJSONL(w) }
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (a final snapshot, suitable for node-exporter-style
+// textfile collection).
+func (ob *Obs) WritePrometheus(w io.Writer) error { return ob.o.Registry().WritePrometheus(w) }
 
 func resultFrom(m *core.Machine) Result {
 	s := m.Stats()
 	rp, rm := s.VPResultRates()
 	ap, am := s.VPAddrRates()
-	return Result{
+	res := Result{
 		Config:                   m.Config().Name(),
 		Cycles:                   s.Cycles,
 		Committed:                s.Committed,
@@ -191,6 +250,10 @@ func resultFrom(m *core.Machine) Result {
 		Output:                   m.Output(),
 		ExitCode:                 m.ExitCode(),
 	}
+	if o := m.Observer(); o != nil {
+		res.Obs = &Obs{o: o}
+	}
+	return res
 }
 
 // Benchmarks returns the seven benchmark names in the paper's order.
@@ -223,6 +286,9 @@ func runProgram(p *prog.Program, opt Options) (Result, error) {
 	m, err := core.New(p, cfg, opt.MaxInsts)
 	if err != nil {
 		return Result{}, err
+	}
+	if opt.Metrics != nil {
+		m.AttachObserver(core.NewObserver(opt.Metrics.Interval, opt.Metrics.EventCap))
 	}
 	if opt.Timeout > 0 {
 		// Drive the machine in slices so the wall-clock deadline is

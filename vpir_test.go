@@ -234,3 +234,51 @@ func TestTracePipeline(t *testing.T) {
 		t.Error("bad options accepted")
 	}
 }
+
+func TestRunBenchmarkWithMetrics(t *testing.T) {
+	res, err := RunBenchmark("compress", 1, Options{
+		Technique: IR,
+		MaxInsts:  30_000,
+		Metrics:   &MetricsOptions{Interval: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("Options.Metrics set but Result.Obs is nil")
+	}
+	if res.Obs.Samples() < 2 {
+		t.Errorf("samples = %d, want interval samples plus the final flush", res.Obs.Samples())
+	}
+	if res.Obs.SampleInterval() != 1000 {
+		t.Errorf("interval = %d, want 1000", res.Obs.SampleInterval())
+	}
+	var series, events, prom strings.Builder
+	if err := res.Obs.WriteSeriesJSONL(&series); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Obs.WriteEventsJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Obs.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(series.String(), "\n") != res.Obs.Samples() {
+		t.Errorf("series lines %d != samples %d", strings.Count(series.String(), "\n"), res.Obs.Samples())
+	}
+	if !strings.Contains(series.String(), `"committed"`) || !strings.Contains(prom.String(), "vpir_stats_committed") {
+		t.Error("exports missing the committed counter")
+	}
+	// Without Metrics the payload stays nil (and the run is uninstrumented).
+	plain, err := RunBenchmark("compress", 1, Options{Technique: IR, MaxInsts: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Obs != nil {
+		t.Error("Result.Obs non-nil without Options.Metrics")
+	}
+	if plain.IPC != res.IPC || plain.Cycles != res.Cycles {
+		t.Errorf("observer changed results: %v/%v cycles vs %v/%v",
+			plain.IPC, plain.Cycles, res.IPC, res.Cycles)
+	}
+}
