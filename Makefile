@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-short smoke check bench bench-all clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke check bench bench-all bench-check clean
 
 all: build
 
@@ -27,6 +27,15 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Explicit race gate for the concurrency-heavy packages: the core machinery
+# that sweep workers reuse (Machine.Reset), the parallel sweep engine, and
+# the parallel fault campaign. A subset of test-race, listed separately so
+# the pre-commit gate names the sweep engine's race coverage; Go's test
+# cache makes running both nearly free.
+test-race-hot:
+	$(GO) vet ./internal/core/ ./internal/harness/ ./internal/faultinject/
+	$(GO) test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/
+
 # Quick loop: skips the long fault-injection and full-kernel paths.
 test-short:
 	$(GO) test -short ./...
@@ -36,7 +45,7 @@ test-short:
 smoke:
 	$(GO) run ./cmd/vpir-faults -seed 1 -campaign smoke
 
-check: fmt vet build test-race smoke
+check: fmt vet build test-race-hot test-race smoke
 	@echo "check: all gates passed"
 
 # Simulator throughput benchmarks, recorded as the perf baseline: the text
@@ -50,6 +59,20 @@ bench:
 # Every benchmark in the repo, one iteration each (smoke, not measurement).
 bench-all:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Perf regression gate: re-runs the simulator throughput benchmarks and
+# fails if simcycles/s regressed by more than 10% against the committed
+# BENCH_baseline.json. Refresh the baseline with `make bench` after a
+# deliberate performance change.
+bench-check:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem . > "$$tmp/bench.txt" \
+		|| { cat "$$tmp/bench.txt"; rm -rf "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/vpir-metrics -bench2json "$$tmp/bench.txt" > "$$tmp/bench.json" \
+		|| { rm -rf "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/vpir-metrics -compare -threshold 0.10 -units simcycles/s \
+		BENCH_baseline.json "$$tmp/bench.json"; \
+	status=$$?; rm -rf "$$tmp"; exit $$status
 
 clean:
 	$(GO) clean ./...

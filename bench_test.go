@@ -97,6 +97,44 @@ func BenchmarkSimVP(b *testing.B) {
 // sampling interval, to keep the cost of enabled observability visible.
 func BenchmarkSimBaseMetrics(b *testing.B) { benchMachine(b, core.DefaultConfig(), true) }
 
+// BenchmarkSimBaseReset is BenchmarkSimBase on a reused machine: one
+// core.New, then Machine.Reset per iteration. The gap to BenchmarkSimBase
+// is what a sweep worker saves per run by pooling machines (construction
+// and the functional pre-run amortize away).
+func BenchmarkSimBaseReset(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-kernel machine benchmark skipped in -short mode")
+	}
+	w, err := workload.Get("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	m, err := core.New(p, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles, insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		s := m.Stats()
+		cycles += s.Cycles
+		insts += s.Committed
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
+}
+
 // Fault-injection campaign throughput: how long a full deterministic smoke
 // campaign (baselines + injected runs + classification) takes end to end.
 func BenchmarkFaultCampaign(b *testing.B) {

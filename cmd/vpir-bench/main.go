@@ -6,6 +6,7 @@
 //	vpir-bench -exp fig6       # one experiment
 //	vpir-bench -scale 4        # 4x longer workloads
 //	vpir-bench -maxinsts 50000 # truncated runs (quick look)
+//	vpir-bench -parallel 8     # 8 sweep workers (results identical at any setting)
 //
 // With -metrics-dir every underlying simulation additionally writes its
 // sampled time series (and event log) into the given directory, one file
@@ -33,7 +34,8 @@ func run() int {
 	exp := flag.String("exp", "all", "experiment id (table1..table6, fig3..fig10) or 'all'")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions per run (0 = full)")
-	serial := flag.Bool("serial", false, "run benchmarks sequentially")
+	serial := flag.Bool("serial", false, "run benchmarks sequentially (same as -parallel 1)")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any setting")
 	metricsDir := flag.String("metrics-dir", "", "write per-run observability files (series/events JSONL) into this directory")
 	interval := flag.Uint64("metrics-interval", 0, "cycles between metric samples (0 = default 10000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -67,7 +69,8 @@ func run() int {
 	r := harness.NewRunner()
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
-	r.Parallel = !*serial
+	r.Parallel = !*serial && *parallel != 1
+	r.Parallelism = *parallel
 	if *metricsDir != "" {
 		r.Obs = &harness.ObsExport{Dir: *metricsDir, Interval: *interval, Events: true}
 	}

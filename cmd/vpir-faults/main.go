@@ -15,15 +15,18 @@
 //	vpir-faults -seed 1 -campaign default
 //	vpir-faults -seed 7 -campaign smoke -v
 //	vpir-faults -bench compress,gcc -maxinsts 40000 -faults 5
+//	vpir-faults -parallel 8        # 8 campaign workers
 //
-// The same seed always produces byte-identical output. Exit status is 0
-// when every run matches the fault model, 1 otherwise.
+// The same seed always produces byte-identical output, at any -parallel
+// setting. Exit status is 0 when every run matches the fault model, 1
+// otherwise.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/vpir-sim/vpir/internal/faultinject"
@@ -36,6 +39,8 @@ func main() {
 	maxInsts := flag.Uint64("maxinsts", 0, "per-run dynamic instruction cap override (0 = preset)")
 	faults := flag.Int("faults", 0, "injection points per run override (0 = preset)")
 	verbose := flag.Bool("v", false, "print the per-fault injection log")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"campaign worker count (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	var c faultinject.Campaign
@@ -57,6 +62,7 @@ func main() {
 	if *faults > 0 {
 		c.FaultsPerRun = *faults
 	}
+	c.Parallel = *parallel
 
 	reports, err := c.Run()
 	if err != nil {

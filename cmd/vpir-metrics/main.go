@@ -14,6 +14,17 @@
 // format used by `make bench` (see docs/observability.md):
 //
 //	go test -run '^$' -bench BenchmarkSim -benchmem . | vpir-metrics -bench2json -
+//
+// And it compares two baseline files benchstat-style, for CI gating
+// (`make bench-check`):
+//
+//	vpir-metrics -compare old.json new.json
+//	vpir-metrics -compare -threshold 0.10 -units simcycles/s old.json new.json
+//
+// With -threshold, the exit status is 1 when any compared dimension
+// regressed by more than the given fraction (for throughput units like
+// simcycles/s a *drop* is the regression; for per-op units a rise is).
+// -units restricts the gate and the table to a comma-separated subset.
 package main
 
 import (
@@ -38,8 +49,18 @@ func run() int {
 	list := flag.Bool("list", false, "list the field names and exit")
 	width := flag.Int("width", 24, "sparkline width in characters")
 	bench2json := flag.Bool("bench2json", false, "convert `go test -bench` text on the input to baseline JSONL on stdout")
+	compare := flag.Bool("compare", false, "compare two baseline JSONL files (old new) and print a delta table")
+	threshold := flag.Float64("threshold", 0, "with -compare: exit 1 when any dimension regresses by more than this fraction (0 = report only)")
+	units := flag.String("units", "", "with -compare: comma-separated subset of units to show and gate on (default: all)")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "vpir-metrics: -compare needs exactly two baseline files: old new")
+			return 2
+		}
+		return compareBaselines(flag.Arg(0), flag.Arg(1), *threshold, *units)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "vpir-metrics: need exactly one input file ('-' for stdin)")
 		return 2
@@ -109,6 +130,74 @@ func run() int {
 			stats.Sparkline(col, *width))
 	}
 	fmt.Print(tab.String())
+	return 0
+}
+
+// compareBaselines renders the old→new delta table and applies the
+// regression gate.
+func compareBaselines(oldPath, newPath string, threshold float64, unitFilter string) int {
+	read := func(path string) ([]stats.BenchResult, error) {
+		f, err := open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return stats.ReadBenchJSON(f)
+	}
+	oldRes, err := read(oldPath)
+	if err != nil {
+		return fail(err)
+	}
+	newRes, err := read(newPath)
+	if err != nil {
+		return fail(err)
+	}
+	deltas := stats.DiffBench(oldRes, newRes)
+	if unitFilter != "" {
+		wanted := make(map[string]bool)
+		for _, u := range strings.Split(unitFilter, ",") {
+			wanted[strings.TrimSpace(u)] = true
+		}
+		kept := deltas[:0]
+		for _, d := range deltas {
+			if wanted[d.Unit] {
+				kept = append(kept, d)
+			}
+		}
+		deltas = kept
+	}
+	if len(deltas) == 0 {
+		return fail(fmt.Errorf("no comparable benchmark dimensions between %s and %s", oldPath, newPath))
+	}
+
+	tab := &stats.Table{
+		ID:      "bench-compare",
+		Title:   fmt.Sprintf("%s -> %s", oldPath, newPath),
+		Columns: []string{"benchmark", "unit", "old", "new", "delta", ""},
+	}
+	worst := 0.0
+	var failures []string
+	for _, d := range deltas {
+		mark := ""
+		if reg := d.Regression(); reg > worst {
+			worst = reg
+		}
+		if threshold > 0 && d.Regression() > threshold {
+			mark = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s %s %+.1f%%", d.Name, d.Unit, 100*d.Delta))
+		}
+		tab.AddRow(d.Name, d.Unit, fmtVal(d.Old), fmtVal(d.New),
+			fmt.Sprintf("%+.2f%%", 100*d.Delta), mark)
+	}
+	fmt.Print(tab.String())
+	if threshold > 0 {
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "vpir-metrics: %d dimension(s) regressed beyond %.0f%%: %s\n",
+				len(failures), 100*threshold, strings.Join(failures, "; "))
+			return 1
+		}
+		fmt.Printf("gate ok: worst regression %.2f%% within %.0f%% threshold\n", 100*worst, 100*threshold)
+	}
 	return 0
 }
 

@@ -175,6 +175,20 @@ func (p *Predictor) Save() State {
 	return s
 }
 
+// SaveInto checkpoints the speculative state into s, reusing s.RAS's
+// backing array when it is large enough. The timing core calls this once
+// per checkpointed branch at fetch, so avoiding the per-call allocation of
+// Save matters for simulator throughput.
+func (p *Predictor) SaveInto(s *State) {
+	s.Hist = p.hist
+	s.RASTop = p.rasTop
+	if cap(s.RAS) < len(p.ras) {
+		s.RAS = make([]uint32, len(p.ras))
+	}
+	s.RAS = s.RAS[:len(p.ras)]
+	copy(s.RAS, p.ras)
+}
+
 // Restore rewinds the speculative state to a checkpoint.
 func (p *Predictor) Restore(s State) {
 	p.hist = s.Hist

@@ -11,8 +11,8 @@ import (
 // into the ROB: rename, checkpoint allocation, the IR reuse test (in
 // parallel with decode, per Figure 1(b)) and the VPT lookup (Figure 1(a)).
 func (m *Machine) decode() error {
-	for n := 0; n < m.cfg.DecodeWidth && len(m.fetchQ) > 0; n++ {
-		f := m.fetchQ[0]
+	for n := 0; n < m.cfg.DecodeWidth && m.fetchCount > 0; n++ {
+		f := &m.fetchQ[m.fetchHead]
 		in := f.in
 		if m.robCount == int32(m.cfg.ROBSize) {
 			return nil
@@ -29,11 +29,18 @@ func (m *Machine) decode() error {
 		if f.needCkpt && m.unresolved >= m.cfg.MaxBranches {
 			return nil
 		}
-		m.fetchQ = m.fetchQ[1:]
+		// Pop the ring slot. Its contents stay readable through this
+		// iteration: fetch (the only writer) runs after decode, and a squash
+		// just resets the ring cursors.
+		m.fetchHead = (m.fetchHead + 1) % int32(len(m.fetchQ))
+		m.fetchCount--
 
 		idx := m.robIdx(m.robCount)
 		m.robCount++
 		e := &m.rob[idx]
+		// Reset the recycled entry in place, keeping the consumers backing
+		// array so steady-state dispatch allocates nothing.
+		cons := e.consumers[:0]
 		*e = robEntry{
 			valid:       true,
 			seq:         m.seq,
@@ -49,6 +56,7 @@ func (m *Machine) decode() error {
 			reuseSrc:    reuse.NoLink,
 			needExec:    true,
 		}
+		e.consumers = cons
 		m.seq++
 
 		// Correct-path trace tracking.
@@ -119,9 +127,15 @@ func (m *Machine) decode() error {
 		// Checkpoint (after the destination rename: restoring must preserve
 		// the branch's own destination, e.g. JALR's link register).
 		if f.needCkpt {
-			cp := &ckpt{bp: f.bpState, histAtPred: f.histAtPred}
+			cp := m.newCkpt()
 			cp.createVec = m.createVec
 			cp.createSeq = m.createSeq
+			cp.histAtPred = f.histAtPred
+			// Copy the predictor snapshot out of the fetch-ring slot: the
+			// slot's RAS storage is recycled by the next fetch into it.
+			cp.bp.Hist = f.bpState.Hist
+			cp.bp.RASTop = f.bpState.RASTop
+			cp.bp.RAS = append(cp.bp.RAS[:0], f.bpState.RAS...)
 			e.checkpoint = cp
 			m.unresolved++
 		}

@@ -9,13 +9,17 @@ import (
 // Completions consume result-bus bandwidth (WBWidth per cycle); overflow
 // carries into the next cycle and counts as resource contention.
 func (m *Machine) processEvents() error {
+	// Stage this cycle's events into the scratch buffer so the wheel slot
+	// and the carry list can be truncated with their capacity kept — the
+	// cycle loop allocates nothing here in steady state. Events scheduled
+	// while draining always land in a different wheel slot (delays are
+	// clamped to [1, wheelSize)), and carry-overs append to the already-
+	// drained wbCarry, so neither append invalidates the scratch contents.
 	slot := m.cycle % wheelSize
-	evs := m.wheel[slot]
-	m.wheel[slot] = nil
-	if len(m.wbCarry) > 0 {
-		evs = append(m.wbCarry, evs...)
-		m.wbCarry = nil
-	}
+	evs := append(m.evScratch[:0], m.wbCarry...)
+	evs = append(evs, m.wheel[slot]...)
+	m.wheel[slot] = m.wheel[slot][:0]
+	m.wbCarry = m.wbCarry[:0]
 	busUsed := 0
 	for _, ev := range evs {
 		e := m.liveEntry(ev)
@@ -36,6 +40,7 @@ func (m *Machine) processEvents() error {
 			m.verify(ev.idx, e)
 		}
 	}
+	m.evScratch = evs[:0]
 	m.drainFinalQ()
 	return nil
 }
@@ -174,15 +179,17 @@ func (m *Machine) enqueueFinal(idx int32) {
 // through consumer lists within a single cycle (the verification latency is
 // charged only at prediction points, matching §4.1.4).
 func (m *Machine) drainFinalQ() {
-	for len(m.finalQ) > 0 {
-		idx := m.finalQ[0]
-		m.finalQ = m.finalQ[1:]
+	// Index-based drain so the queue keeps its backing array; checkFinal
+	// may append more work while we iterate (len is re-read every pass).
+	for i := 0; i < len(m.finalQ); i++ {
+		idx := m.finalQ[i]
 		e := &m.rob[idx]
 		if !e.valid || e.final {
 			continue
 		}
 		m.checkFinal(idx, e)
 	}
+	m.finalQ = m.finalQ[:0]
 }
 
 // checkFinal applies the finalization rules (see DESIGN.md §5):
@@ -277,6 +284,7 @@ func (m *Machine) finalize(idx int32, e *robEntry) {
 		m.resolveBranch(idx, e)
 		e.finalResolved = true
 		if e.checkpoint != nil {
+			m.freeCkpt(e.checkpoint)
 			e.checkpoint = nil
 			m.unresolved--
 		}

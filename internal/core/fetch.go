@@ -12,7 +12,7 @@ func (m *Machine) fetch() {
 		return
 	}
 	firstPC := m.fetchPC
-	for n := 0; n < m.cfg.FetchWidth && len(m.fetchQ) < m.cfg.FetchQueue; n++ {
+	for n := 0; n < m.cfg.FetchWidth && int(m.fetchCount) < len(m.fetchQ); n++ {
 		pc := m.fetchPC
 		in := m.instAt(pc)
 		if in == nil || in.Op == isa.OpInvalid {
@@ -36,10 +36,16 @@ func (m *Machine) fetch() {
 			}
 		}
 
-		f := fetched{pc: pc, in: in, predNext: pc + 4, fetchCycle: m.cycle}
+		// Write into the next ring slot in place; the slot's RAS snapshot
+		// storage (inside bpState) is kept and refilled by SaveInto, so
+		// fetching a checkpointed branch allocates nothing in steady state.
+		f := &m.fetchQ[(m.fetchHead+m.fetchCount)%int32(len(m.fetchQ))]
+		ras := f.bpState.RAS
+		*f = fetched{pc: pc, in: in, predNext: pc + 4, fetchCycle: m.cycle}
+		f.bpState.RAS = ras[:0]
 		switch {
 		case in.Op.IsCondBranch():
-			f.bpState = m.bp.Save()
+			m.bp.SaveInto(&f.bpState)
 			f.histAtPred = m.bp.Hist()
 			f.needCkpt = true
 			f.predTaken = m.bp.PredictDir(pc)
@@ -55,7 +61,7 @@ func (m *Machine) fetch() {
 			f.predNext = in.JumpTarget()
 			m.bp.PushRAS(pc + 4)
 		case in.Op == isa.OpJR:
-			f.bpState = m.bp.Save()
+			m.bp.SaveInto(&f.bpState)
 			f.needCkpt = true
 			f.predTaken = true
 			if in.Src1 == isa.RegRA { // function return: use the RAS
@@ -68,7 +74,7 @@ func (m *Machine) fetch() {
 				f.predNext = t
 			}
 		case in.Op == isa.OpJALR:
-			f.bpState = m.bp.Save()
+			m.bp.SaveInto(&f.bpState)
 			f.needCkpt = true
 			f.predTaken = true
 			if t, ok := m.bp.LookupBTB(pc); ok {
@@ -77,7 +83,7 @@ func (m *Machine) fetch() {
 			m.bp.PushRAS(pc + 4)
 		}
 
-		m.fetchQ = append(m.fetchQ, f)
+		m.fetchCount++
 		m.stats.Fetched++
 		m.fetchPC = f.predNext
 		if f.predNext != pc+4 {

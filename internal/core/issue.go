@@ -137,14 +137,14 @@ func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
 
 	// Table 1: loads execute only after all preceding store addresses are
 	// known. (A dependence stall, not resource contention.)
-	fwd, blocked := m.scanStores(e, addr)
+	fwd, haveFwd, blocked := m.scanStores(e, addr)
 	if blocked {
 		return false
 	}
 
 	// Acquire the cache port first (when needed), then the load/store unit,
 	// so a denial never strands a half-acquired resource.
-	if fwd == nil {
+	if !haveFwd {
 		m.stats.ResourceRequests++
 		if m.dcPortsUsed >= m.cfg.MemPorts {
 			m.stats.ResourceDenials++
@@ -162,7 +162,7 @@ func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
 		agen = 0 // the address computation was bypassed
 	}
 	var lat uint64
-	if fwd != nil {
+	if haveFwd {
 		lat = agen + 1
 		e.pendResult = extractLoad(e.in.Op, addr, fwd)
 		e.pendForwarded = true
@@ -202,12 +202,12 @@ type fwdSource struct {
 }
 
 // scanStores checks all older stores for the Table 1 disambiguation rules.
-// It returns a forwarding source when the youngest older overlapping store
-// fully contains the load and its data is final, or blocked=true when the
-// load cannot execute yet.
-func (m *Machine) scanStores(e *robEntry, addr uint32) (*fwdSource, bool) {
+// It returns a forwarding source (with have=true) when the youngest older
+// overlapping store fully contains the load and its data is final, or
+// blocked=true when the load cannot execute yet. fwdSource is returned by
+// value to keep the issue stage allocation-free.
+func (m *Machine) scanStores(e *robEntry, addr uint32) (fwd fwdSource, have, blocked bool) {
 	width := emu.LoadWidth(e.in.Op)
-	var fwd *fwdSource
 	// Scan youngest-to-oldest among older stores; the first overlap decides.
 	for i := m.lsqCount - 1; i >= 0; i-- {
 		slot := (m.lsqHead + i) % int32(m.cfg.LSQSize)
@@ -216,9 +216,9 @@ func (m *Machine) scanStores(e *robEntry, addr uint32) (*fwdSource, bool) {
 			continue
 		}
 		if !q.addrKnown {
-			return nil, true // an older store address is unknown
+			return fwdSource{}, false, true // an older store address is unknown
 		}
-		if fwd != nil {
+		if have {
 			continue // already have the youngest overlap; older ones hidden
 		}
 		if q.addr < addr+width && addr < q.addr+q.width {
@@ -226,17 +226,18 @@ func (m *Machine) scanStores(e *robEntry, addr uint32) (*fwdSource, bool) {
 			st := &m.rob[q.rob]
 			dataFinal := st.valid && st.seq == q.seq && st.srcReady[1] && st.srcFinal[1]
 			if addr >= q.addr && addr+width <= q.addr+q.width && dataFinal {
-				fwd = &fwdSource{addr: q.addr, width: q.width, data: st.srcVal[1]}
+				fwd = fwdSource{addr: q.addr, width: q.width, data: st.srcVal[1]}
+				have = true
 				continue
 			}
-			return nil, true // partial overlap or data not final: wait
+			return fwdSource{}, false, true // partial overlap or data not final: wait
 		}
 	}
-	return fwd, false
+	return fwd, have, false
 }
 
 // extractLoad slices the loaded bytes out of a forwarded store value.
-func extractLoad(op isa.Op, addr uint32, f *fwdSource) isa.Word {
+func extractLoad(op isa.Op, addr uint32, f fwdSource) isa.Word {
 	sh := 8 * (addr - f.addr)
 	v := uint32(f.data) >> sh
 	switch op {

@@ -64,14 +64,31 @@ type Machine struct {
 	fetchPC       uint32
 	fetchReady    uint64 // I-cache miss stall: no fetch before this cycle
 	lastFetchLine uint32
-	fetchQ        []fetched
-	traceCursor   int64 // next correct-path trace index; < 0 on the wrong path
-	unresolved    int
-	serialize     int32 // ROB slot of a dispatched serializing op, -1 if none
+	// fetchQ is a fixed-capacity ring of cfg.FetchQueue slots. Slots are
+	// reused in place so the bpred.State RAS snapshot inside each keeps its
+	// backing array across the whole run (no per-branch allocation).
+	fetchQ     []fetched
+	fetchHead  int32
+	fetchCount int32
+
+	traceCursor int64 // next correct-path trace index; < 0 on the wrong path
+	unresolved  int
+	serialize   int32 // ROB slot of a dispatched serializing op, -1 if none
 
 	wheel   [wheelSize][]event
 	finalQ  []int32 // entries whose finality must be re-examined this cycle
 	wbCarry []event // completions deferred by result-bus contention
+	// evScratch is the per-cycle staging buffer processEvents drains into,
+	// so wheel slots and wbCarry can be truncated (capacity kept) instead of
+	// reallocated every cycle.
+	evScratch []event
+
+	// ckptFree recycles branch checkpoints (and the RAS snapshot slices
+	// inside them). Live checkpoints never exceed cfg.MaxBranches, so
+	// ckptAllocs — the number of checkpoints ever allocated — is bounded by
+	// it for the life of the machine, across Reset.
+	ckptFree   []*ckpt
+	ckptAllocs int
 
 	// Functional unit pools (Table 1).
 	aluPool *fuPool // 8 integer ALUs
@@ -133,43 +150,184 @@ func New(p *prog.Program, cfg Config, maxInsts uint64) (*Machine, error) {
 		prog:    p,
 		decoded: p.Decoded(),
 		mem:     mem.NewMemory(),
-		icache:  mem.NewCache(cfg.ICache),
-		dcache:  mem.NewCache(cfg.DCache),
-		bp:      bpred.New(cfg.Bpred),
 		oracle:  oracle,
-		rob:     make([]robEntry, cfg.ROBSize),
-		lsq:     make([]lsqEntry, cfg.LSQSize),
-		fetchQ:  make([]fetched, 0, cfg.FetchQueue),
 	}
-	m.mem.LoadProgram(p)
+	m.buildStructures(cfg)
+	m.resetRunState()
+	return m, nil
+}
+
+// Reset rewinds the machine to its pre-Run state under a (possibly
+// different) configuration, reusing every microarchitectural structure
+// whose geometry is unchanged: the ROB and LSQ arrays, the event wheel and
+// its per-slot capacity, the checkpoint pool, the fetch ring (including the
+// RAS snapshot storage in each slot), the VPT/RB/cache/predictor tables,
+// and the sparse memory pages. The program, the functional oracle trace and
+// the instruction cap given to New are kept; Reset does not repeat the
+// functional pre-run.
+//
+// Determinism contract: a Reset machine produces bit-identical Stats,
+// Output and ExitCode to a machine built fresh by New with the same
+// program and configuration (TestResetDeterminism enforces this). Attached
+// observers, pipe tracers and cycle hooks are per-run and are detached.
+func (m *Machine) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	// Return in-flight branch checkpoints to the pool before the ROB is
+	// cleared, so the pool's high-water bound survives machine reuse.
+	for i := range m.rob {
+		if e := &m.rob[i]; e.valid && e.checkpoint != nil {
+			m.freeCkpt(e.checkpoint)
+			e.checkpoint = nil
+		}
+	}
+	m.buildStructures(cfg)
+	m.cfg = cfg
+	m.resetRunState()
+	return nil
+}
+
+// buildStructures (re)creates the configuration-dependent storage. On a
+// fresh machine everything is allocated; on Reset, structures whose
+// configured geometry matches the previous run are cleared in place.
+func (m *Machine) buildStructures(cfg Config) {
+	if m.icache != nil && m.icache.Config() == cfg.ICache {
+		m.icache.Reset()
+	} else {
+		m.icache = mem.NewCache(cfg.ICache)
+	}
+	if m.dcache != nil && m.dcache.Config() == cfg.DCache {
+		m.dcache.Reset()
+	} else {
+		m.dcache = mem.NewCache(cfg.DCache)
+	}
+	if m.bp != nil && m.cfg.Bpred == cfg.Bpred {
+		m.bp.Reset()
+	} else {
+		m.bp = bpred.New(cfg.Bpred)
+	}
+
+	needVPT := cfg.Technique == TechVP || cfg.Technique == TechHybrid
+	needVPA := needVPT && cfg.VP.PredictAddresses
+	needRB := cfg.Technique == TechIR || cfg.Technique == TechHybrid
+	m.vpt = resetTable(m.vpt, cfg.VP.ResultTable, needVPT)
+	m.vpa = resetTable(m.vpa, cfg.VP.AddrTable, needVPA)
+	switch {
+	case !needRB:
+		m.rb = nil
+	case m.rb != nil && m.rb.Config() == cfg.IR.Buffer:
+		m.rb.Reset()
+	default:
+		m.rb = reuse.New(cfg.IR.Buffer)
+	}
+
+	if len(m.rob) == cfg.ROBSize {
+		for i := range m.rob {
+			cons := m.rob[i].consumers[:0]
+			m.rob[i] = robEntry{consumers: cons}
+		}
+	} else {
+		m.rob = make([]robEntry, cfg.ROBSize)
+	}
+	if len(m.lsq) == cfg.LSQSize {
+		for i := range m.lsq {
+			m.lsq[i] = lsqEntry{}
+		}
+	} else {
+		m.lsq = make([]lsqEntry, cfg.LSQSize)
+	}
+	if len(m.fetchQ) != cfg.FetchQueue {
+		m.fetchQ = make([]fetched, cfg.FetchQueue)
+	}
+
+	m.aluPool = m.aluPool.reset(cfg.IntALUs)
+	m.lsPool = m.lsPool.reset(cfg.MemPorts)
+	m.imdPool = m.imdPool.reset(1)
+	m.fpaPool = m.fpaPool.reset(cfg.FPAdders)
+	m.fpmPool = m.fpmPool.reset(1)
+}
+
+// resetTable reuses, rebuilds or drops a value-prediction table for the
+// next run.
+func resetTable(t *vp.Table, cfg vp.Config, need bool) *vp.Table {
+	if !need {
+		return nil
+	}
+	if t != nil && t.Config() == cfg {
+		t.Reset()
+		return t
+	}
+	return vp.New(cfg)
+}
+
+// resetRunState rewinds all per-run machine state: architectural registers,
+// rename state, cursors, counters, queues and the memory image. Structures
+// sized by the configuration must already be in place (buildStructures).
+func (m *Machine) resetRunState() {
+	m.mem.Reset()
+	m.mem.LoadProgram(m.prog)
+
+	m.cycle = 0
+	m.seq = 0
+	m.regs = [isa.NumArchRegs]isa.Word{}
 	m.regs[isa.RegSP] = isa.Word(prog.StackTop)
-	m.fetchPC = p.Entry
-	m.lastFetchLine = ^uint32(0)
-	m.serialize = -1
 	for i := range m.createVec {
 		m.createVec[i] = -1
 	}
-	m.aluPool = newPool(cfg.IntALUs)
-	m.lsPool = newPool(cfg.MemPorts)
-	m.imdPool = newPool(1)
-	m.fpaPool = newPool(cfg.FPAdders)
-	m.fpmPool = newPool(1)
-	switch cfg.Technique {
-	case TechVP:
-		m.vpt = vp.New(cfg.VP.ResultTable)
-		if cfg.VP.PredictAddresses {
-			m.vpa = vp.New(cfg.VP.AddrTable)
-		}
-	case TechIR:
-		m.rb = reuse.New(cfg.IR.Buffer)
-	case TechHybrid:
-		m.rb = reuse.New(cfg.IR.Buffer)
-		m.vpt = vp.New(cfg.VP.ResultTable)
-		if cfg.VP.PredictAddresses {
-			m.vpa = vp.New(cfg.VP.AddrTable)
-		}
+	m.createSeq = [isa.NumArchRegs]uint64{}
+
+	m.robHead, m.robCount = 0, 0
+	m.lsqHead, m.lsqCount = 0, 0
+
+	m.fetchPC = m.prog.Entry
+	m.fetchReady = 0
+	m.lastFetchLine = ^uint32(0)
+	m.fetchHead, m.fetchCount = 0, 0
+	m.traceCursor = 0
+	m.unresolved = 0
+	m.serialize = -1
+
+	for i := range m.wheel {
+		m.wheel[i] = m.wheel[i][:0]
 	}
-	return m, nil
+	m.finalQ = m.finalQ[:0]
+	m.wbCarry = m.wbCarry[:0]
+
+	m.dcPortsUsed = 0
+	m.fetchRedirected = false
+	m.commitCursor = 0
+	m.halted = false
+	m.exitCode = 0
+	m.output.Reset()
+	m.stats = Stats{}
+	m.lastRetire = 0
+
+	// Per-run attachments: hooks, observers and tracers do not survive a
+	// Reset (fault campaigns and metrics exports attach per run).
+	m.cycleHooks = nil
+	m.obs = nil
+	m.tracer = nil
+	m.debugCommit = nil
+	m.debugReuse = nil
+}
+
+// newCkpt takes a checkpoint from the free list (or allocates one). The
+// caller overwrites every field, so recycled contents never leak between
+// branches.
+func (m *Machine) newCkpt() *ckpt {
+	if n := len(m.ckptFree); n > 0 {
+		cp := m.ckptFree[n-1]
+		m.ckptFree = m.ckptFree[:n-1]
+		return cp
+	}
+	m.ckptAllocs++
+	return &ckpt{}
+}
+
+// freeCkpt returns a checkpoint (and its RAS snapshot storage) to the pool.
+func (m *Machine) freeCkpt(cp *ckpt) {
+	m.ckptFree = append(m.ckptFree, cp)
 }
 
 // vpActive reports whether value prediction is integrated (TechVP or

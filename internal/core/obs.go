@@ -190,7 +190,7 @@ func (m *Machine) sampleObs() {
 	o.gIPC.Set(ipc)
 	o.gROB.Set(float64(m.robCount))
 	o.gLSQ.Set(float64(m.lsqCount))
-	o.gFetchQ.Set(float64(len(m.fetchQ)))
+	o.gFetchQ.Set(float64(m.fetchCount))
 	o.hROBOcc.Observe(float64(m.robCount))
 	o.hLSQOcc.Observe(float64(m.lsqCount))
 
@@ -210,7 +210,7 @@ func (m *Machine) sampleObs() {
 	}
 	vals = append(vals,
 		ipc,
-		float64(m.robCount), float64(m.lsqCount), float64(len(m.fetchQ)), float64(m.unresolved),
+		float64(m.robCount), float64(m.lsqCount), float64(m.fetchCount), float64(m.unresolved),
 		float64(vptL), float64(vptP),
 		float64(vpaL), float64(vpaP),
 		float64(rbs.tests), float64(rbs.hits), float64(rbs.addrHits), float64(rbs.chainHits),

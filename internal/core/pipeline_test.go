@@ -216,7 +216,7 @@ main:   la   $s0, buf
 func TestExtractLoadProperty(t *testing.T) {
 	f := func(data uint32, off uint8) bool {
 		base := uint32(0x1000)
-		fw := &fwdSource{addr: base, width: 4, data: isa.Word(data)}
+		fw := fwdSource{addr: base, width: 4, data: isa.Word(data)}
 		// Compare against an actual memory round trip.
 		for _, c := range []struct {
 			op    isa.Op

@@ -15,13 +15,15 @@ type consRef struct {
 	slot uint8
 }
 
-// ckpt is the per-branch checkpoint used for squash recovery.
+// ckpt is the per-branch checkpoint used for squash recovery. Checkpoints
+// are pooled (Machine.newCkpt/freeCkpt) and every field — including the
+// RAS snapshot slice inside bp — is fully overwritten at allocation, so a
+// recycled checkpoint carries no state between branches.
 type ckpt struct {
-	createVec   [isa.NumArchRegs]int32
-	createSeq   [isa.NumArchRegs]uint64
-	bp          bpred.State
-	traceCursor int64
-	histAtPred  uint32 // gshare history when the direction was predicted
+	createVec  [isa.NumArchRegs]int32
+	createSeq  [isa.NumArchRegs]uint64
+	bp         bpred.State
+	histAtPred uint32 // gshare history when the direction was predicted
 }
 
 // robEntry is one in-flight instruction.
@@ -188,6 +190,18 @@ type fuPool struct {
 }
 
 func newPool(n int) *fuPool { return &fuPool{busyUntil: make([]uint64, n)} }
+
+// reset returns a pool of n idle units, reusing p's storage when the unit
+// count is unchanged (nil-safe, for Machine.Reset).
+func (p *fuPool) reset(n int) *fuPool {
+	if p == nil || len(p.busyUntil) != n {
+		return newPool(n)
+	}
+	for i := range p.busyUntil {
+		p.busyUntil[i] = 0
+	}
+	return p
+}
 
 // acquire reserves a unit from now for issueLat cycles; reports success.
 func (p *fuPool) acquire(now uint64, issueLat int) bool {

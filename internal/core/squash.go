@@ -22,8 +22,12 @@ func (m *Machine) squashAfter(idx int32, e *robEntry) {
 				m.rb.MarkWrongPath(t.rbLink)
 			}
 		}
-		if t.checkpoint != nil && !t.finalResolved {
-			m.unresolved--
+		if t.checkpoint != nil {
+			if !t.finalResolved {
+				m.unresolved--
+			}
+			m.freeCkpt(t.checkpoint)
+			t.checkpoint = nil
 		}
 		if m.serialize == tail {
 			m.serialize = -1
@@ -32,7 +36,7 @@ func (m *Machine) squashAfter(idx int32, e *robEntry) {
 			m.lsq[t.lsq].valid = false
 		}
 		t.valid = false
-		t.consumers = nil
+		t.consumers = t.consumers[:0]
 		m.robCount--
 	}
 	// Compact the LSQ tail.
@@ -53,7 +57,7 @@ func (m *Machine) squashAfter(idx int32, e *robEntry) {
 	}
 
 	// Front end redirect.
-	m.fetchQ = m.fetchQ[:0]
+	m.fetchHead, m.fetchCount = 0, 0
 	m.fetchPC = e.actualNext
 	m.fetchReady = m.cycle
 	m.lastFetchLine = ^uint32(0)

@@ -1,11 +1,14 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync"
 
 	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/prog"
 	"github.com/vpir-sim/vpir/internal/vp"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
@@ -69,6 +72,12 @@ type Campaign struct {
 	Kinds        []Kind
 	MaxInsts     uint64 // per-run dynamic instruction cap (0 = full runs)
 	FaultsPerRun int
+	// Parallel is the worker count for the sweep (0 or 1 = serial). The
+	// report order and every report's content are independent of the worker
+	// count: faults are planned from per-run seeds and machines are reused
+	// via core.Machine.Reset, whose determinism contract guarantees
+	// bit-identical runs.
+	Parallel int
 }
 
 // DefaultCampaign is the standard sweep: every fault kind against a
@@ -118,81 +127,180 @@ type baseline struct {
 }
 
 // Run executes the campaign and returns one report per (bench, kind) cell,
-// in deterministic order. The returned error covers campaign setup
-// problems only; per-run failures are reported as outcomes.
+// in deterministic (bench-major, kind order) regardless of Parallel. The
+// returned error covers campaign setup problems only; per-run failures are
+// reported as outcomes.
 func (c Campaign) Run() ([]RunReport, error) {
-	baselines := map[string]*baseline{}
-	var reports []RunReport
+	progs := make(map[string]*prog.Program, len(c.Benches))
 	for _, bench := range c.Benches {
 		w, err := workload.Get(bench)
 		if err != nil {
-			return reports, err
+			return nil, err
 		}
 		p, err := w.Load(1)
 		if err != nil {
-			return reports, err
+			return nil, err
 		}
+		progs[bench] = p
+	}
+
+	type cell struct {
+		bench string
+		kind  Kind
+	}
+	var cells []cell
+	for _, bench := range c.Benches {
 		for _, kind := range c.Kinds {
-			cfg := configFor(kind)
-			bkey := bench + "|" + cfg.Key()
-			base := baselines[bkey]
-			if base == nil {
-				m, err := core.New(p, cfg, c.MaxInsts)
-				if err != nil {
-					return reports, err
-				}
-				if err := m.Run(0); err != nil {
-					return reports, fmt.Errorf("faultinject: baseline %s/%s: %w", bench, cfg.Name(), err)
-				}
-				base = &baseline{stats: m.Stats(), output: m.Output(), exit: m.ExitCode()}
-				baselines[bkey] = base
-			}
-
-			rep := RunReport{Bench: bench, Config: cfg.Name(), Kind: kind}
-			m, err := core.New(p, cfg, c.MaxInsts)
-			if err != nil {
-				return reports, err
-			}
-			plan := NewPlan(runSeed(c.Seed, bench, kind), kind, c.FaultsPerRun, base.stats.Cycles)
-			inj := Attach(m, plan)
-			runErr := m.Run(0)
-			rep.Injected, rep.Skipped = inj.Applied, inj.Skipped
-			rep.Log = inj.Log
-
-			switch {
-			case runErr == nil:
-				switch {
-				case m.Output() != base.output || m.ExitCode() != base.exit:
-					rep.Outcome = Failed
-					rep.Detail = "silent architectural divergence (output mismatch)"
-				case m.Stats() == base.stats:
-					rep.Outcome = Masked
-				default:
-					rep.Outcome = Benign
-					s := m.Stats()
-					rep.Detail = fmt.Sprintf("cycles %+d", int64(s.Cycles)-int64(base.stats.Cycles))
-				}
-			case core.IsDivergence(runErr):
-				se, _ := core.AsSimError(runErr)
-				rep.Outcome = Detected
-				rep.Detail = fmt.Sprintf("oracle: %s at pc %#x", se.Field, se.PC)
-			case core.IsWatchdog(runErr):
-				rep.Outcome = Hung
-				rep.Detail = runErr.Error()
-			default:
-				rep.Outcome = Failed
-				rep.Detail = runErr.Error()
-			}
-
-			if kind.Unguarded() {
-				rep.Expected = rep.Outcome == Detected
-			} else {
-				rep.Expected = rep.Outcome == Masked || rep.Outcome == Benign
-			}
-			reports = append(reports, rep)
+			cells = append(cells, cell{bench, kind})
 		}
 	}
+
+	// Phase 1: fault-free baselines, one per unique (bench, config) pair.
+	// They are keyed by configuration identity, not fault kind, so several
+	// kinds share one baseline run.
+	type baseJob struct {
+		bench string
+		cfg   core.Config
+	}
+	var baseJobs []baseJob
+	seen := map[string]bool{}
+	for _, cl := range cells {
+		cfg := configFor(cl.kind)
+		bkey := cl.bench + "|" + cfg.Key()
+		if !seen[bkey] {
+			seen[bkey] = true
+			baseJobs = append(baseJobs, baseJob{cl.bench, cfg})
+		}
+	}
+	baselines := make(map[string]*baseline, len(baseJobs))
+	baseErrs := make([]error, len(baseJobs))
+	var mu sync.Mutex
+	c.forEachPar(len(baseJobs), func(i int, machines map[string]*core.Machine) {
+		j := baseJobs[i]
+		m, err := campaignMachine(machines, progs[j.bench], j.bench, j.cfg, c.MaxInsts)
+		if err != nil {
+			baseErrs[i] = err
+			return
+		}
+		if err := m.Run(0); err != nil {
+			baseErrs[i] = fmt.Errorf("faultinject: baseline %s/%s: %w", j.bench, j.cfg.Name(), err)
+			return
+		}
+		mu.Lock()
+		baselines[j.bench+"|"+j.cfg.Key()] = &baseline{stats: m.Stats(), output: m.Output(), exit: m.ExitCode()}
+		mu.Unlock()
+	})
+	if err := errors.Join(baseErrs...); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: injected runs, one per cell, reported in cell order.
+	reports := make([]RunReport, len(cells))
+	runErrs := make([]error, len(cells))
+	c.forEachPar(len(cells), func(i int, machines map[string]*core.Machine) {
+		cl := cells[i]
+		cfg := configFor(cl.kind)
+		base := baselines[cl.bench+"|"+cfg.Key()]
+		rep := RunReport{Bench: cl.bench, Config: cfg.Name(), Kind: cl.kind}
+		m, err := campaignMachine(machines, progs[cl.bench], cl.bench, cfg, c.MaxInsts)
+		if err != nil {
+			runErrs[i] = err
+			return
+		}
+		plan := NewPlan(runSeed(c.Seed, cl.bench, cl.kind), cl.kind, c.FaultsPerRun, base.stats.Cycles)
+		inj := Attach(m, plan)
+		runErr := m.Run(0)
+		rep.Injected, rep.Skipped = inj.Applied, inj.Skipped
+		rep.Log = inj.Log
+
+		switch {
+		case runErr == nil:
+			switch {
+			case m.Output() != base.output || m.ExitCode() != base.exit:
+				rep.Outcome = Failed
+				rep.Detail = "silent architectural divergence (output mismatch)"
+			case m.Stats() == base.stats:
+				rep.Outcome = Masked
+			default:
+				rep.Outcome = Benign
+				s := m.Stats()
+				rep.Detail = fmt.Sprintf("cycles %+d", int64(s.Cycles)-int64(base.stats.Cycles))
+			}
+		case core.IsDivergence(runErr):
+			se, _ := core.AsSimError(runErr)
+			rep.Outcome = Detected
+			rep.Detail = fmt.Sprintf("oracle: %s at pc %#x", se.Field, se.PC)
+		case core.IsWatchdog(runErr):
+			rep.Outcome = Hung
+			rep.Detail = runErr.Error()
+		default:
+			rep.Outcome = Failed
+			rep.Detail = runErr.Error()
+		}
+
+		if cl.kind.Unguarded() {
+			rep.Expected = rep.Outcome == Detected
+		} else {
+			rep.Expected = rep.Outcome == Masked || rep.Outcome == Benign
+		}
+		reports[i] = rep
+	})
+	if err := errors.Join(runErrs...); err != nil {
+		return nil, err
+	}
 	return reports, nil
+}
+
+// campaignMachine returns a run-ready machine for bench under cfg, reusing
+// the worker's pooled machine (rewound with Reset, which also detaches the
+// previous run's injector hooks) when one exists.
+func campaignMachine(machines map[string]*core.Machine, p *prog.Program, bench string, cfg core.Config, maxInsts uint64) (*core.Machine, error) {
+	if m := machines[bench]; m != nil {
+		if err := m.Reset(cfg); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	m, err := core.New(p, cfg, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	machines[bench] = m
+	return m, nil
+}
+
+// forEachPar runs fn(0..total-1) on min(c.Parallel, total) workers (serial
+// when Parallel <= 1). Each worker owns a private machine pool passed to
+// every invocation.
+func (c Campaign) forEachPar(total int, fn func(i int, machines map[string]*core.Machine)) {
+	n := c.Parallel
+	if n > total {
+		n = total
+	}
+	if n <= 1 {
+		machines := map[string]*core.Machine{}
+		for i := 0; i < total; i++ {
+			fn(i, machines)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			machines := map[string]*core.Machine{}
+			for i := range jobs {
+				fn(i, machines)
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // runSeed derives a per-run RNG seed deterministically from the campaign

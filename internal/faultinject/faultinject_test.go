@@ -121,3 +121,37 @@ func TestRunSeedIndependence(t *testing.T) {
 		t.Fatal("runSeed not deterministic")
 	}
 }
+
+// TestCampaignParallelMatchesSerial: the campaign's report list (content
+// and order) is independent of the worker count — parallel workers reuse
+// machines via core.Machine.Reset, whose determinism contract makes every
+// run bit-identical to a serial fresh-machine run.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	serial := SmokeCampaign(1)
+	parallel := SmokeCampaign(1)
+	parallel.Parallel = 4
+
+	sReports, err := serial.Run()
+	if err != nil {
+		t.Fatalf("serial campaign: %v", err)
+	}
+	pReports, err := parallel.Run()
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	sTable, _ := Summarize(sReports)
+	pTable, _ := Summarize(pReports)
+	if sTable != pTable {
+		t.Fatalf("parallel campaign output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sTable, pTable)
+	}
+	if len(sReports) != len(pReports) {
+		t.Fatalf("report counts differ: %d vs %d", len(sReports), len(pReports))
+	}
+	for i := range sReports {
+		s, p := sReports[i], pReports[i]
+		if s.Bench != p.Bench || s.Kind != p.Kind || s.Outcome != p.Outcome ||
+			s.Injected != p.Injected || s.Skipped != p.Skipped || s.Detail != p.Detail {
+			t.Errorf("report %d differs: serial %+v, parallel %+v", i, s, p)
+		}
+	}
+}

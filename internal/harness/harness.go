@@ -31,8 +31,12 @@ type Runner struct {
 	// MaxInsts caps the per-benchmark dynamic instruction count
 	// (0 = run each kernel to completion).
 	MaxInsts uint64
-	// Parallel runs benchmarks concurrently (per experiment).
+	// Parallel runs benchmarks concurrently (per experiment). When false,
+	// sweeps are strictly serial regardless of Parallelism.
 	Parallel bool
+	// Parallelism is the sweep worker count (0 = GOMAXPROCS). Each worker
+	// keeps one reusable machine per benchmark (see Sweep).
+	Parallelism int
 	// Timeout bounds each simulation's wall-clock time (0 = unbounded).
 	// A run that exceeds it fails with context.DeadlineExceeded.
 	Timeout time.Duration
@@ -82,71 +86,7 @@ func NewRunner() *Runner {
 // not just its display name — ablation sweeps vary structure sizes under
 // the same name, and a sloppier key would silently alias their entries.
 func (r *Runner) Run(bench string, cfg core.Config) (core.Stats, error) {
-	key := fmt.Sprintf("%s|%s|%d|%d", bench, cfg.Key(), r.Scale, r.MaxInsts)
-	r.mu.Lock()
-	if s, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
-
-	s, err := r.attempt(bench, cfg)
-	for retry := 0; err != nil && IsTransient(err) && retry < r.Retries; retry++ {
-		s, err = r.attempt(bench, cfg)
-	}
-	if err != nil {
-		return core.Stats{}, err
-	}
-	r.mu.Lock()
-	r.cache[key] = s
-	r.mu.Unlock()
-	return s, nil
-}
-
-// attempt performs one simulation, converting panics to errors so a bad
-// run cannot take down a whole campaign (RunAll runs these in goroutines,
-// where an unrecovered panic kills the process).
-func (r *Runner) attempt(bench string, cfg core.Config) (s core.Stats, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("harness: panic simulating %s under %s: %v", bench, cfg.Name(), p)
-		}
-	}()
-	if r.runHook != nil {
-		return r.runHook(bench, cfg)
-	}
-	w, err := workload.Get(bench)
-	if err != nil {
-		return core.Stats{}, err
-	}
-	p, err := w.Load(r.Scale)
-	if err != nil {
-		return core.Stats{}, err
-	}
-	m, err := core.New(p, cfg, r.MaxInsts)
-	if err != nil {
-		return core.Stats{}, err
-	}
-	var obs *core.Observer
-	if r.Obs != nil {
-		obs = core.NewObserver(r.Obs.Interval, r.Obs.EventCap)
-		m.AttachObserver(obs)
-	}
-	ctx := context.Background()
-	if r.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
-		defer cancel()
-	}
-	if err := runMachine(ctx, m); err != nil {
-		return core.Stats{}, err
-	}
-	if r.Obs != nil {
-		if err := r.Obs.export(bench, cfg, obs); err != nil {
-			return core.Stats{}, err
-		}
-	}
-	return m.Stats(), nil
+	return r.runCell(context.Background(), bench, cfg, nil)
 }
 
 // runMachine drives m to completion in bounded cycle slices so the context
@@ -165,40 +105,24 @@ func runMachine(ctx context.Context, m *core.Machine) error {
 	return nil
 }
 
-// RunAll simulates every benchmark under cfg, in the paper's order,
-// optionally in parallel. All per-benchmark errors are aggregated with
-// errors.Join, and the successful runs are returned regardless — a single
-// failing benchmark no longer discards an entire campaign's work.
+// RunAll simulates every benchmark under cfg, in the paper's order, on the
+// sweep engine (see Sweep for the parallelism and machine-reuse model). All
+// per-benchmark errors are aggregated with errors.Join in benchmark order —
+// deterministic regardless of scheduling — and the successful runs are
+// returned regardless, so a single failing benchmark never discards an
+// entire campaign's work.
 func (r *Runner) RunAll(cfg core.Config) (map[string]core.Stats, error) {
 	benches := workload.Names()
+	results := r.Sweep(context.Background(), Grid(benches, []core.Config{cfg}))
 	out := make(map[string]core.Stats, len(benches))
-	errs := make([]error, len(benches))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i, bench := range benches {
-		run := func(i int, bench string) {
-			s, err := r.Run(bench, cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", bench, err)
-				return
-			}
-			mu.Lock()
-			out[bench] = s
-			mu.Unlock()
+	errs := make([]error, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			errs[i] = fmt.Errorf("%s: %w", res.Bench, res.Err)
+			continue
 		}
-		if r.Parallel {
-			wg.Add(1)
-			go func(i int, b string) {
-				defer wg.Done()
-				run(i, b)
-			}(i, bench)
-		} else {
-			run(i, bench)
-		}
+		out[res.Bench] = res.Stats
 	}
-	wg.Wait()
-	// errs is indexed by benchmark so the joined error is deterministic
-	// regardless of goroutine finishing order.
 	return out, errors.Join(errs...)
 }
 

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// SweepCell names one (benchmark, configuration) simulation in a sweep.
+type SweepCell struct {
+	Bench string
+	Cfg   core.Config
+}
+
+// SweepResult is the outcome of one cell. Exactly one of Stats/Err is
+// meaningful: Err is nil on success, and a cell skipped because the sweep's
+// context was already cancelled carries that context error.
+type SweepResult struct {
+	Bench string
+	Cfg   core.Config
+	Stats core.Stats
+	Err   error
+}
+
+// Grid builds the cross product of benchmarks and configurations in
+// bench-major order (every configuration of one benchmark is adjacent, the
+// order experiment tables want).
+func Grid(benches []string, cfgs []core.Config) []SweepCell {
+	cells := make([]SweepCell, 0, len(benches)*len(cfgs))
+	for _, b := range benches {
+		for _, cfg := range cfgs {
+			cells = append(cells, SweepCell{Bench: b, Cfg: cfg})
+		}
+	}
+	return cells
+}
+
+// workers resolves the Runner's parallelism: Parallel=false pins the sweep
+// to one worker (strictly serial, in cell order); otherwise Parallelism
+// sets the worker count, defaulting to GOMAXPROCS.
+func (r *Runner) workers() int {
+	if !r.Parallel {
+		return 1
+	}
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep simulates every cell on a pool of workers and returns the results
+// indexed exactly like cells — the result order is deterministic no matter
+// how the work was scheduled. Each worker owns a private set of machines,
+// one per benchmark, that it rewinds with Machine.Reset between
+// configurations instead of paying core.New's functional pre-run again;
+// Machine.Reset's determinism contract is what makes the parallel sweep
+// bit-identical to a serial one.
+//
+// Cancelling ctx stops the sweep promptly: cells not yet started complete
+// with ctx's error, cells in flight observe the cancellation at their next
+// deadline check. Per-cell failures never abort the sweep — callers decide
+// what to do with partial results.
+func (r *Runner) Sweep(ctx context.Context, cells []SweepCell) []SweepResult {
+	results := make([]SweepResult, len(cells))
+	n := r.workers()
+	if n > len(cells) {
+		n = len(cells)
+	}
+	if n < 1 {
+		n = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// machines is worker-private (no locking) and lives for the
+			// whole sweep, so a benchmark's machine is rebuilt at most once
+			// per worker regardless of how many configurations it runs.
+			machines := make(map[string]*core.Machine)
+			for i := range jobs {
+				c := cells[i]
+				res := SweepResult{Bench: c.Bench, Cfg: c.Cfg}
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+				} else {
+					res.Stats, res.Err = r.runCell(ctx, c.Bench, c.Cfg, machines)
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runCell is the cached, retrying simulation shared by Run and Sweep.
+func (r *Runner) runCell(ctx context.Context, bench string, cfg core.Config, machines map[string]*core.Machine) (core.Stats, error) {
+	key := fmt.Sprintf("%s|%s|%d|%d", bench, cfg.Key(), r.Scale, r.MaxInsts)
+	r.mu.Lock()
+	if s, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	s, err := r.attempt(ctx, bench, cfg, machines)
+	for retry := 0; err != nil && IsTransient(err) && retry < r.Retries; retry++ {
+		s, err = r.attempt(ctx, bench, cfg, machines)
+	}
+	if err != nil {
+		return core.Stats{}, err
+	}
+	r.mu.Lock()
+	r.cache[key] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// attempt performs one simulation, reusing (and on success keeping) a
+// machine from the worker's pool. Panics are converted to errors so a bad
+// run cannot take down a whole campaign, and the machine that panicked is
+// dropped from the pool — its state is unknown mid-update, and the reset
+// determinism contract only covers machines whose Run returned normally.
+func (r *Runner) attempt(ctx context.Context, bench string, cfg core.Config, machines map[string]*core.Machine) (s core.Stats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			delete(machines, bench)
+			err = fmt.Errorf("harness: panic simulating %s under %s: %v", bench, cfg.Name(), p)
+		}
+	}()
+	if r.runHook != nil {
+		return r.runHook(bench, cfg)
+	}
+	m := machines[bench]
+	if m != nil {
+		if err := m.Reset(cfg); err != nil {
+			return core.Stats{}, err
+		}
+	} else {
+		w, err := workload.Get(bench)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		p, err := w.Load(r.Scale)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		m, err = core.New(p, cfg, r.MaxInsts)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		if machines != nil {
+			machines[bench] = m
+		}
+	}
+	var obs *core.Observer
+	if r.Obs != nil {
+		obs = core.NewObserver(r.Obs.Interval, r.Obs.EventCap)
+		m.AttachObserver(obs)
+	}
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	if err := runMachine(ctx, m); err != nil {
+		return core.Stats{}, err
+	}
+	if r.Obs != nil {
+		if err := r.Obs.export(bench, cfg, obs); err != nil {
+			return core.Stats{}, err
+		}
+	}
+	return m.Stats(), nil
+}

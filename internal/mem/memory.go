@@ -98,6 +98,16 @@ func (m *Memory) LoadProgram(p *prog.Program) {
 	}
 }
 
+// Reset zeroes every mapped page while keeping the page storage allocated.
+// A reset memory is indistinguishable from a fresh one (reads of unmapped
+// addresses return zero either way), so Machine.Reset can reuse the page
+// set a previous run faulted in instead of reallocating it.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = [pageSize]byte{}
+	}
+}
+
 // Checksum returns a FNV-1a hash over all mapped pages; used by golden tests
 // to compare architectural memory state between the emulator and the timing
 // core.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -114,6 +115,92 @@ func WriteBenchJSON(w io.Writer, results []BenchResult) error {
 		}
 	}
 	return nil
+}
+
+// ReadBenchJSON reads the JSONL baseline format WriteBenchJSON writes, one
+// BenchResult object per line (blank lines are skipped).
+func ReadBenchJSON(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var res BenchResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			return nil, fmt.Errorf("baseline line %d: %v", lineNo, err)
+		}
+		if res.Name == "" {
+			return nil, fmt.Errorf("baseline line %d: missing benchmark name", lineNo)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BenchDelta is one benchmark's movement between two result sets in a
+// single dimension (ns/op, allocs/op, or a custom metric unit).
+type BenchDelta struct {
+	Name  string
+	Unit  string
+	Old   float64
+	New   float64
+	Delta float64 // fractional change: (new-old)/old
+}
+
+// Regression returns how much *worse* the new result is, as a positive
+// fraction (0 when it improved or held). For throughput units (anything
+// ending in "/s", e.g. simcycles/s) lower is worse; for every per-op unit
+// higher is worse.
+func (d BenchDelta) Regression() float64 {
+	worse := d.Delta
+	if strings.HasSuffix(d.Unit, "/s") {
+		worse = -d.Delta
+	}
+	if worse < 0 {
+		return 0
+	}
+	return worse
+}
+
+// DiffBench compares two result sets dimension by dimension, pairing
+// benchmarks by name. The deltas come out in the new set's benchmark order
+// with units in a fixed order (ns/op, B/op, allocs/op, then custom metrics
+// sorted by unit), so rendered comparisons are deterministic. Dimensions
+// missing or zero on either side are skipped.
+func DiffBench(old, new []BenchResult) []BenchDelta {
+	base := make(map[string]BenchResult, len(old))
+	for _, r := range old {
+		base[r.Name] = r
+	}
+	var out []BenchDelta
+	add := func(name, unit string, o, n float64) {
+		if o > 0 && n > 0 {
+			out = append(out, BenchDelta{Name: name, Unit: unit, Old: o, New: n, Delta: (n - o) / o})
+		}
+	}
+	for _, r := range new {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		add(r.Name, "ns/op", b.NsPerOp, r.NsPerOp)
+		add(r.Name, "B/op", b.BytesPerOp, r.BytesPerOp)
+		add(r.Name, "allocs/op", b.AllocsPerOp, r.AllocsPerOp)
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			add(r.Name, u, b.Metrics[u], r.Metrics[u])
+		}
+	}
+	return out
 }
 
 // CompareBench returns the fractional slowdown (new-old)/old in ns/op for

@@ -231,3 +231,70 @@ func TestBenchJSONAndCompare(t *testing.T) {
 		t.Errorf("unchanged benchmark compares as %v", d["BenchmarkSimIR"])
 	}
 }
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBenchJSON(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(strings.NewReader(sb.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(res))
+	}
+	for i := range res {
+		if back[i].Name != res[i].Name || back[i].NsPerOp != res[i].NsPerOp ||
+			back[i].AllocsPerOp != res[i].AllocsPerOp ||
+			back[i].Metrics["simcycles/s"] != res[i].Metrics["simcycles/s"] {
+			t.Errorf("result %d changed in round trip:\n got %+v\nwant %+v", i, back[i], res[i])
+		}
+	}
+	if _, err := ReadBenchJSON(strings.NewReader("{not json\n")); err == nil {
+		t.Error("malformed JSONL accepted")
+	}
+	if _, err := ReadBenchJSON(strings.NewReader(`{"runs":3}` + "\n")); err == nil {
+		t.Error("nameless baseline line accepted")
+	}
+}
+
+func TestDiffBenchAndRegression(t *testing.T) {
+	old := []BenchResult{{
+		Name: "BenchmarkSimBase", Runs: 3, NsPerOp: 100, AllocsPerOp: 1000,
+		Metrics: map[string]float64{"simcycles/s": 2000},
+	}}
+	newer := []BenchResult{{
+		Name: "BenchmarkSimBase", Runs: 3, NsPerOp: 110, AllocsPerOp: 500,
+		Metrics: map[string]float64{"simcycles/s": 1600},
+	}, {
+		Name: "BenchmarkOnlyNew", Runs: 1, NsPerOp: 5,
+	}}
+	deltas := DiffBench(old, newer)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (ns/op, allocs/op, simcycles/s): %+v", len(deltas), deltas)
+	}
+	byUnit := map[string]BenchDelta{}
+	for _, d := range deltas {
+		if d.Name != "BenchmarkSimBase" {
+			t.Errorf("unpaired benchmark leaked into diff: %+v", d)
+		}
+		byUnit[d.Unit] = d
+	}
+	// ns/op rose 10%: that is the regression.
+	if d := byUnit["ns/op"]; math.Abs(d.Delta-0.10) > 1e-9 || math.Abs(d.Regression()-0.10) > 1e-9 {
+		t.Errorf("ns/op delta/regression = %v/%v, want 0.10/0.10", d.Delta, d.Regression())
+	}
+	// allocs/op halved: an improvement, regression 0.
+	if d := byUnit["allocs/op"]; d.Regression() != 0 {
+		t.Errorf("allocs/op improvement scored as regression %v", d.Regression())
+	}
+	// simcycles/s dropped 20%: throughput, so the *drop* is the regression.
+	if d := byUnit["simcycles/s"]; math.Abs(d.Regression()-0.20) > 1e-9 {
+		t.Errorf("simcycles/s regression = %v, want 0.20", d.Regression())
+	}
+}

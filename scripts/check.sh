@@ -20,7 +20,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
+echo "== go vet + go test -race (core, harness, faultinject) =="
+# Explicit gate for the concurrency-heavy packages: the sweep engine, the
+# parallel fault campaign and the core machinery their workers reuse.
+go vet ./internal/core/ ./internal/harness/ ./internal/faultinject/
+go test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/
+
+echo "== go test -race (full suite) =="
 go test -race ./...
 
 echo "== fault-injection smoke campaign =="
