@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-race-hot test-short smoke check bench bench-all bench-check clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke golden fuzz-smoke cover check bench bench-all bench-check clean
 
 all: build
 
@@ -28,13 +28,14 @@ test-race:
 	$(GO) test -race ./...
 
 # Explicit race gate for the concurrency-heavy packages: the core machinery
-# that sweep workers reuse (Machine.Reset), the parallel sweep engine, and
-# the parallel fault campaign. A subset of test-race, listed separately so
-# the pre-commit gate names the sweep engine's race coverage; Go's test
-# cache makes running both nearly free.
+# that sweep workers reuse (Machine.Reset), the parallel sweep engine, the
+# parallel fault campaign, and the HTTP simulation server (whose load test
+# hammers the cache/singleflight/drain paths from many goroutines). A
+# subset of test-race, listed separately so the pre-commit gate names the
+# concurrency coverage; Go's test cache makes running both nearly free.
 test-race-hot:
-	$(GO) vet ./internal/core/ ./internal/harness/ ./internal/faultinject/
-	$(GO) test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/
+	$(GO) vet ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/
+	$(GO) test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/
 
 # Quick loop: skips the long fault-injection and full-kernel paths.
 test-short:
@@ -45,7 +46,30 @@ test-short:
 smoke:
 	$(GO) run ./cmd/vpir-faults -seed 1 -campaign smoke
 
-check: fmt vet build test-race-hot test-race smoke
+# Golden-result corpus: every benchmark x {base, VP, IR} against the
+# snapshots in testdata/golden. Runs inside `make test` too; this target
+# names it for the pre-commit gate and for quick one-off checks. After a
+# deliberate core change, regenerate with:
+#   $(GO) test -run TestGoldenCorpus -update . && git diff testdata/golden
+golden:
+	$(GO) test -run 'TestGoldenCorpus' .
+
+# Short coverage-guided fuzz runs of the assembler and the end-to-end
+# RunSource path: both must never panic on arbitrary input. New crashers
+# land in testdata/fuzz/ as permanent regression seeds.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm
+	$(GO) test -run '^$$' -fuzz FuzzRunSource -fuzztime 10s .
+
+# Total-coverage gate: fails below the 70% floor. Writes cover.out for
+# `go tool cover -html=cover.out` spelunking.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { if (t+0 < 70) { print "cover: $$total% is below the 70% floor"; exit 1 } }'
+
+check: fmt vet build test-race-hot test-race smoke golden fuzz-smoke
 	@echo "check: all gates passed"
 
 # Simulator throughput benchmarks, recorded as the perf baseline: the text
@@ -76,3 +100,4 @@ bench-check:
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

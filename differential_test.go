@@ -1,0 +1,84 @@
+package vpir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSpeculationPerformanceOnly is the public-API differential property:
+// for randomized valid option sets, VP, IR and hybrid runs must produce
+// bit-identical architectural results (Output, ExitCode, committed
+// instruction count) to the base machine — speculation may only change
+// timing, never outcomes. The subtests run in parallel, so `go test -race`
+// (the make check default) also exercises concurrent machines over the
+// shared program cache. internal/core's TestDifferentialRandomConfigs
+// covers the same property under structural (window/table/cache geometry)
+// fuzzing; this test covers every knob reachable through Options.
+func TestSpeculationPerformanceOnly(t *testing.T) {
+	const maxInsts = 25_000
+	rng := rand.New(rand.NewSource(3))
+	benches := Benchmarks()
+
+	type trial struct {
+		bench string
+		opt   Options
+	}
+	var trials []trial
+	for i := 0; i < 8; i++ {
+		bench := benches[rng.Intn(len(benches))]
+		pickS := func(vals ...string) string { return vals[rng.Intn(len(vals))] }
+		opt := Options{
+			Scheme:           pickS("magic", "lvp", "stride"),
+			BranchResolution: pickS("sb", "nsb"),
+			Reexec:           pickS("me", "nme"),
+			VerifyLatency:    rng.Intn(2),
+			LateValidation:   rng.Intn(2) == 0,
+			MaxInsts:         maxInsts,
+		}
+		switch rng.Intn(3) {
+		case 0:
+			opt.Technique = VP
+		case 1:
+			opt.Technique = IR
+		default:
+			opt.Technique = Hybrid
+		}
+		trials = append(trials, trial{bench, opt})
+	}
+
+	// One base run per distinct benchmark is the shared oracle.
+	base := make(map[string]Result)
+	for _, tr := range trials {
+		if _, ok := base[tr.bench]; ok {
+			continue
+		}
+		res, err := RunBenchmark(tr.bench, 1, Options{MaxInsts: maxInsts})
+		if err != nil {
+			t.Fatalf("base %s: %v", tr.bench, err)
+		}
+		base[tr.bench] = res
+	}
+
+	for i, tr := range trials {
+		tr := tr
+		name := fmt.Sprintf("%d_%s_%s", i, tr.bench, tr.opt.Technique)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunBenchmark(tr.bench, 1, tr.opt)
+			if err != nil {
+				t.Fatalf("%+v: %v", tr.opt, err)
+			}
+			b := base[tr.bench]
+			if res.Output != b.Output {
+				t.Errorf("%+v: Output diverged from base", tr.opt)
+			}
+			if res.ExitCode != b.ExitCode {
+				t.Errorf("%+v: ExitCode %d != base %d", tr.opt, res.ExitCode, b.ExitCode)
+			}
+			if res.Committed != b.Committed {
+				t.Errorf("%+v: Committed %d != base %d", tr.opt, res.Committed, b.Committed)
+			}
+		})
+	}
+}

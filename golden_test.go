@@ -1,0 +1,188 @@
+package vpir
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the testdata/golden snapshots instead of comparing")
+
+// goldenMaxInsts truncates the corpus runs: long enough that every paper
+// metric is exercised on real pipeline behavior, short enough that the
+// whole 21-cell corpus stays in tier-1 time budgets.
+const goldenMaxInsts = 120_000
+
+// goldenConfigs is the corpus axis: every benchmark under the base
+// machine, the paper's default VP machine, and the paper's IR machine.
+var goldenConfigs = []struct {
+	Label string
+	Opt   Options
+}{
+	{"base", Options{}},
+	{"vp", Options{Technique: VP}},
+	{"ir", Options{Technique: IR}},
+}
+
+// goldenRecord pins every paper-relevant number of one (benchmark,
+// configuration) cell. The simulator is deterministic, so the comparison
+// is exact — floats included; encoding/json round-trips float64 exactly.
+type goldenRecord struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+
+	Cycles    uint64  `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	Executed  uint64  `json:"executed"`
+	IPC       float64 `json:"ipc"`
+
+	BranchPredRate float64 `json:"branch_pred_rate"`
+	ReturnPredRate float64 `json:"return_pred_rate"`
+
+	Squashes         uint64 `json:"squashes"`
+	SpuriousSquashes uint64 `json:"spurious_squashes"`
+
+	ReuseResultRate float64 `json:"reuse_result_rate"`
+	ReuseAddrRate   float64 `json:"reuse_addr_rate"`
+	ExecSquashedPct float64 `json:"exec_squashed_pct"`
+	RecoveredPct    float64 `json:"recovered_pct"`
+
+	VPResultPred    float64 `json:"vp_result_pred"`
+	VPResultMispred float64 `json:"vp_result_mispred"`
+	VPAddrPred      float64 `json:"vp_addr_pred"`
+	VPAddrMispred   float64 `json:"vp_addr_mispred"`
+
+	Contention float64 `json:"contention"`
+
+	ExitCode int `json:"exit_code"`
+}
+
+func goldenFrom(bench, label string, r Result) goldenRecord {
+	return goldenRecord{
+		Bench:            bench,
+		Config:           label,
+		Cycles:           r.Cycles,
+		Committed:        r.Committed,
+		Executed:         r.Executed,
+		IPC:              r.IPC,
+		BranchPredRate:   r.BranchPredRate,
+		ReturnPredRate:   r.ReturnPredRate,
+		Squashes:         r.Squashes,
+		SpuriousSquashes: r.SpuriousSquashes,
+		ReuseResultRate:  r.ReuseResultRate,
+		ReuseAddrRate:    r.ReuseAddrRate,
+		ExecSquashedPct:  r.ExecSquashedPct,
+		RecoveredPct:     r.RecoveredPct,
+		VPResultPred:     r.VPResultPred,
+		VPResultMispred:  r.VPResultMispred,
+		VPAddrPred:       r.VPAddrPred,
+		VPAddrMispred:    r.VPAddrMispred,
+		Contention:       r.Contention,
+		ExitCode:         r.ExitCode,
+	}
+}
+
+func goldenPath(bench, label string) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", bench, label))
+}
+
+// TestGoldenCorpus locks the paper-relevant numbers of every benchmark
+// under base, VP and IR against committed snapshots. Any core change that
+// silently shifts IPC, squash counts or hit rates fails here; a deliberate
+// change regenerates the corpus with `go test -run TestGoldenCorpus
+// -update .` and shows up in review as a readable JSON diff.
+func TestGoldenCorpus(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, bench := range Benchmarks() {
+		for _, gc := range goldenConfigs {
+			bench, gc := bench, gc
+			t.Run(bench+"/"+gc.Label, func(t *testing.T) {
+				t.Parallel()
+				opt := gc.Opt
+				opt.MaxInsts = goldenMaxInsts
+				res, err := RunBenchmark(bench, 1, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := goldenFrom(bench, gc.Label, res)
+				path := goldenPath(bench, gc.Label)
+
+				if *updateGolden {
+					data, err := json.MarshalIndent(got, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run `go test -run TestGoldenCorpus -update .` to create the corpus)", err)
+				}
+				var want goldenRecord
+				if err := json.Unmarshal(data, &want); err != nil {
+					t.Fatalf("%s: %v", path, err)
+				}
+				if got != want {
+					t.Errorf("%s/%s drifted from the golden corpus (%s).\n got: %s\nwant: %s\n"+
+						"If the change is intentional, regenerate with `go test -run TestGoldenCorpus -update .` and commit the diff.",
+						bench, gc.Label, path, mustJSON(got), mustJSON(want))
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenCorpusComplete fails if a benchmark was added without
+// extending the corpus (the per-cell subtests above only check files for
+// benchmarks they run, so a stale directory would otherwise go unnoticed).
+func TestGoldenCorpusComplete(t *testing.T) {
+	if *updateGolden {
+		t.Skip("corpus being regenerated")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGoldenCorpus -update .` to create the corpus)", err)
+	}
+	want := make(map[string]bool)
+	for _, bench := range Benchmarks() {
+		for _, gc := range goldenConfigs {
+			want[fmt.Sprintf("%s_%s.json", bench, gc.Label)] = true
+		}
+	}
+	got := make(map[string]bool)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			got[e.Name()] = true
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("corpus missing %s", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("corpus has stale file %s", name)
+		}
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err.Error()
+	}
+	return string(b)
+}

@@ -421,6 +421,25 @@ func (a *assembler) resolve(op operand) (int64, error) {
 	return 0, fmt.Errorf("undefined symbol %q", op.sym)
 }
 
+// resolveJumpTarget evaluates a j/jal operand and checks it is encodable:
+// word aligned and within the 28-bit region a J-type instruction can
+// reach. Labels always qualify; a hand-written numeric target may not
+// (the fuzzer finds `jal 1` immediately), and must fail as an assembly
+// error rather than tripping isa.EncodeJ's programmer-misuse panic.
+func (a *assembler) resolveJumpTarget(op operand) (uint32, error) {
+	t, err := a.resolve(op)
+	if err != nil {
+		return 0, err
+	}
+	if t&3 != 0 {
+		return 0, fmt.Errorf("jump target %#x is not word aligned", t)
+	}
+	if t < 0 || t > 0x0FFF_FFFF {
+		return 0, fmt.Errorf("jump target %#x outside the 28-bit jump region", t)
+	}
+	return uint32(t), nil
+}
+
 // evalConst evaluates an expression that must be fully resolvable now
 // (constants only; labels are not allowed because pass 1 is still running).
 func (a *assembler) evalConst(expr string) (int64, error) {

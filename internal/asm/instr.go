@@ -364,21 +364,21 @@ func init() {
 			if err := wantOps(ops, opImm); err != nil {
 				return nil, err
 			}
-			t, err := a.resolve(ops[0])
+			t, err := a.resolveJumpTarget(ops[0])
 			if err != nil {
 				return nil, err
 			}
-			return []uint32{isa.EncodeJ(isa.OpJ, uint32(t))}, nil
+			return []uint32{isa.EncodeJ(isa.OpJ, t)}, nil
 		}),
 		"jal": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
 			if err := wantOps(ops, opImm); err != nil {
 				return nil, err
 			}
-			t, err := a.resolve(ops[0])
+			t, err := a.resolveJumpTarget(ops[0])
 			if err != nil {
 				return nil, err
 			}
-			return []uint32{isa.EncodeJ(isa.OpJAL, uint32(t))}, nil
+			return []uint32{isa.EncodeJ(isa.OpJAL, t)}, nil
 		}),
 		"jr": fixed(1, func(a *assembler, pc uint32, ops []operand) ([]uint32, error) {
 			if err := wantOps(ops, opReg); err != nil {

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/bpred"
+	"github.com/vpir-sim/vpir/internal/mem"
+	"github.com/vpir-sim/vpir/internal/reuse"
+	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/workload"
+)
+
+// randomConfig builds a random but valid machine configuration: every
+// structural knob (pipeline widths, window sizes, table geometries, cache
+// shapes, latencies) is drawn from a set Validate accepts, and the
+// technique cycles through base/VP/IR/hybrid with random policy knobs.
+// Everything is derived from rng, so a fixed seed reproduces the exact
+// sequence a failure reported.
+func randomConfig(rng *rand.Rand) Config {
+	pick := func(vals ...int) int { return vals[rng.Intn(len(vals))] }
+	c := DefaultConfig()
+	c.FetchWidth = pick(2, 4, 8)
+	c.DecodeWidth = pick(2, 4, 8)
+	c.IssueWidth = pick(2, 4, 8)
+	c.CommitWidth = pick(2, 4, 8)
+	c.WBWidth = pick(2, 4, 8)
+	c.ROBSize = pick(16, 32, 64)
+	c.LSQSize = pick(16, 32, 48)
+	c.MaxBranches = pick(4, 8, 16)
+	c.FetchQueue = pick(8, 16, 32)
+	c.IntALUs = pick(4, 8)
+	c.MemPorts = pick(1, 2)
+	c.FPAdders = pick(2, 4)
+	c.ICache = mem.CacheConfig{
+		SizeBytes: pick(16<<10, 64<<10), Ways: pick(1, 2, 4), LineBytes: pick(16, 32),
+		HitLatency: 1, MissLatency: pick(4, 6, 12), Ports: 1,
+	}
+	c.DCache = mem.CacheConfig{
+		SizeBytes: pick(16<<10, 64<<10), Ways: pick(1, 2, 4), LineBytes: pick(16, 32),
+		HitLatency: 1, MissLatency: pick(4, 6, 12), Ports: pick(1, 2),
+	}
+	c.Bpred = bpred.Config{
+		HistoryBits: pick(8, 10), TableEntries: pick(4<<10, 16<<10),
+		BTBSets: pick(256, 512), RASDepth: pick(8, 16),
+	}
+
+	schemes := []vp.Scheme{vp.Magic, vp.LVP, vp.Stride}
+	scheme := schemes[rng.Intn(len(schemes))]
+	res := BranchResolution(rng.Intn(2))
+	re := ReexecPolicy(rng.Intn(2))
+	vlat := rng.Intn(2)
+	switch rng.Intn(4) {
+	case 0:
+		c.Technique = TechNone
+	case 1:
+		c.Technique = TechVP
+	case 2:
+		c.Technique = TechIR
+	default:
+		c.Technique = TechHybrid
+	}
+	c.VP.Scheme = scheme
+	c.VP.Resolution = res
+	c.VP.Reexec = re
+	c.VP.VerifyLat = vlat
+	c.VP.PredictAddresses = rng.Intn(2) == 0
+	tableEntries := pick(1<<10, 4<<10, 16<<10)
+	tableWays := pick(2, 4)
+	c.VP.ResultTable = vp.Config{Entries: tableEntries, Ways: tableWays, Scheme: scheme, ConfThreshold: 2, ConfMax: 3}
+	c.VP.AddrTable = c.VP.ResultTable
+	c.IR.LateValidation = rng.Intn(2) == 0
+	c.IR.Buffer = reuse.Config{Entries: pick(1<<10, 4<<10), Ways: pick(2, 4)}
+	return c
+}
+
+// TestDifferentialRandomConfigs is the speculation-is-performance-only
+// property under configuration fuzzing: whatever the machine shape and
+// whichever redundancy technique is active, the architectural results —
+// program Output, ExitCode and the committed instruction count — must be
+// bit-identical to the base machine's. A VP misprediction or a bad reuse
+// that escapes into architectural state shows up here as an Output diff
+// (and usually first as the machine's own oracle divergence error).
+func TestDifferentialRandomConfigs(t *testing.T) {
+	const (
+		maxInsts = 25_000
+		rounds   = 10
+	)
+	benches := workload.Names()
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < rounds; round++ {
+		bench := benches[rng.Intn(len(benches))]
+		cfg := randomConfig(rng)
+		// Force a speculation technique on half the rounds so base-only
+		// draws don't dominate.
+		if round%2 == 0 && cfg.Technique == TechNone {
+			cfg.Technique = Technique(1 + rng.Intn(3))
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("round %d: randomConfig produced an invalid config: %v", round, err)
+		}
+		w, err := workload.Get(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Load(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		base, err := New(p, DefaultConfig(), maxInsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := base.Run(0); err != nil {
+			t.Fatalf("round %d: base run: %v", round, err)
+		}
+
+		m, err := New(p, cfg, maxInsts)
+		if err != nil {
+			t.Fatalf("round %d (%s, %s): New: %v", round, bench, cfg.Key(), err)
+		}
+		if err := m.Run(0); err != nil {
+			t.Fatalf("round %d (%s, %s): Run: %v", round, bench, cfg.Key(), err)
+		}
+		if m.Output() != base.Output() {
+			t.Errorf("round %d (%s, %s): Output diverged from base machine", round, bench, cfg.Key())
+		}
+		if m.ExitCode() != base.ExitCode() {
+			t.Errorf("round %d (%s, %s): ExitCode %d != base %d",
+				round, bench, cfg.Key(), m.ExitCode(), base.ExitCode())
+		}
+		if m.Stats().Committed != base.Stats().Committed {
+			t.Errorf("round %d (%s, %s): Committed %d != base %d",
+				round, bench, cfg.Key(), m.Stats().Committed, base.Stats().Committed)
+		}
+	}
+}
+
+// TestResetDeterminismRandomConfigs folds TestResetDeterminism's contract
+// into configuration fuzzing: one long-lived machine is Reset through a
+// sequence of random configurations — so every Reset inherits arbitrary
+// leftover geometry from the previous run — and each run must still be
+// bit-identical (Stats, Output, ExitCode) to a machine built fresh.
+func TestResetDeterminismRandomConfigs(t *testing.T) {
+	const (
+		maxInsts = 25_000
+		configs  = 6
+	)
+	rng := rand.New(rand.NewSource(7))
+	for _, bench := range []string{"vortex", "go"} { // go is the branchiest kernel
+		w, err := workload.Get(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Load(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reused *Machine
+		for i := 0; i < configs; i++ {
+			cfg := randomConfig(rng)
+			fresh, err := New(p, cfg, maxInsts)
+			if err != nil {
+				t.Fatalf("%s config %d (%s): %v", bench, i, cfg.Key(), err)
+			}
+			if err := fresh.Run(0); err != nil {
+				t.Fatalf("%s config %d (%s): %v", bench, i, cfg.Key(), err)
+			}
+			if reused == nil {
+				reused, err = New(p, cfg, maxInsts)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else if err := reused.Reset(cfg); err != nil {
+				t.Fatalf("%s config %d (%s): Reset: %v", bench, i, cfg.Key(), err)
+			}
+			if err := reused.Run(0); err != nil {
+				t.Fatalf("%s config %d (%s): reused Run: %v", bench, i, cfg.Key(), err)
+			}
+			if reused.Stats() != fresh.Stats() {
+				t.Errorf("%s config %d (%s): reused Stats differ from fresh\n reused: %+v\n fresh:  %+v",
+					bench, i, cfg.Key(), reused.Stats(), fresh.Stats())
+			}
+			if reused.Output() != fresh.Output() {
+				t.Errorf("%s config %d (%s): reused Output differs from fresh", bench, i, cfg.Key())
+			}
+			if reused.ExitCode() != fresh.ExitCode() {
+				t.Errorf("%s config %d (%s): exit %d != fresh %d",
+					bench, i, cfg.Key(), reused.ExitCode(), fresh.ExitCode())
+			}
+		}
+	}
+}

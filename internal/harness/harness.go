@@ -48,6 +48,12 @@ type Runner struct {
 	// docs/observability.md). Export failures fail the run: a campaign
 	// asked to record its time series must not silently drop it.
 	Obs *ObsExport
+	// OnResult, when non-nil, is invoked by Sweep's workers as each cell
+	// finishes, with the cell's index and its result. Calls arrive in
+	// completion order, concurrently from multiple workers — the callback
+	// must be safe for concurrent use. The simulation server uses it to
+	// stream sweep results before the whole grid has finished.
+	OnResult func(i int, res SweepResult)
 
 	mu    sync.Mutex
 	cache map[string]core.Stats

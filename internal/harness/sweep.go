@@ -92,6 +92,9 @@ func (r *Runner) Sweep(ctx context.Context, cells []SweepCell) []SweepResult {
 					res.Stats, res.Err = r.runCell(ctx, c.Bench, c.Cfg, machines)
 				}
 				results[i] = res
+				if r.OnResult != nil {
+					r.OnResult(i, res)
+				}
 			}
 		}()
 	}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// Shared is a mutex-guarded view of a Registry for callers that mutate
+// instruments from multiple goroutines — the simulation server's HTTP
+// handlers, most prominently. The core simulator keeps using the raw,
+// unsynchronized Registry (one simulation owns one registry, see the
+// package comment); Shared exists for the layers above it where requests
+// genuinely race.
+//
+// Instruments are addressed by name so every operation can take the lock
+// exactly once; the name → instrument lookup is a map access and the
+// methods are cheap enough for request-rate (not cycle-rate) use.
+type Shared struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+// NewShared returns a Shared wrapping a fresh Registry.
+func NewShared() *Shared { return &Shared{r: NewRegistry()} }
+
+// Add increases the named counter by d, creating it on first use.
+func (s *Shared) Add(name string, d uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.r.Counter(name).Add(d)
+	s.mu.Unlock()
+}
+
+// Inc increases the named counter by one, creating it on first use.
+func (s *Shared) Inc(name string) { s.Add(name, 1) }
+
+// Set records the named gauge's current value, creating it on first use.
+func (s *Shared) Set(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.r.Gauge(name).Set(v)
+	s.mu.Unlock()
+}
+
+// AddGauge adjusts the named gauge by d (which may be negative), creating
+// the gauge on first use. Useful for in-flight style up/down counts.
+func (s *Shared) AddGauge(name string, d float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	g := s.r.Gauge(name)
+	g.Set(g.Value() + d)
+	s.mu.Unlock()
+}
+
+// Observe records one value into the named histogram, creating it with the
+// given bounds on first use (later bounds are ignored, like Registry).
+func (s *Shared) Observe(name string, bounds []float64, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.r.Histogram(name, bounds).Observe(v)
+	s.mu.Unlock()
+}
+
+// Counter returns the named counter's current value (0 if it was never
+// touched).
+func (s *Shared) Counter(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.r.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's current value (0 if it was never set).
+func (s *Shared) Gauge(name string) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.r.gauges[name]; ok {
+		return g.Value()
+	}
+	return 0
+}
+
+// WritePrometheus dumps every instrument in the Prometheus text exposition
+// format, atomically with respect to concurrent updates.
+func (s *Shared) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.WritePrometheus(w)
+}

@@ -1,0 +1,215 @@
+// Package server turns the simulator into a network service: an HTTP JSON
+// API that runs simulations on a bounded worker pool with per-worker
+// machine reuse, coalesces duplicate in-flight requests, serves repeats
+// from a size-bounded LRU result cache, and decomposes sweep requests into
+// cells batched through the harness's parallel sweep engine. See
+// docs/server.md for the API and operational contract.
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/vp"
+)
+
+// SimOptions is the wire form of one simulation configuration: the same
+// knobs as the library's Options, as JSON-friendly strings. The zero value
+// is the base machine.
+type SimOptions struct {
+	// Technique is "base" (or empty), "vp", "ir" or "hybrid".
+	Technique string `json:"technique,omitempty"`
+	// Scheme is the VP scheme: "magic" (default), "lvp" or "stride".
+	Scheme string `json:"scheme,omitempty"`
+	// BranchResolution is "sb" (default) or "nsb".
+	BranchResolution string `json:"branch_resolution,omitempty"`
+	// Reexec is "me" (default) or "nme".
+	Reexec string `json:"reexec,omitempty"`
+	// VerifyLatency is the VP-verification latency in cycles.
+	VerifyLatency int `json:"verify_latency,omitempty"`
+	// LateValidation defers reuse benefits to execute (the Figure 3
+	// "late" experiment).
+	LateValidation bool `json:"late_validation,omitempty"`
+	// WatchdogCycles overrides the livelock watchdog (0 keeps the
+	// default, negative disables).
+	WatchdogCycles int64 `json:"watchdog_cycles,omitempty"`
+}
+
+// Config maps the wire options onto a machine configuration. The mapping
+// is the single source of truth for the string spelling of every knob —
+// the public vpir.Options delegates here so the library and the wire API
+// can never drift apart.
+func (o SimOptions) Config() (core.Config, error) {
+	cfg, err := o.baseConfig()
+	if err != nil {
+		return cfg, err
+	}
+	if o.WatchdogCycles > 0 {
+		cfg.Watchdog = uint64(o.WatchdogCycles)
+	} else if o.WatchdogCycles < 0 {
+		cfg.Watchdog = 0
+	}
+	return cfg, nil
+}
+
+func (o SimOptions) baseConfig() (core.Config, error) {
+	switch strings.ToLower(o.Technique) {
+	case "", "base":
+		return core.DefaultConfig(), nil
+	case "ir":
+		return core.IRChoice(o.LateValidation), nil
+	case "vp", "hybrid":
+		scheme := vp.Magic
+		switch strings.ToLower(o.Scheme) {
+		case "", "magic":
+		case "lvp":
+			scheme = vp.LVP
+		case "stride":
+			scheme = vp.Stride
+		default:
+			return core.Config{}, fmt.Errorf("vpir: unknown scheme %q (magic, lvp or stride)", o.Scheme)
+		}
+		res := core.SB
+		switch strings.ToLower(o.BranchResolution) {
+		case "", "sb":
+		case "nsb":
+			res = core.NSB
+		default:
+			return core.Config{}, fmt.Errorf("vpir: unknown branch resolution %q (sb or nsb)", o.BranchResolution)
+		}
+		re := core.ME
+		switch strings.ToLower(o.Reexec) {
+		case "", "me":
+		case "nme":
+			re = core.NME
+		default:
+			return core.Config{}, fmt.Errorf("vpir: unknown reexec policy %q (me or nme)", o.Reexec)
+		}
+		if strings.ToLower(o.Technique) == "hybrid" {
+			return core.HybridChoice(scheme, res, re, o.VerifyLatency), nil
+		}
+		return core.VPChoice(scheme, res, re, o.VerifyLatency), nil
+	}
+	return core.Config{}, fmt.Errorf("vpir: unknown technique %q", o.Technique)
+}
+
+// RunRequest is the body of POST /v1/run: one benchmark under one
+// configuration.
+type RunRequest struct {
+	Bench    string     `json:"bench"`
+	Scale    int        `json:"scale,omitempty"`
+	MaxInsts uint64     `json:"max_insts,omitempty"`
+	Options  SimOptions `json:"options"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: the cross product of
+// benchmarks and configurations, decomposed into cells and batched through
+// the harness sweep engine. The response is NDJSON, one SweepLine per cell
+// in deterministic cell order (bench-major), streamed as cells complete.
+type SweepRequest struct {
+	Benches  []string     `json:"benches"`
+	Options  []SimOptions `json:"options"`
+	Scale    int          `json:"scale,omitempty"`
+	MaxInsts uint64       `json:"max_insts,omitempty"`
+}
+
+// SimStats is the wire form of one simulation's results: the raw counters
+// that matter plus the derived paper metrics, mirroring the library's
+// Result.
+type SimStats struct {
+	Config string `json:"config"`
+
+	Cycles    uint64  `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	Executed  uint64  `json:"executed"`
+	IPC       float64 `json:"ipc"`
+
+	BranchPredRate float64 `json:"branch_pred_rate"`
+	ReturnPredRate float64 `json:"return_pred_rate"`
+
+	Squashes         uint64 `json:"squashes"`
+	SpuriousSquashes uint64 `json:"spurious_squashes"`
+
+	ReuseResultRate float64 `json:"reuse_result_rate"`
+	ReuseAddrRate   float64 `json:"reuse_addr_rate"`
+	ExecSquashedPct float64 `json:"exec_squashed_pct"`
+	RecoveredPct    float64 `json:"recovered_pct"`
+
+	VPResultPred    float64    `json:"vp_result_pred"`
+	VPResultMispred float64    `json:"vp_result_mispred"`
+	VPAddrPred      float64    `json:"vp_addr_pred"`
+	VPAddrMispred   float64    `json:"vp_addr_mispred"`
+	ExecTimesPct    [3]float64 `json:"exec_times_pct"`
+
+	Contention               float64 `json:"contention"`
+	MeanBranchResolveLatency float64 `json:"mean_branch_resolve_latency"`
+}
+
+func statsFrom(cfg core.Config, s core.Stats) SimStats {
+	rp, rm := s.VPResultRates()
+	ap, am := s.VPAddrRates()
+	return SimStats{
+		Config:                   cfg.Name(),
+		Cycles:                   s.Cycles,
+		Committed:                s.Committed,
+		Executed:                 s.Executed,
+		IPC:                      s.IPC(),
+		BranchPredRate:           s.BranchPredRate(),
+		ReturnPredRate:           s.ReturnPredRate(),
+		Squashes:                 s.Squashes,
+		SpuriousSquashes:         s.SpuriousSquashes,
+		ReuseResultRate:          s.ReuseResultRate(),
+		ReuseAddrRate:            s.ReuseAddrRate(),
+		ExecSquashedPct:          s.ExecSquashedPct(),
+		RecoveredPct:             s.RecoveredPct(),
+		VPResultPred:             rp,
+		VPResultMispred:          rm,
+		VPAddrPred:               ap,
+		VPAddrMispred:            am,
+		ExecTimesPct:             s.ExecTimesPct(),
+		Contention:               s.Contention(),
+		MeanBranchResolveLatency: s.MeanBrResolveLat(),
+	}
+}
+
+// RunResponse is the body of a successful POST /v1/run: the simulation
+// stats plus the program's architectural output. Identical requests get
+// byte-identical responses — the marshaled body is what the result cache
+// stores.
+type RunResponse struct {
+	Bench    string   `json:"bench"`
+	Scale    int      `json:"scale"`
+	MaxInsts uint64   `json:"max_insts,omitempty"`
+	Stats    SimStats `json:"stats"`
+	Output   string   `json:"output"`
+	ExitCode int      `json:"exit_code"`
+}
+
+// SweepLine is one NDJSON line of a POST /v1/sweep response: either a
+// cell result (Index/Bench/Config/Stats set, Error empty), a cell failure
+// (Error set), or — on the final line — the Done summary. Per-cell errors
+// never abort the sweep; the Done line totals them, mirroring the
+// harness's errors.Join partial-result contract.
+type SweepLine struct {
+	Index  int       `json:"index"`
+	Bench  string    `json:"bench,omitempty"`
+	Config string    `json:"config,omitempty"`
+	Stats  *SimStats `json:"stats,omitempty"`
+	Error  string    `json:"error,omitempty"`
+
+	Done   bool `json:"done,omitempty"`
+	Cells  int  `json:"cells,omitempty"`
+	Failed int  `json:"failed,omitempty"`
+}
+
+// BenchmarkEntry is one element of the GET /v1/benchmarks response.
+type BenchmarkEntry struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,59 @@
+package server
+
+import "container/list"
+
+// lruCache is a size-bounded least-recently-used map from simulation cache
+// keys to marshaled response bodies. Storing the marshaled bytes (rather
+// than the decoded result) is what makes repeat responses byte-identical
+// by construction, and makes a hit a single map lookup plus a write.
+//
+// The cache is not internally synchronized; the Server guards it (and the
+// counters it feeds) with one mutex.
+type lruCache struct {
+	max int // maximum entries; <= 0 disables the cache entirely
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and marks the key most-recently-used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add inserts (or refreshes) a key and reports how many entries were
+// evicted to stay within the bound.
+func (c *lruCache) add(key string, body []byte) (evicted int) {
+	if c.max <= 0 {
+		return 0
+	}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return 0
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,46 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces duplicate in-flight work: while one goroutine is
+// computing the value for a key, later callers for the same key block and
+// share its result instead of repeating the simulation. It is a minimal
+// in-tree equivalent of x/sync/singleflight (no external dependency).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// do invokes fn once per key at a time. The boolean reports whether this
+// caller shared another caller's in-flight result (true) or ran fn itself
+// (false). Results are not retained after the last sharer returns — the
+// LRU cache is the durable layer; singleflight only spans the in-flight
+// window.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.body, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, c.err, false
+}

@@ -20,16 +20,27 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go vet + go test -race (core, harness, faultinject) =="
+echo "== go vet + go test -race (core, harness, faultinject, server) =="
 # Explicit gate for the concurrency-heavy packages: the sweep engine, the
-# parallel fault campaign and the core machinery their workers reuse.
-go vet ./internal/core/ ./internal/harness/ ./internal/faultinject/
-go test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/
+# parallel fault campaign, the core machinery their workers reuse, and the
+# HTTP simulation server (cache/singleflight/drain under concurrent load).
+go vet ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/
+go test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/
 
 echo "== go test -race (full suite) =="
 go test -race ./...
 
 echo "== fault-injection smoke campaign =="
 go run ./cmd/vpir-faults -seed 1 -campaign smoke
+
+echo "== golden-result corpus =="
+# Every benchmark x {base, VP, IR} against testdata/golden; a core change
+# that shifts paper-relevant numbers fails here. Deliberate changes:
+# go test -run TestGoldenCorpus -update . (then review the JSON diff).
+go test -run 'TestGoldenCorpus' .
+
+echo "== fuzz smoke (assembler + end-to-end RunSource) =="
+go test -run '^$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm
+go test -run '^$' -fuzz FuzzRunSource -fuzztime 10s .
 
 echo "check: all gates passed"

@@ -20,8 +20,10 @@
 package vpir
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"time"
 
@@ -30,7 +32,7 @@ import (
 	"github.com/vpir-sim/vpir/internal/harness"
 	"github.com/vpir-sim/vpir/internal/prog"
 	"github.com/vpir-sim/vpir/internal/redundancy"
-	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/server"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
@@ -92,58 +94,19 @@ type MetricsOptions struct {
 	EventCap int
 }
 
+// config maps the public Options onto a machine configuration. The string
+// spelling of every knob lives in internal/server's SimOptions — one
+// mapping shared by the library and the HTTP API, so they cannot drift.
 func (o Options) config() (core.Config, error) {
-	cfg, err := o.baseConfig()
-	if err != nil {
-		return cfg, err
-	}
-	if o.WatchdogCycles > 0 {
-		cfg.Watchdog = uint64(o.WatchdogCycles)
-	} else if o.WatchdogCycles < 0 {
-		cfg.Watchdog = 0
-	}
-	return cfg, nil
-}
-
-func (o Options) baseConfig() (core.Config, error) {
-	switch o.Technique {
-	case "", Base:
-		return core.DefaultConfig(), nil
-	case IR:
-		return core.IRChoice(o.LateValidation), nil
-	case VP, Hybrid:
-		scheme := vp.Magic
-		switch strings.ToLower(o.Scheme) {
-		case "", "magic":
-		case "lvp":
-			scheme = vp.LVP
-		case "stride":
-			scheme = vp.Stride
-		default:
-			return core.Config{}, fmt.Errorf("vpir: unknown scheme %q (magic, lvp or stride)", o.Scheme)
-		}
-		res := core.SB
-		switch strings.ToLower(o.BranchResolution) {
-		case "", "sb":
-		case "nsb":
-			res = core.NSB
-		default:
-			return core.Config{}, fmt.Errorf("vpir: unknown branch resolution %q (sb or nsb)", o.BranchResolution)
-		}
-		re := core.ME
-		switch strings.ToLower(o.Reexec) {
-		case "", "me":
-		case "nme":
-			re = core.NME
-		default:
-			return core.Config{}, fmt.Errorf("vpir: unknown reexec policy %q (me or nme)", o.Reexec)
-		}
-		if o.Technique == Hybrid {
-			return core.HybridChoice(scheme, res, re, o.VerifyLatency), nil
-		}
-		return core.VPChoice(scheme, res, re, o.VerifyLatency), nil
-	}
-	return core.Config{}, fmt.Errorf("vpir: unknown technique %q", o.Technique)
+	return server.SimOptions{
+		Technique:        string(o.Technique),
+		Scheme:           o.Scheme,
+		BranchResolution: o.BranchResolution,
+		Reexec:           o.Reexec,
+		VerifyLatency:    o.VerifyLatency,
+		LateValidation:   o.LateValidation,
+		WatchdogCycles:   o.WatchdogCycles,
+	}.Config()
 }
 
 // Result is the outcome of one simulation.
@@ -487,4 +450,64 @@ func TracePipeline(bench string, scale int, opt Options, n int) (string, error) 
 	var b strings.Builder
 	tr.Render(&b, 120)
 	return b.String(), nil
+}
+
+// ServerOptions tunes the simulation-as-a-service front-end (see
+// docs/server.md for the API and the caching/batching/shutdown contract).
+// The zero value serves on :8080 with GOMAXPROCS workers, a 1024-entry
+// result cache and a 2-minute per-simulation wall-clock bound.
+type ServerOptions struct {
+	// Addr is the listen address (default ":8080"); only used by Serve.
+	Addr string
+	// Workers bounds how many /v1/run simulations execute concurrently
+	// (0 = GOMAXPROCS). Each worker reuses machines across requests.
+	Workers int
+	// CacheEntries bounds the LRU result cache (0 = 1024 default;
+	// negative disables caching).
+	CacheEntries int
+	// Timeout bounds each simulation's wall-clock time (0 = 2-minute
+	// default; negative disables the bound).
+	Timeout time.Duration
+	// MaxInsts caps the dynamic instruction count a request may ask for;
+	// larger (or unbounded) requests are clamped. 0 = no cap.
+	MaxInsts uint64
+	// MaxScale caps the workload scale factor a request may ask for
+	// (0 = 16).
+	MaxScale int
+	// SweepParallelism is the harness worker count serving each /v1/sweep
+	// request (0 = GOMAXPROCS).
+	SweepParallelism int
+}
+
+func (o ServerOptions) serverConfig() server.Config {
+	return server.Config{
+		Workers:          o.Workers,
+		CacheEntries:     o.CacheEntries,
+		Timeout:          o.Timeout,
+		MaxInsts:         o.MaxInsts,
+		MaxScale:         o.MaxScale,
+		SweepParallelism: o.SweepParallelism,
+	}
+}
+
+// ServeHandler builds the simulation service and returns its HTTP handler
+// together with a drain function: calling drain rejects new run/sweep
+// requests with 503, waits for in-flight ones (bounded by the context),
+// and tears down the worker pool. Use it to mount the service into an
+// existing mux or server; Serve is the one-call version.
+func ServeHandler(opt ServerOptions) (http.Handler, func(context.Context) error) {
+	s := server.New(opt.serverConfig())
+	return s.Handler(), s.Drain
+}
+
+// Serve runs the simulation service on opt.Addr, blocking like
+// http.ListenAndServe. For graceful shutdown control, use ServeHandler
+// with your own http.Server (cmd/vpir-server does exactly that).
+func Serve(opt ServerOptions) error {
+	h, _ := ServeHandler(opt)
+	addr := opt.Addr
+	if addr == "" {
+		addr = ":8080"
+	}
+	return (&http.Server{Addr: addr, Handler: h}).ListenAndServe()
 }
