@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-race-hot test-short smoke golden fuzz-smoke cover check bench bench-all bench-check clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke golden fuzz-smoke cover check bench bench-all bench-check profile clean
 
 all: build
 
@@ -86,8 +86,11 @@ bench-all:
 
 # Perf regression gate: re-runs the simulator throughput benchmarks and
 # fails if simcycles/s regressed by more than 10% against the committed
-# BENCH_baseline.json. Refresh the baseline with `make bench` after a
-# deliberate performance change.
+# BENCH_baseline.json, or if any benchmark allocates more than 10,000
+# allocs/op in absolute terms (the hot loops are allocation-free; the
+# remaining allocations are machine construction and the functional
+# pre-run). Refresh the baseline with `make bench` after a deliberate
+# performance change.
 bench-check:
 	@tmp="$$(mktemp -d)"; \
 	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem . > "$$tmp/bench.txt" \
@@ -95,8 +98,22 @@ bench-check:
 	$(GO) run ./cmd/vpir-metrics -bench2json "$$tmp/bench.txt" > "$$tmp/bench.json" \
 		|| { rm -rf "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/vpir-metrics -compare -threshold 0.10 -units simcycles/s \
-		BENCH_baseline.json "$$tmp/bench.json"; \
+		-max-allocs 10000 BENCH_baseline.json "$$tmp/bench.json"; \
 	status=$$?; rm -rf "$$tmp"; exit $$status
+
+# CPU and allocation profiles of the three pipeline variants, written to
+# profiles/ for `go tool pprof` spelunking (see docs/performance.md for how
+# to read them and what the current hot paths are). Opt into running this
+# from scripts/check.sh with VPIR_PROFILE=1.
+profile:
+	@mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkSimBase$$' -benchtime 5x \
+		-cpuprofile profiles/base.cpu.pprof -memprofile profiles/base.mem.pprof .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimIR$$' -benchtime 5x \
+		-cpuprofile profiles/ir.cpu.pprof -memprofile profiles/ir.mem.pprof .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimVP$$' -benchtime 5x \
+		-cpuprofile profiles/vp.cpu.pprof -memprofile profiles/vp.mem.pprof .
+	@echo "profiles written to profiles/ (go tool pprof -top profiles/ir.cpu.pprof)"
 
 clean:
 	$(GO) clean ./...

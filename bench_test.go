@@ -97,11 +97,12 @@ func BenchmarkSimVP(b *testing.B) {
 // sampling interval, to keep the cost of enabled observability visible.
 func BenchmarkSimBaseMetrics(b *testing.B) { benchMachine(b, core.DefaultConfig(), true) }
 
-// BenchmarkSimBaseReset is BenchmarkSimBase on a reused machine: one
-// core.New, then Machine.Reset per iteration. The gap to BenchmarkSimBase
-// is what a sweep worker saves per run by pooling machines (construction
-// and the functional pre-run amortize away).
-func BenchmarkSimBaseReset(b *testing.B) {
+// benchMachineReset is benchMachine on a reused machine: one core.New,
+// then Machine.Reset per iteration. The gap to the corresponding cold
+// benchmark is what a sweep worker or server pool saves per run by pooling
+// machines (construction and the functional pre-run amortize away).
+func benchMachineReset(b *testing.B, cfg core.Config) {
+	b.Helper()
 	if testing.Short() {
 		b.Skip("full-kernel machine benchmark skipped in -short mode")
 	}
@@ -113,7 +114,6 @@ func BenchmarkSimBaseReset(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := core.DefaultConfig()
 	m, err := core.New(p, cfg, 0)
 	if err != nil {
 		b.Fatal(err)
@@ -133,6 +133,12 @@ func BenchmarkSimBaseReset(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "siminsts/s")
+}
+
+func BenchmarkSimBaseReset(b *testing.B) { benchMachineReset(b, core.DefaultConfig()) }
+func BenchmarkSimIRReset(b *testing.B)   { benchMachineReset(b, core.IRChoice(false)) }
+func BenchmarkSimVPReset(b *testing.B) {
+	benchMachineReset(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1))
 }
 
 // Fault-injection campaign throughput: how long a full deterministic smoke

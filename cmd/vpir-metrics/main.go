@@ -25,6 +25,13 @@
 // regressed by more than the given fraction (for throughput units like
 // simcycles/s a *drop* is the regression; for per-op units a rise is).
 // -units restricts the gate and the table to a comma-separated subset.
+//
+// -max-allocs adds an absolute ceiling on top of the relative gate: any
+// benchmark in the NEW file whose allocs/op exceeds the ceiling fails the
+// comparison even if it did not regress relative to the old baseline. This
+// keeps the simulator's hot loops allocation-free in absolute terms — a
+// relative gate alone would let a slow allocation creep survive baseline
+// refreshes.
 package main
 
 import (
@@ -52,6 +59,7 @@ func run() int {
 	compare := flag.Bool("compare", false, "compare two baseline JSONL files (old new) and print a delta table")
 	threshold := flag.Float64("threshold", 0, "with -compare: exit 1 when any dimension regresses by more than this fraction (0 = report only)")
 	units := flag.String("units", "", "with -compare: comma-separated subset of units to show and gate on (default: all)")
+	maxAllocs := flag.Float64("max-allocs", 0, "with -compare: exit 1 when any new benchmark exceeds this allocs/op ceiling (0 = no ceiling)")
 	flag.Parse()
 
 	if *compare {
@@ -59,7 +67,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "vpir-metrics: -compare needs exactly two baseline files: old new")
 			return 2
 		}
-		return compareBaselines(flag.Arg(0), flag.Arg(1), *threshold, *units)
+		return compareBaselines(flag.Arg(0), flag.Arg(1), *threshold, *units, *maxAllocs)
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "vpir-metrics: need exactly one input file ('-' for stdin)")
@@ -134,8 +142,8 @@ func run() int {
 }
 
 // compareBaselines renders the old→new delta table and applies the
-// regression gate.
-func compareBaselines(oldPath, newPath string, threshold float64, unitFilter string) int {
+// regression gate, plus the absolute allocs/op ceiling when set.
+func compareBaselines(oldPath, newPath string, threshold float64, unitFilter string, maxAllocs float64) int {
 	read := func(path string) ([]stats.BenchResult, error) {
 		f, err := open(path)
 		if err != nil {
@@ -190,13 +198,31 @@ func compareBaselines(oldPath, newPath string, threshold float64, unitFilter str
 			fmt.Sprintf("%+.2f%%", 100*d.Delta), mark)
 	}
 	fmt.Print(tab.String())
-	if threshold > 0 {
+	var overCeiling []string
+	if maxAllocs > 0 {
+		for _, r := range newRes {
+			if r.AllocsPerOp > maxAllocs {
+				overCeiling = append(overCeiling,
+					fmt.Sprintf("%s %.0f allocs/op", r.Name, r.AllocsPerOp))
+			}
+		}
+	}
+	if threshold > 0 || maxAllocs > 0 {
 		if len(failures) > 0 {
 			fmt.Fprintf(os.Stderr, "vpir-metrics: %d dimension(s) regressed beyond %.0f%%: %s\n",
 				len(failures), 100*threshold, strings.Join(failures, "; "))
 			return 1
 		}
-		fmt.Printf("gate ok: worst regression %.2f%% within %.0f%% threshold\n", 100*worst, 100*threshold)
+		if len(overCeiling) > 0 {
+			fmt.Fprintf(os.Stderr, "vpir-metrics: %d benchmark(s) over the %.0f allocs/op ceiling: %s\n",
+				len(overCeiling), maxAllocs, strings.Join(overCeiling, "; "))
+			return 1
+		}
+		fmt.Printf("gate ok: worst regression %.2f%% within %.0f%% threshold", 100*worst, 100*threshold)
+		if maxAllocs > 0 {
+			fmt.Printf("; all benchmarks within %.0f allocs/op", maxAllocs)
+		}
+		fmt.Println()
 	}
 	return 0
 }

@@ -14,11 +14,13 @@ var updateGolden = flag.Bool("update", false, "rewrite the testdata/golden snaps
 
 // goldenMaxInsts truncates the corpus runs: long enough that every paper
 // metric is exercised on real pipeline behavior, short enough that the
-// whole 21-cell corpus stays in tier-1 time budgets.
+// whole 28-cell corpus stays in tier-1 time budgets.
 const goldenMaxInsts = 120_000
 
 // goldenConfigs is the corpus axis: every benchmark under the base
-// machine, the paper's default VP machine, and the paper's IR machine.
+// machine, the paper's default VP machine, the paper's IR machine, and the
+// hybrid machine (IR first, VP on reuse misses) — the hybrid cells pin the
+// interaction of the two techniques, which no single-technique cell covers.
 var goldenConfigs = []struct {
 	Label string
 	Opt   Options
@@ -26,6 +28,7 @@ var goldenConfigs = []struct {
 	{"base", Options{}},
 	{"vp", Options{Technique: VP}},
 	{"ir", Options{Technique: IR}},
+	{"hybrid", Options{Technique: Hybrid}},
 }
 
 // goldenRecord pins every paper-relevant number of one (benchmark,

@@ -87,7 +87,7 @@ func (m *Machine) commit() error {
 // popLSQ advances the LSQ head past freed slots.
 func (m *Machine) popLSQ() {
 	for m.lsqCount > 0 && !m.lsq[m.lsqHead].valid {
-		m.lsqHead = (m.lsqHead + 1) % int32(m.cfg.LSQSize)
+		m.lsqHead = wrap(m.lsqHead+1, int32(m.cfg.LSQSize))
 		m.lsqCount--
 	}
 }

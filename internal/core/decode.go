@@ -32,31 +32,32 @@ func (m *Machine) decode() error {
 		// Pop the ring slot. Its contents stay readable through this
 		// iteration: fetch (the only writer) runs after decode, and a squash
 		// just resets the ring cursors.
-		m.fetchHead = (m.fetchHead + 1) % int32(len(m.fetchQ))
+		m.fetchHead = wrap(m.fetchHead+1, int32(len(m.fetchQ)))
 		m.fetchCount--
 
 		idx := m.robIdx(m.robCount)
 		m.robCount++
 		e := &m.rob[idx]
 		// Reset the recycled entry in place, keeping the consumers backing
-		// array so steady-state dispatch allocates nothing.
+		// array so steady-state dispatch allocates nothing. Zeroing and then
+		// assigning writes the (large) entry once; a composite literal would
+		// build it in a temporary and copy it a second time.
 		cons := e.consumers[:0]
-		*e = robEntry{
-			valid:       true,
-			seq:         m.seq,
-			pc:          f.pc,
-			in:          in,
-			decodeCycle: m.cycle,
-			traceIdx:    -1,
-			traceSlot:   -1,
-			lsq:         -1,
-			srcProd:     [2]int32{-1, -1},
-			srcFrom:     [2]reuse.Link{reuse.NoLink, reuse.NoLink},
-			rbLink:      reuse.NoLink,
-			reuseSrc:    reuse.NoLink,
-			needExec:    true,
-		}
+		*e = robEntry{}
 		e.consumers = cons
+		e.valid = true
+		e.seq = m.seq
+		e.pc = f.pc
+		e.in = in
+		e.decodeCycle = m.cycle
+		e.traceIdx = -1
+		e.traceSlot = -1
+		e.lsq = -1
+		e.srcProd = [2]int32{-1, -1}
+		e.srcFrom = [2]reuse.Link{reuse.NoLink, reuse.NoLink}
+		e.rbLink = reuse.NoLink
+		e.reuseSrc = reuse.NoLink
+		e.needExec = true
 		m.seq++
 
 		// Correct-path trace tracking.
@@ -139,6 +140,10 @@ func (m *Machine) decode() error {
 			e.checkpoint = cp
 			m.unresolved++
 		}
+
+		// Anything that still needs an execution enters the issue queue now;
+		// later wake events (broadcast/finalize) keep it current.
+		m.enqueueIssue(idx, e)
 
 		// Entries that are complete at decode finalize immediately; a reused
 		// branch resolves here (zero resolution latency, §4.2.2) and may
@@ -347,7 +352,7 @@ func (m *Machine) tryPredict(e *robEntry) {
 
 // lsqAlloc takes a load/store queue slot for a memory instruction.
 func (m *Machine) lsqAlloc(idx int32, e *robEntry) {
-	slot := (m.lsqHead + m.lsqCount) % int32(m.cfg.LSQSize)
+	slot := wrap(m.lsqHead+m.lsqCount, int32(m.cfg.LSQSize))
 	m.lsqCount++
 	width := emu.LoadWidth(e.in.Op)
 	if e.isStore {

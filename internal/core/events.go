@@ -9,38 +9,44 @@ import (
 // Completions consume result-bus bandwidth (WBWidth per cycle); overflow
 // carries into the next cycle and counts as resource contention.
 func (m *Machine) processEvents() error {
-	// Stage this cycle's events into the scratch buffer so the wheel slot
-	// and the carry list can be truncated with their capacity kept — the
-	// cycle loop allocates nothing here in steady state. Events scheduled
-	// while draining always land in a different wheel slot (delays are
-	// clamped to [1, wheelSize)), and carry-overs append to the already-
-	// drained wbCarry, so neither append invalidates the scratch contents.
+	// Drain last cycle's carry-overs, then this cycle's wheel slot, in
+	// place: events scheduled while draining always land in a different
+	// wheel slot (delays are clamped to [1, wheelSize)), and new carry-overs
+	// append to the swapped-in scratch buffer, so neither append invalidates
+	// the slices being walked. The swap keeps both backing arrays alive —
+	// the cycle loop allocates and copies nothing here in steady state.
 	slot := m.cycle % wheelSize
-	evs := append(m.evScratch[:0], m.wbCarry...)
-	evs = append(evs, m.wheel[slot]...)
-	m.wheel[slot] = m.wheel[slot][:0]
-	m.wbCarry = m.wbCarry[:0]
+	carry := m.wbCarry
+	m.wbCarry = m.evScratch[:0]
+	slotEvs := m.wheel[slot]
 	busUsed := 0
-	for _, ev := range evs {
-		e := m.liveEntry(ev)
-		if e == nil {
-			continue
+	for pass := 0; pass < 2; pass++ {
+		evs := carry
+		if pass == 1 {
+			evs = slotEvs
 		}
-		switch ev.kind {
-		case evComplete:
-			m.stats.ResourceRequests++
-			if busUsed >= m.cfg.WBWidth {
-				m.stats.ResourceDenials++
-				m.wbCarry = append(m.wbCarry, ev)
+		for _, ev := range evs {
+			e := m.liveEntry(ev)
+			if e == nil {
 				continue
 			}
-			busUsed++
-			m.complete(ev.idx, e)
-		case evVerify:
-			m.verify(ev.idx, e)
+			switch ev.kind {
+			case evComplete:
+				m.stats.ResourceRequests++
+				if busUsed >= m.cfg.WBWidth {
+					m.stats.ResourceDenials++
+					m.wbCarry = append(m.wbCarry, ev)
+					continue
+				}
+				busUsed++
+				m.complete(ev.idx, e)
+			case evVerify:
+				m.verify(ev.idx, e)
+			}
 		}
 	}
-	m.evScratch = evs[:0]
+	m.wheel[slot] = slotEvs[:0]
+	m.evScratch = carry[:0]
 	m.drainFinalQ()
 	return nil
 }
@@ -103,6 +109,9 @@ func (m *Machine) complete(idx int32, e *robEntry) {
 		}
 	}
 
+	// A broadcast during the execution may have requested a re-execution;
+	// with the entry no longer executing it can enter the issue queue.
+	m.enqueueIssue(idx, e)
 	m.enqueueFinal(idx)
 }
 
@@ -167,11 +176,20 @@ func (m *Machine) broadcast(e *robEntry, val isa.Word) {
 		if (t.execCount > 0 || t.executing) && !t.snapshotCurrent() {
 			t.needExec = true
 		}
+		m.enqueueIssue(c.idx, t)
 	}
 }
 
-// enqueueFinal marks an entry for a finality re-check this cycle.
+// enqueueFinal marks an entry for a finality re-check this cycle. The
+// inFinalQ flag suppresses duplicates while the entry is still pending —
+// re-checking an unchanged entry is a no-op, so only the first of a batch
+// of wakes needs a queue slot.
 func (m *Machine) enqueueFinal(idx int32) {
+	e := &m.rob[idx]
+	if e.inFinalQ {
+		return
+	}
+	e.inFinalQ = true
 	m.finalQ = append(m.finalQ, idx)
 }
 
@@ -181,9 +199,12 @@ func (m *Machine) enqueueFinal(idx int32) {
 func (m *Machine) drainFinalQ() {
 	// Index-based drain so the queue keeps its backing array; checkFinal
 	// may append more work while we iterate (len is re-read every pass).
+	// The pending flag clears before the check, so a wake caused by a
+	// later queue item re-enqueues the entry within the same drain.
 	for i := 0; i < len(m.finalQ); i++ {
 		idx := m.finalQ[i]
 		e := &m.rob[idx]
+		e.inFinalQ = false
 		if !e.valid || e.final {
 			continue
 		}
@@ -214,6 +235,7 @@ func (m *Machine) checkFinal(idx int32, e *robEntry) {
 		}
 		if !e.snapshotCurrent() {
 			e.needExec = true
+			m.enqueueIssue(idx, e)
 			return
 		}
 	}
@@ -277,6 +299,7 @@ func (m *Machine) finalize(idx int32, e *robEntry) {
 			}
 		}
 		t.srcFinal[c.slot] = true
+		m.enqueueIssue(c.idx, t)
 		m.enqueueFinal(c.idx)
 	}
 

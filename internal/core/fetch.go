@@ -39,10 +39,15 @@ func (m *Machine) fetch() {
 		// Write into the next ring slot in place; the slot's RAS snapshot
 		// storage (inside bpState) is kept and refilled by SaveInto, so
 		// fetching a checkpointed branch allocates nothing in steady state.
-		f := &m.fetchQ[(m.fetchHead+m.fetchCount)%int32(len(m.fetchQ))]
-		ras := f.bpState.RAS
-		*f = fetched{pc: pc, in: in, predNext: pc + 4, fetchCycle: m.cycle}
-		f.bpState.RAS = ras[:0]
+		// Every live field is assigned (bpState and histAtPred are read only
+		// under needCkpt, which SaveInto accompanies), so no zeroing pass.
+		f := &m.fetchQ[wrap(m.fetchHead+m.fetchCount, int32(len(m.fetchQ)))]
+		f.pc = pc
+		f.in = in
+		f.predTaken = false
+		f.predNext = pc + 4
+		f.fetchCycle = m.cycle
+		f.needCkpt = false
 		switch {
 		case in.Op.IsCondBranch():
 			m.bp.SaveInto(&f.bpState)

@@ -22,46 +22,110 @@ func (m *Machine) fuFor(class isa.FUClass) *fuPool {
 	return nil
 }
 
-// issue selects up to IssueWidth ready instructions (oldest first) and
-// starts their execution, charging functional-unit and cache-port
-// contention per §4.2.3.
+// issueOutcome classifies one issue attempt so the queue knows whether to
+// keep retrying the entry. The distinction preserves the per-cycle
+// contention accounting of the old full-ROB scan: attempts that fail with
+// stat side effects (resource denial) or on a condition with no targeted
+// wake event (disambiguation) must retry every cycle, while operand waits
+// are purely event-driven.
+type issueOutcome uint8
+
+const (
+	// issuedOK: the execution started; the entry leaves the queue.
+	issuedOK issueOutcome = iota
+	// issueWait: blocked on a condition no wake event tracks (FU or cache
+	// port denial, store-address disambiguation); retry next cycle.
+	issueWait
+	// issueSleep: an operand is missing or not final; leave the queue — a
+	// broadcast or finalization of the producer re-enqueues the entry.
+	issueSleep
+)
+
+// enqueueIssue adds an entry to the issue queue if it may be able to start
+// an execution. Called on every transition that can wake a sleeping
+// instruction: dispatch, an operand value arriving or changing
+// (broadcast), an operand becoming final (finalize), a stale-snapshot
+// re-execution demand (checkFinal) and completion with a pending
+// re-execution request.
+func (m *Machine) enqueueIssue(idx int32, e *robEntry) {
+	if e.inIssueQ || !e.needExec || e.executing || e.reused || e.final {
+		return
+	}
+	e.inIssueQ = true
+	m.issueQ = append(m.issueQ, issueRef{idx: idx, seq: e.seq})
+}
+
+// issue starts up to IssueWidth ready instructions (oldest first), charging
+// functional-unit and cache-port contention per §4.2.3. Candidates come
+// from the dependency-driven issue queue, so the cost scales with ready
+// work rather than ROB size; the preconditions checked here are exactly
+// the old full-ROB scan's skip rules, making the cycle timing and stats
+// identical to scanning.
 func (m *Machine) issue() {
+	q := m.issueQ
+	if len(q) == 0 {
+		return
+	}
+	// Oldest first. Dispatch enqueues in age order already, but wakeups
+	// enqueue in event order; insertion sort is near-linear on the almost-
+	// sorted queue and allocates nothing.
+	for i := 1; i < len(q); i++ {
+		it := q[i]
+		j := i
+		for j > 0 && q[j-1].seq > it.seq {
+			q[j] = q[j-1]
+			j--
+		}
+		q[j] = it
+	}
 	issued := 0
-	m.forEachROB(func(idx int32, e *robEntry) bool {
+	kept := q[:0]
+	for i := 0; i < len(q); i++ {
+		it := q[i]
+		e := &m.rob[it.idx]
+		if !e.valid || e.seq != it.seq {
+			continue // squashed; a recycled slot re-enqueues at dispatch
+		}
 		if issued >= m.cfg.IssueWidth {
-			return false
+			kept = append(kept, q[i:]...) // in-place suffix move, len(kept) <= i
+			break
 		}
 		if !e.needExec || e.executing || e.reused || e.final {
-			return true
+			e.inIssueQ = false
+			continue
 		}
-		// NME: re-executions wait for all inputs to become final.
-		if m.vpActive() && m.cfg.VP.Reexec == NME && e.execCount > 0 {
-			if !e.allSrcFinal() {
-				return true
-			}
+		// NME: re-executions wait for all inputs to become final; the
+		// finalize consumer walk re-enqueues when the last one lands.
+		if m.vpActive() && m.cfg.VP.Reexec == NME && e.execCount > 0 && !e.allSrcFinal() {
+			e.inIssueQ = false
+			continue
 		}
+		var out issueOutcome
 		switch {
 		case e.isLoad:
-			if m.issueLoad(idx, e) {
-				issued++
-			}
+			out = m.issueLoad(it.idx, e)
 		case e.isStore:
-			if m.issueStore(idx, e) {
-				issued++
-			}
+			out = m.issueStore(it.idx, e)
 		default:
-			if m.issueALU(idx, e) {
-				issued++
-			}
+			out = m.issueALU(it.idx, e)
 		}
-		return true
-	})
+		switch out {
+		case issuedOK:
+			issued++
+			e.inIssueQ = false
+		case issueWait:
+			kept = append(kept, it)
+		default:
+			e.inIssueQ = false
+		}
+	}
+	m.issueQ = kept
 }
 
 // issueALU starts a non-memory operation.
-func (m *Machine) issueALU(idx int32, e *robEntry) bool {
+func (m *Machine) issueALU(idx int32, e *robEntry) issueOutcome {
 	if !e.allSrcReady() {
-		return false
+		return issueSleep
 	}
 	info := e.in.Op.Info()
 	pool := m.fuFor(info.FU)
@@ -70,7 +134,7 @@ func (m *Machine) issueALU(idx int32, e *robEntry) bool {
 		m.stats.ResourceRequests++
 		if !pool.acquire(m.cycle, timing.IssueLat) {
 			m.stats.ResourceDenials++
-			return false
+			return issueWait
 		}
 	}
 	m.beginExec(idx, e)
@@ -96,31 +160,31 @@ func (m *Machine) issueALU(idx int32, e *robEntry) bool {
 		e.pendResult = emu.ALUResult(e.in, s1, s2, e.pc)
 	}
 	m.schedule(uint64(timing.Latency), event{kind: evComplete, idx: idx, seq: e.seq})
-	return true
+	return issuedOK
 }
 
 // issueStore starts a store's address generation. Disambiguation requires
 // final addresses, so the base operand must be final.
-func (m *Machine) issueStore(idx int32, e *robEntry) bool {
+func (m *Machine) issueStore(idx int32, e *robEntry) issueOutcome {
 	if !(e.srcReady[0] && e.srcFinal[0]) {
-		return false
+		return issueSleep
 	}
 	m.stats.ResourceRequests++
 	if !m.lsPool.acquire(m.cycle, 1) {
 		m.stats.ResourceDenials++
-		return false
+		return issueWait
 	}
 	m.beginExec(idx, e)
 	e.pendAddr = emu.EffAddr(e.in, e.srcVal[0])
 	e.pendResult = 0
 	m.schedule(1, event{kind: evComplete, idx: idx, seq: e.seq})
-	return true
+	return issuedOK
 }
 
 // issueLoad starts a load: address generation (skipped when the address was
 // reused or predicted), disambiguation against older stores, then either a
 // forward from the store queue or a D-cache access.
-func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
+func (m *Machine) issueLoad(idx int32, e *robEntry) issueOutcome {
 	var addr uint32
 	usedPred := false
 	switch {
@@ -132,14 +196,15 @@ func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
 		addr = e.predAddrVal
 		usedPred = true
 	default:
-		return false // no address available yet
+		return issueSleep // no address available yet
 	}
 
 	// Table 1: loads execute only after all preceding store addresses are
-	// known. (A dependence stall, not resource contention.)
+	// known. (A dependence stall, not resource contention.) No event marks
+	// a store address becoming known, so the load polls from the queue.
 	fwd, haveFwd, blocked := m.scanStores(e, addr)
 	if blocked {
-		return false
+		return issueWait
 	}
 
 	// Acquire the cache port first (when needed), then the load/store unit,
@@ -148,13 +213,13 @@ func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
 		m.stats.ResourceRequests++
 		if m.dcPortsUsed >= m.cfg.MemPorts {
 			m.stats.ResourceDenials++
-			return false
+			return issueWait
 		}
 	}
 	m.stats.ResourceRequests++
 	if !m.lsPool.acquire(m.cycle, 1) {
 		m.stats.ResourceDenials++
-		return false
+		return issueWait
 	}
 
 	agen := uint64(1)
@@ -176,7 +241,7 @@ func (m *Machine) issueLoad(idx int32, e *robEntry) bool {
 	e.pendAddr = addr
 	e.usedPredAddr = usedPred
 	m.schedule(lat, event{kind: evComplete, idx: idx, seq: e.seq})
-	return true
+	return issuedOK
 }
 
 // beginExec snapshots the operand values an execution will use.
@@ -210,7 +275,7 @@ func (m *Machine) scanStores(e *robEntry, addr uint32) (fwd fwdSource, have, blo
 	width := emu.LoadWidth(e.in.Op)
 	// Scan youngest-to-oldest among older stores; the first overlap decides.
 	for i := m.lsqCount - 1; i >= 0; i-- {
-		slot := (m.lsqHead + i) % int32(m.cfg.LSQSize)
+		slot := wrap(m.lsqHead+i, int32(m.cfg.LSQSize))
 		q := &m.lsq[slot]
 		if !q.valid || q.seq >= e.seq || !q.isStore {
 			continue
@@ -259,7 +324,7 @@ func extractLoad(op isa.Op, addr uint32, f fwdSource) isa.Word {
 func (m *Machine) loadReuseSafe(e *robEntry, addr uint32) bool {
 	width := emu.LoadWidth(e.in.Op)
 	for i := m.lsqCount - 1; i >= 0; i-- {
-		slot := (m.lsqHead + i) % int32(m.cfg.LSQSize)
+		slot := wrap(m.lsqHead+i, int32(m.cfg.LSQSize))
 		q := &m.lsq[slot]
 		if !q.valid || q.seq >= e.seq || !q.isStore {
 			continue

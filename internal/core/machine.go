@@ -78,6 +78,12 @@ type Machine struct {
 	wheel   [wheelSize][]event
 	finalQ  []int32 // entries whose finality must be re-examined this cycle
 	wbCarry []event // completions deferred by result-bus contention
+	// issueQ holds the instructions that may be able to start an execution,
+	// fed by dependency-driven wakeups (dispatch, operand broadcast,
+	// finalization, re-execution demands) instead of a per-cycle scan of the
+	// whole ROB. Entries blocked on conditions with no wake event (FU/port
+	// denial, store disambiguation) stay queued and retry next cycle.
+	issueQ []issueRef
 	// evScratch is the per-cycle staging buffer processEvents drains into,
 	// so wheel slots and wbCarry can be truncated (capacity kept) instead of
 	// reallocated every cycle.
@@ -216,8 +222,8 @@ func (m *Machine) buildStructures(cfg Config) {
 	switch {
 	case !needRB:
 		m.rb = nil
-	case m.rb != nil && m.rb.Config() == cfg.IR.Buffer:
-		m.rb.Reset()
+	case m.rb != nil:
+		m.rb.Reset(cfg.IR.Buffer) // reuses storage when the geometry matches
 	default:
 		m.rb = reuse.New(cfg.IR.Buffer)
 	}
@@ -254,8 +260,8 @@ func resetTable(t *vp.Table, cfg vp.Config, need bool) *vp.Table {
 	if !need {
 		return nil
 	}
-	if t != nil && t.Config() == cfg {
-		t.Reset()
+	if t != nil {
+		t.Reset(cfg) // reuses storage when the geometry matches
 		return t
 	}
 	return vp.New(cfg)
@@ -293,6 +299,7 @@ func (m *Machine) resetRunState() {
 	}
 	m.finalQ = m.finalQ[:0]
 	m.wbCarry = m.wbCarry[:0]
+	m.issueQ = m.issueQ[:0]
 
 	m.dcPortsUsed = 0
 	m.fetchRedirected = false
@@ -447,6 +454,16 @@ func (m *Machine) step() error {
 }
 
 // --- small helpers shared by the stages ---
+
+// wrap reduces the sum of two in-range ring cursors into [0, n). Ring
+// sizes are not required to be powers of two, so a % here would compile to
+// an integer divide — measurably hot in the LSQ scans and ring bumps.
+func wrap(i, n int32) int32 {
+	if i >= n {
+		return i - n
+	}
+	return i
+}
 
 func (m *Machine) robIdx(offset int32) int32 {
 	return (m.robHead + offset) & int32(m.cfg.ROBSize-1)

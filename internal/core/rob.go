@@ -50,6 +50,11 @@ type robEntry struct {
 	// Execution state.
 	needExec  bool
 	executing bool
+	// Wakeup bookkeeping: whether the entry currently sits in the issue
+	// queue / finality queue, so wake events and finality re-checks enqueue
+	// each in-flight instruction at most once.
+	inIssueQ  bool
+	inFinalQ  bool
 	execCount int
 	hasResult bool
 	result    isa.Word
@@ -226,4 +231,12 @@ type event struct {
 	kind evKind
 	idx  int32
 	seq  uint64
+}
+
+// issueRef is one issue-queue slot: the ROB index plus the sequence number
+// so items of squashed (and possibly recycled) entries are recognized as
+// stale and dropped without touching the new occupant.
+type issueRef struct {
+	idx int32
+	seq uint64
 }

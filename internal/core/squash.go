@@ -41,7 +41,7 @@ func (m *Machine) squashAfter(idx int32, e *robEntry) {
 	}
 	// Compact the LSQ tail.
 	for m.lsqCount > 0 {
-		tail := (m.lsqHead + m.lsqCount - 1) % int32(m.cfg.LSQSize)
+		tail := wrap(m.lsqHead+m.lsqCount-1, int32(m.cfg.LSQSize))
 		if m.lsq[tail].valid {
 			break
 		}

@@ -18,6 +18,10 @@ const (
 // ready to use. Reads of unmapped addresses return zero; writes allocate.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// One-entry translation cache: accesses cluster heavily within a page,
+	// and the map lookup otherwise dominates the cost of a load or store.
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -27,10 +31,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if p := m.lastPage; p != nil && m.lastPN == pn {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && alloc {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

@@ -1,0 +1,163 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// naiveInvalidateStores is the reference implementation of store
+// invalidation: scan every entry in the buffer and kill overlapping valid
+// loads. Semantically identical to the intrusive-index walk (a byte overlap
+// always shares a word-aligned key), just O(buffer) instead of O(matches).
+func naiveInvalidateStores(b *Buffer, addr, width uint32) int {
+	killed := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid || !e.isLoad || !e.memValid {
+			continue
+		}
+		if e.addr < addr+width && addr < e.addr+e.width {
+			e.memValid = false
+			b.stats.StoreKills++
+			killed++
+		}
+	}
+	return killed
+}
+
+// checkIndexInvariants walks the bucket chains and cross-checks them
+// against the entry array: every valid load entry must be linked exactly
+// once per touched word, chains must be consistently doubly-linked, and
+// nothing else may be linked.
+func checkIndexInvariants(t *testing.T, b *Buffer) {
+	t.Helper()
+	type nodeKey struct {
+		idx  int32
+		slot int
+	}
+	linked := make(map[nodeKey]uint32)
+	for h, nid := range b.heads {
+		prev := int32(-1)
+		for nid >= 0 {
+			idx, slot := nid>>1, int(nid&1)
+			e := &b.entries[idx]
+			if !e.idxOn[slot] {
+				t.Fatalf("bucket %d: node %d/%d linked but idxOn false", h, idx, slot)
+			}
+			if b.bucket(e.idxWord[slot]) != uint32(h) {
+				t.Fatalf("bucket %d: node %d/%d word %#x hashes elsewhere", h, idx, slot, e.idxWord[slot])
+			}
+			if e.idxPrev[slot] != prev {
+				t.Fatalf("bucket %d: node %d/%d prev=%d want %d", h, idx, slot, e.idxPrev[slot], prev)
+			}
+			key := nodeKey{idx, slot}
+			if _, dup := linked[key]; dup {
+				t.Fatalf("node %d/%d linked twice", idx, slot)
+			}
+			linked[key] = e.idxWord[slot]
+			prev = nid
+			nid = e.idxNext[slot]
+		}
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid || !e.isLoad {
+			if e.idxOn[0] || e.idxOn[1] {
+				t.Fatalf("entry %d: non-load linked into the index", i)
+			}
+			continue
+		}
+		w := loadWords(e.addr, e.width)
+		if got, ok := linked[nodeKey{int32(i), 0}]; !ok || got != w[0] {
+			t.Fatalf("entry %d: slot 0 not linked for word %#x (got %#x ok=%v)", i, w[0], got, ok)
+		}
+		if w[1] != w[0] {
+			if got, ok := linked[nodeKey{int32(i), 1}]; !ok || got != w[1] {
+				t.Fatalf("entry %d: slot 1 not linked for word %#x", i, w[1])
+			}
+		} else if e.idxOn[1] {
+			t.Fatalf("entry %d: slot 1 linked for a single-word load", i)
+		}
+	}
+}
+
+// TestInvalidateStoresMatchesNaive drives two identical buffers through
+// randomized insert/test/invalidate/reset interleavings. One invalidates
+// through the intrusive index, the other through the naive full scan;
+// Stats, per-entry memValid decisions and kill counts must stay
+// bit-identical throughout, and the index invariants must hold after every
+// step.
+func TestInvalidateStoresMatchesNaive(t *testing.T) {
+	loads := []*isa.Inst{
+		func() *isa.Inst { in := isa.Decode(isa.EncodeI(isa.OpLW, isa.Reg(5), isa.Reg(4), 8)); return &in }(),
+		func() *isa.Inst { in := isa.Decode(isa.EncodeI(isa.OpLH, isa.Reg(5), isa.Reg(4), 8)); return &in }(),
+		func() *isa.Inst { in := isa.Decode(isa.EncodeI(isa.OpLB, isa.Reg(5), isa.Reg(4), 8)); return &in }(),
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{Entries: 64, Ways: 4}
+		fast, ref := New(cfg), New(cfg)
+		// Small address pool so stores actually overlap buffered loads.
+		addrPool := uint32(0x1000)
+		for step := 0; step < 4000; step++ {
+			switch r.Intn(10) {
+			case 0, 1, 2, 3: // insert a load
+				in := loads[r.Intn(len(loads))]
+				pc := 0x400000 + uint32(r.Intn(96))*4
+				addr := addrPool + uint32(r.Intn(64))
+				val := isa.Word(r.Uint32())
+				base := isa.Word(r.Uint32())
+				wp, fwd := r.Intn(8) == 0, r.Intn(8) == 0
+				l1 := fast.Insert(pc, in, base, 0, val, addr, NoLink, NoLink, wp, fwd)
+				l2 := ref.Insert(pc, in, base, 0, val, addr, NoLink, NoLink, wp, fwd)
+				if l1 != l2 {
+					t.Fatalf("seed %d step %d: insert links diverged: %+v vs %+v", seed, step, l1, l2)
+				}
+			case 4, 5: // insert an ALU op (exercises non-load paths + eviction)
+				pc := 0x400000 + uint32(r.Intn(96))*4
+				a, bv := isa.Word(r.Intn(16)), isa.Word(r.Intn(16))
+				in := isa.Decode(isa.EncodeR(isa.OpADDU, isa.Reg(3), isa.Reg(1), isa.Reg(2)))
+				fast.Insert(pc, &in, a, bv, a+bv, 0, NoLink, NoLink, false, false)
+				ref.Insert(pc, &in, a, bv, a+bv, 0, NoLink, NoLink, false, false)
+			case 6, 7, 8: // store: invalidate
+				addr := addrPool + uint32(r.Intn(72))
+				width := []uint32{1, 2, 4}[r.Intn(3)]
+				k1 := fast.InvalidateStores(addr, width)
+				k2 := naiveInvalidateStores(ref, addr, width)
+				if k1 != k2 {
+					t.Fatalf("seed %d step %d: intrusive killed %d, naive killed %d (store %#x w%d)",
+						seed, step, k1, k2, addr, width)
+				}
+			default: // occasional reuse test, and rarely a reset
+				if r.Intn(50) == 0 {
+					fast.Reset(cfg)
+					ref.Reset(cfg)
+				} else {
+					pc := 0x400000 + uint32(r.Intn(96))*4
+					in := loads[0]
+					op := Operand{Ready: true, Val: isa.Word(r.Uint32()), ReusedFrom: NoLink}
+					r1 := fast.Test(pc, in, op, Operand{ReusedFrom: NoLink})
+					r2 := ref.Test(pc, in, op, Operand{ReusedFrom: NoLink})
+					if r1 != r2 {
+						t.Fatalf("seed %d step %d: test diverged: %+v vs %+v", seed, step, r1, r2)
+					}
+				}
+			}
+			if fast.Stats() != ref.Stats() {
+				t.Fatalf("seed %d step %d: stats diverged:\n fast: %+v\n  ref: %+v",
+					seed, step, fast.Stats(), ref.Stats())
+			}
+			for i := range fast.entries {
+				if fast.entries[i].memValid != ref.entries[i].memValid {
+					t.Fatalf("seed %d step %d: entry %d memValid diverged", seed, step, i)
+				}
+			}
+			if step%97 == 0 {
+				checkIndexInvariants(t, fast)
+			}
+		}
+		checkIndexInvariants(t, fast)
+	}
+}

@@ -102,6 +102,15 @@ type entry struct {
 	memValid bool // load result still valid w.r.t. stores
 
 	wrongPath bool // inserted by a squashed instruction
+
+	// Intrusive load-index node state, one node per word-aligned key the
+	// load's byte range touches (slot 0 = first word, slot 1 = last word
+	// when different). A node id is entry-index<<1 | slot; prev/next of -1
+	// terminate the chain, idxOn guards whether the node is linked at all.
+	idxWord [2]uint32
+	idxNext [2]int32
+	idxPrev [2]int32
+	idxOn   [2]bool
 }
 
 // Stats counts reuse buffer activity.
@@ -126,21 +135,35 @@ type Buffer struct {
 	tick    uint64
 	stats   Stats
 
-	// loadIndex maps word-aligned addresses to entries of loads touching
-	// that word, for store invalidation without scanning the whole buffer.
-	loadIndex map[uint32][]int32
+	// Intrusive load index: valid load entries link themselves into
+	// per-word hash chains (nodes embedded in the entry structs) so a
+	// committing store invalidates overlapping loads in O(matches) with
+	// zero steady-state allocations. heads holds the first node id of each
+	// bucket's doubly-linked chain, -1 when empty.
+	heads      []int32
+	bucketMask uint32
 }
 
 // New builds an empty reuse buffer.
 func New(cfg Config) *Buffer {
 	sets := cfg.Entries / cfg.Ways
-	return &Buffer{
-		cfg:       cfg,
-		setMask:   uint32(sets - 1),
-		ways:      cfg.Ways,
-		entries:   make([]entry, sets*cfg.Ways),
-		loadIndex: make(map[uint32][]int32),
+	n := sets * cfg.Ways
+	buckets := 16
+	for buckets < n {
+		buckets <<= 1
 	}
+	b := &Buffer{
+		cfg:        cfg,
+		setMask:    uint32(sets - 1),
+		ways:       cfg.Ways,
+		entries:    make([]entry, n),
+		heads:      make([]int32, buckets),
+		bucketMask: uint32(buckets - 1),
+	}
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	return b
 }
 
 // Config returns the buffer configuration.
@@ -194,7 +217,11 @@ func (b *Buffer) operandOK(name isa.Reg, stored isa.Word, link Link, op Operand)
 func (b *Buffer) Test(pc uint32, in *isa.Inst, op1, op2 Operand) TestResult {
 	b.stats.Tests++
 	base := b.setBase(pc)
-	var addrOnly *TestResult
+	// The address-only fallback is tracked by value: a pointer would make
+	// every candidate TestResult escape to the heap, and Test runs for
+	// every decoded instruction.
+	var addrOnly TestResult
+	haveAddrOnly := false
 
 	for w := 0; w < b.ways; w++ {
 		idx := base + int32(w)
@@ -225,21 +252,22 @@ func (b *Buffer) Test(pc uint32, in *isa.Inst, op1, op2 Operand) TestResult {
 					return res
 				}
 				res.AddrHit = true
-				if addrOnly == nil {
-					addrOnly = &res
+				if !haveAddrOnly {
+					addrOnly = res
+					haveAddrOnly = true
 				}
 				continue
 			}
 			// Store: address reuse only (src1 = base matched).
-			res := TestResult{
-				AddrHit:       true,
-				Addr:          e.addr,
-				Entry:         Link{Idx: idx, Gen: e.gen},
-				Chained:       ch1,
-				WrongPathWork: e.wrongPath,
-			}
-			if addrOnly == nil {
-				addrOnly = &res
+			if !haveAddrOnly {
+				addrOnly = TestResult{
+					AddrHit:       true,
+					Addr:          e.addr,
+					Entry:         Link{Idx: idx, Gen: e.gen},
+					Chained:       ch1,
+					WrongPathWork: e.wrongPath,
+				}
+				haveAddrOnly = true
 			}
 			continue
 		}
@@ -256,7 +284,7 @@ func (b *Buffer) Test(pc uint32, in *isa.Inst, op1, op2 Operand) TestResult {
 		b.recordHit(e, res.Chained)
 		return res
 	}
-	if addrOnly != nil {
+	if haveAddrOnly {
 		b.stats.AddrHits++
 		e := &b.entries[addrOnly.Entry.Idx]
 		e.tick = b.nextTick()
@@ -264,7 +292,7 @@ func (b *Buffer) Test(pc uint32, in *isa.Inst, op1, op2 Operand) TestResult {
 			b.stats.Recovered++
 			e.wrongPath = false
 		}
-		return *addrOnly
+		return addrOnly
 	}
 	return TestResult{Entry: NoLink}
 }
@@ -362,29 +390,29 @@ func (b *Buffer) Insert(pc uint32, in *isa.Inst, src1Val, src2Val isa.Word,
 	e := &b.entries[victim]
 	b.unindexLoad(victim, e)
 	gen := e.gen + 1
-	*e = entry{
-		valid:     true,
-		tag:       pc,
-		gen:       gen,
-		tick:      b.nextTick(),
-		op:        in.Op,
-		result:    result,
-		src1Name:  in.Src1,
-		src2Name:  in.Src2,
-		src1Val:   src1Val,
-		src2Val:   src2Val,
-		src1Link:  link1,
-		src2Link:  link2,
-		isMem:     in.Op.IsMem(),
-		isLoad:    in.Op.IsLoad(),
-		addr:      addr,
-		memValid:  !forwarded,
-		wrongPath: wrongPath,
-	}
+	// Field-by-field overwrite: a composite literal would build the entry in
+	// a temporary and copy it, and Insert runs for every completed execution.
+	// Every field is assigned except the index-node state, which unindexLoad
+	// just retired (idxOn false; the cursors are dead until the next link).
+	e.valid = true
+	e.tag = pc
+	e.gen = gen
+	e.tick = b.nextTick()
+	e.op = in.Op
+	e.result = result
+	e.src1Name = in.Src1
+	e.src2Name = in.Src2
+	e.src1Val = src1Val
+	e.src2Val = src2Val
+	e.src1Link = link1
+	e.src2Link = link2
+	e.isMem = in.Op.IsMem()
+	e.isLoad = in.Op.IsLoad()
+	e.addr = addr
+	e.width = 0
+	e.memValid = !forwarded
+	e.wrongPath = wrongPath
 	if e.isMem {
-		if e.isLoad {
-			e.width = 4 // widest window; precise width refined below
-		}
 		switch in.Op {
 		case isa.OpLB, isa.OpLBU, isa.OpSB:
 			e.width = 1
@@ -406,41 +434,61 @@ func loadWords(addr, width uint32) [2]uint32 {
 	return [2]uint32{first, last}
 }
 
+// bucket hashes a word-aligned address key to a chain head. The
+// multiplicative mix keeps strided access patterns from aliasing through
+// the power-of-two mask.
+func (b *Buffer) bucket(word uint32) uint32 {
+	return (word * 0x9e3779b1) & b.bucketMask
+}
+
+// linkNode pushes entry idx's node slot onto the head of word's chain.
+func (b *Buffer) linkNode(idx int32, slot int, word uint32) {
+	e := &b.entries[idx]
+	nid := idx<<1 | int32(slot)
+	h := b.bucket(word)
+	next := b.heads[h]
+	e.idxWord[slot] = word
+	e.idxNext[slot] = next
+	e.idxPrev[slot] = -1
+	e.idxOn[slot] = true
+	if next >= 0 {
+		b.entries[next>>1].idxPrev[next&1] = nid
+	}
+	b.heads[h] = nid
+}
+
+// unlinkNode removes entry idx's node slot from its chain in O(1).
+func (b *Buffer) unlinkNode(idx int32, slot int) {
+	e := &b.entries[idx]
+	prev, next := e.idxPrev[slot], e.idxNext[slot]
+	if prev >= 0 {
+		b.entries[prev>>1].idxNext[prev&1] = next
+	} else {
+		b.heads[b.bucket(e.idxWord[slot])] = next
+	}
+	if next >= 0 {
+		b.entries[next>>1].idxPrev[next&1] = prev
+	}
+	e.idxOn[slot] = false
+}
+
 func (b *Buffer) indexLoad(idx int32, e *entry) {
 	if !e.valid || !e.isLoad {
 		return
 	}
 	w := loadWords(e.addr, e.width)
-	b.loadIndex[w[0]] = append(b.loadIndex[w[0]], idx)
+	b.linkNode(idx, 0, w[0])
 	if w[1] != w[0] {
-		b.loadIndex[w[1]] = append(b.loadIndex[w[1]], idx)
+		b.linkNode(idx, 1, w[1])
 	}
 }
 
 func (b *Buffer) unindexLoad(idx int32, e *entry) {
-	if !e.valid || !e.isLoad {
-		return
+	if e.idxOn[0] {
+		b.unlinkNode(idx, 0)
 	}
-	w := loadWords(e.addr, e.width)
-	b.removeFromIndex(w[0], idx)
-	if w[1] != w[0] {
-		b.removeFromIndex(w[1], idx)
-	}
-}
-
-func (b *Buffer) removeFromIndex(word uint32, idx int32) {
-	lst := b.loadIndex[word]
-	for i, v := range lst {
-		if v == idx {
-			lst[i] = lst[len(lst)-1]
-			lst = lst[:len(lst)-1]
-			break
-		}
-	}
-	if len(lst) == 0 {
-		delete(b.loadIndex, word)
-	} else {
-		b.loadIndex[word] = lst
+	if e.idxOn[1] {
+		b.unlinkNode(idx, 1)
 	}
 }
 
@@ -448,13 +496,19 @@ func (b *Buffer) removeFromIndex(word uint32, idx int32) {
 // range overlaps a store of width bytes at addr; the address computation
 // stays reusable (that is the paper's "address reuse"). Called when a store
 // commits. Returns how many entries were invalidated.
+//
+// Chain membership is the invariant "valid load entry": entries link on
+// indexLoad and unlink before being overwritten, so the walk only needs to
+// filter hash collisions (nodes of a different word in the same bucket).
 func (b *Buffer) InvalidateStores(addr, width uint32) int {
 	killed := 0
 	w := loadWords(addr, width)
 	for word := w[0]; ; word++ {
-		for _, idx := range b.loadIndex[word] {
+		for nid := b.heads[b.bucket(word)]; nid >= 0; {
+			idx, slot := nid>>1, nid&1
 			e := &b.entries[idx]
-			if !e.valid || !e.isLoad || !e.memValid {
+			nid = e.idxNext[slot]
+			if e.idxWord[slot] != word || !e.memValid {
 				continue
 			}
 			if e.addr < addr+width && addr < e.addr+e.width {
@@ -613,12 +667,23 @@ func (b *Buffer) Instances(pc uint32) int {
 	return n
 }
 
-// Reset clears the buffer and statistics.
-func (b *Buffer) Reset() {
+// Reset clears the buffer and statistics for a new run. Storage is reused
+// in place when the geometry matches cfg — the steady state of machine
+// reuse, with zero allocations — and rebuilt only on a geometry change.
+// Generation counters survive an in-place reset so dependence pointers
+// captured before the reset can never revalidate against post-reset
+// contents.
+func (b *Buffer) Reset(cfg Config) {
+	if cfg != b.cfg || b.heads == nil {
+		*b = *New(cfg)
+		return
+	}
 	for i := range b.entries {
 		b.entries[i] = entry{gen: b.entries[i].gen}
 	}
-	b.loadIndex = make(map[uint32][]int32)
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
 	b.tick = 0
 	b.stats = Stats{}
 }

@@ -302,12 +302,45 @@ func TestReset(t *testing.T) {
 	b := New(smallCfg())
 	pc := uint32(0x400000)
 	b.Insert(pc, lw(), 0x1000, 0, 1, 0x1008, NoLink, NoLink, false, false)
-	b.Reset()
+	b.Reset(b.Config())
 	if res := b.Test(pc, lw(), rdy(0x1000), notRdy()); res.Hit || res.AddrHit {
 		t.Error("entries survive reset")
 	}
-	if len(b.loadIndex) != 0 {
-		t.Error("load index survives reset")
+	for h, nid := range b.heads {
+		if nid != -1 {
+			t.Errorf("load index bucket %d survives reset (head=%d)", h, nid)
+		}
+	}
+}
+
+func TestResetGeometryChange(t *testing.T) {
+	b := New(smallCfg())
+	pc := uint32(0x400000)
+	b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
+	big := Config{Entries: 4 * smallCfg().Entries, Ways: smallCfg().Ways}
+	b.Reset(big)
+	if b.Config() != big {
+		t.Fatalf("config after geometry-change reset: %+v", b.Config())
+	}
+	if got := len(b.entries); got != big.Entries {
+		t.Fatalf("entries after geometry-change reset: %d", got)
+	}
+	if res := b.Test(pc, addu(), rdy(1), rdy(2)); res.Hit {
+		t.Error("entries survive geometry-change reset")
+	}
+}
+
+// TestResetZeroAllocs pins the contract the sweep workers and the server
+// pool rely on: resetting a buffer whose geometry already matches performs
+// no allocations at all.
+func TestResetZeroAllocs(t *testing.T) {
+	b := New(DefaultConfig())
+	for i := uint32(0); i < 512; i++ {
+		b.Insert(0x400000+i*4, lw(), isa.Word(i), 0, 1, 0x1000+i*4, NoLink, NoLink, false, false)
+	}
+	cfg := b.Config()
+	if allocs := testing.AllocsPerRun(10, func() { b.Reset(cfg) }); allocs != 0 {
+		t.Errorf("Reset with matching geometry allocated %.0f times per run, want 0", allocs)
 	}
 }
 
@@ -315,7 +348,7 @@ func TestGenerationsSurviveReset(t *testing.T) {
 	b := New(smallCfg())
 	pc := uint32(0x400000)
 	l1 := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
-	b.Reset()
+	b.Reset(b.Config())
 	l2 := b.Insert(pc, addu(), 1, 2, 3, 0, NoLink, NoLink, false, false)
 	if l1 == l2 {
 		t.Error("links from before reset must not alias new entries")

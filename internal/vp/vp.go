@@ -324,8 +324,14 @@ func (t *Table) CorruptValue(r *rand.Rand) (desc string, ok bool) {
 	return fmt.Sprintf("vpt[%d] pc=%#x value^=%#x", victim, e.tag, uint32(mask)), true
 }
 
-// Reset clears the table and statistics.
-func (t *Table) Reset() {
+// Reset clears the table and statistics for a new run. Storage is reused
+// in place when the geometry matches cfg (zero allocations in the machine
+// reuse steady state) and rebuilt only on a geometry change.
+func (t *Table) Reset(cfg Config) {
+	if cfg != t.cfg || t.entries == nil {
+		*t = *New(cfg)
+		return
+	}
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}

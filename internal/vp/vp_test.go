@@ -180,7 +180,7 @@ func TestReset(t *testing.T) {
 	vt := New(small(LVP))
 	vt.Train(0x400000, 1, 0, false)
 	vt.Train(0x400000, 1, 0, false)
-	vt.Reset()
+	vt.Reset(vt.Config())
 	if _, ok := vt.Predict(0x400000, 0, false, 0); ok {
 		t.Error("prediction survives reset")
 	}

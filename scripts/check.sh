@@ -43,4 +43,19 @@ echo "== fuzz smoke (assembler + end-to-end RunSource) =="
 go test -run '^$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm
 go test -run '^$' -fuzz FuzzRunSource -fuzztime 10s .
 
+# Opt-in profiling pass: VPIR_PROFILE=1 scripts/check.sh additionally
+# captures CPU and allocation profiles of the three pipeline variants into
+# profiles/ (same as `make profile`; see docs/performance.md).
+if [ "${VPIR_PROFILE:-0}" = "1" ]; then
+    echo "== profiles (VPIR_PROFILE=1) =="
+    mkdir -p profiles
+    go test -run '^$' -bench 'BenchmarkSimBase$' -benchtime 5x \
+        -cpuprofile profiles/base.cpu.pprof -memprofile profiles/base.mem.pprof .
+    go test -run '^$' -bench 'BenchmarkSimIR$' -benchtime 5x \
+        -cpuprofile profiles/ir.cpu.pprof -memprofile profiles/ir.mem.pprof .
+    go test -run '^$' -bench 'BenchmarkSimVP$' -benchtime 5x \
+        -cpuprofile profiles/vp.cpu.pprof -memprofile profiles/vp.mem.pprof .
+    echo "profiles written to profiles/"
+fi
+
 echo "check: all gates passed"
