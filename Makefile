@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-race-hot test-short smoke golden fuzz-smoke cover check bench bench-all bench-check profile clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden fuzz-smoke cover check bench bench-all bench-check profile clean
 
 all: build
 
@@ -34,8 +34,8 @@ test-race:
 # subset of test-race, listed separately so the pre-commit gate names the
 # concurrency coverage; Go's test cache makes running both nearly free.
 test-race-hot:
-	$(GO) vet ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/
-	$(GO) test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/
+	$(GO) vet ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/ ./internal/coord/
+	$(GO) test -race ./internal/core/ ./internal/harness/ ./internal/faultinject/ ./internal/server/ ./internal/coord/
 
 # Quick loop: skips the long fault-injection and full-kernel paths.
 test-short:
@@ -45,6 +45,15 @@ test-short:
 # is byte-identical run to run; exit status is the campaign verdict).
 smoke:
 	$(GO) run ./cmd/vpir-faults -seed 1 -campaign smoke
+
+# Service-layer chaos drill, race-enabled: workers behind fault-injecting
+# proxies (drops, 503s, truncation, delays, body corruption) with one
+# worker killed and revived mid-sweep, plus the durable-store restart and
+# corruption-recovery scenarios. The merged distributed output must stay
+# byte-identical to a serial single-server run throughout. See
+# docs/distributed.md for the failure taxonomy these tests enact.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos|TestDurableStore|TestAllBackendsDown|TestHedgedStragglers' -count 1 ./internal/coord/
 
 # Golden-result corpus: every benchmark x {base, VP, IR} against the
 # snapshots in testdata/golden. Runs inside `make test` too; this target
@@ -69,7 +78,7 @@ cover:
 	echo "total coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { if (t+0 < 70) { print "cover: $$total% is below the 70% floor"; exit 1 } }'
 
-check: fmt vet build test-race-hot test-race smoke golden fuzz-smoke
+check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke
 	@echo "check: all gates passed"
 
 # Simulator throughput benchmarks, recorded as the perf baseline: the text

@@ -1,0 +1,133 @@
+// Command vpir-coord fronts a fleet of vpir-server workers as one sweep
+// service: POST /v1/sweep is partitioned across the fleet by rendezvous
+// hashing (repeated configurations land on the same worker's cache), the
+// per-worker NDJSON streams are merged back into deterministic cell
+// order, and the output is byte-identical to a single serial server's.
+// Failed or silent workers are handled, not reported: circuit breakers
+// with /healthz probes, capped jittered retries, hedged re-dispatch of
+// stragglers, and — with -local — graceful degradation to in-process
+// execution when the whole fleet is down. A -store directory makes
+// results durable across coordinator restarts. See docs/distributed.md.
+//
+// Usage:
+//
+//	vpir-coord -backends http://w1:8080,http://w2:8080
+//	vpir-coord -backends http://w1:8080 -local -store /var/lib/vpir
+//	vpir-coord -local                    # no fleet: a one-box sweep service
+//
+// On SIGINT/SIGTERM the coordinator drains: new sweeps are rejected with
+// 503 + Retry-After, in-flight ones finish within -drain-timeout, then
+// the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/vpir-sim/vpir/internal/coord"
+	"github.com/vpir-sim/vpir/internal/resultstore"
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8081", "listen address")
+	backends := flag.String("backends", "", "comma-separated worker base URLs")
+	local := flag.Bool("local", false, "run cells in-process when no healthy backend remains")
+	storeDir := flag.String("store", "", "directory for the durable content-addressed result store (empty disables)")
+	sweepCells := flag.Int("sweep-cells", coord.DefaultMaxSweepCells, "largest cell count per sweep request")
+	cellTimeout := flag.Duration("cell-timeout", coord.DefaultCellTimeout, "per-cell remote attempt deadline")
+	hedgeAfter := flag.Duration("hedge-after", coord.DefaultHedgeAfter, "stream silence before hedging its oldest cell")
+	stallAfter := flag.Duration("stall-after", 0, "stream silence before declaring it dead (0 = 3x hedge-after)")
+	attempts := flag.Int("attempts", coord.DefaultMaxAttempts, "remote attempts per cell before local fallback")
+	backoff := flag.Duration("backoff", coord.DefaultBaseBackoff, "base retry backoff")
+	maxBackoff := flag.Duration("max-backoff", coord.DefaultMaxBackoff, "retry backoff cap")
+	failThreshold := flag.Int("fail-threshold", coord.DefaultFailThreshold, "consecutive failures that open a backend's breaker")
+	probeInterval := flag.Duration("probe-interval", coord.DefaultProbeInterval, "health-probe cadence for open breakers")
+	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "output heartbeat interval (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sweeps")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpir-coord:", err)
+			return 1
+		}
+	}
+	var localSrv *server.Server
+	if *local {
+		localSrv = server.New(server.Config{Heartbeat: -1})
+	}
+
+	c, err := coord.New(coord.Config{
+		Backends:      urls,
+		Local:         localSrv,
+		Store:         store,
+		MaxSweepCells: *sweepCells,
+		CellTimeout:   *cellTimeout,
+		HedgeAfter:    *hedgeAfter,
+		StallAfter:    *stallAfter,
+		MaxAttempts:   *attempts,
+		BaseBackoff:   *backoff,
+		MaxBackoff:    *maxBackoff,
+		FailThreshold: *failThreshold,
+		ProbeInterval: *probeInterval,
+		Heartbeat:     *heartbeat,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpir-coord:", err)
+		fmt.Fprintln(os.Stderr, "vpir-coord: pass -backends and/or -local")
+		return 1
+	}
+	defer c.Close()
+	httpSrv := &http.Server{Addr: *addr, Handler: c.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "vpir-coord:", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "vpir-coord: %v, draining (up to %v)\n", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := c.Drain(ctx)
+	if localSrv != nil {
+		drainErr = errors.Join(drainErr, localSrv.Drain(ctx))
+	}
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if drainErr != nil || (shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed)) {
+		fmt.Fprintln(os.Stderr, "vpir-coord: shutdown:", errors.Join(drainErr, shutdownErr))
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "vpir-coord: drained cleanly")
+	return 0
+}

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/vpir-sim/vpir/internal/resultstore"
 	"github.com/vpir-sim/vpir/internal/server"
 )
 
@@ -45,9 +46,20 @@ func run() int {
 	maxScale := flag.Int("maxscale", server.DefaultMaxScale, "largest workload scale a request may ask for")
 	sweepWorkers := flag.Int("sweep-parallel", 0, "harness workers per sweep request (0 = GOMAXPROCS)")
 	sweepCells := flag.Int("sweep-cells", server.DefaultMaxSweepCells, "largest benches x configs grid per sweep request")
+	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "sweep-stream heartbeat interval (negative disables)")
+	storeDir := flag.String("store", "", "directory for the durable content-addressed result store (empty disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpir-server:", err)
+			return 1
+		}
+	}
 	s := server.New(server.Config{
 		Workers:          *workers,
 		CacheEntries:     *cache,
@@ -56,6 +68,8 @@ func run() int {
 		MaxScale:         *maxScale,
 		SweepParallelism: *sweepWorkers,
 		MaxSweepCells:    *sweepCells,
+		Heartbeat:        *heartbeat,
+		Store:            store,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

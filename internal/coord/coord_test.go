@@ -1,0 +1,558 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vpir-sim/vpir/internal/faultinject"
+	"github.com/vpir-sim/vpir/internal/resultstore"
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+const testInsts = 20_000
+
+// testGrid is the sweep used throughout: benches × configs crossing the
+// paper's technique space, small enough to run under -race.
+func testGrid(benches ...string) server.SweepRequest {
+	if len(benches) == 0 {
+		benches = []string{"vortex", "compress"}
+	}
+	return server.SweepRequest{
+		Benches: benches,
+		Options: []server.SimOptions{
+			{},
+			{Technique: "ir"},
+			{Technique: "vp", Scheme: "stride"},
+		},
+		MaxInsts: testInsts,
+	}
+}
+
+func gridCells(t *testing.T, req server.SweepRequest) int {
+	t.Helper()
+	specs, _, err := server.ResolveCells(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(specs)
+}
+
+// newWorker spins up one simulation server as an HTTP worker.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newCoord builds a coordinator and registers its teardown.
+func newCoord(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// postSweep streams one sweep through a handler and returns status + body.
+func postSweep(t *testing.T, h http.Handler, req server.SweepRequest) (int, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// serialReference runs the sweep on one fresh serial server — the ground
+// truth every distributed execution must be byte-identical to.
+func serialReference(t *testing.T, req server.SweepRequest) []byte {
+	t.Helper()
+	code, body := postSweep(t, server.New(server.Config{Heartbeat: -1}).Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("serial reference sweep: status %d: %s", code, body)
+	}
+	return body
+}
+
+// stripHeartbeats removes '#' comment lines; everything else must match
+// the serial stream byte for byte.
+func stripHeartbeats(b []byte) []byte {
+	var out []byte
+	for _, line := range bytes.SplitAfter(b, []byte("\n")) {
+		if len(line) > 0 && line[0] == '#' {
+			continue
+		}
+		out = append(out, line...)
+	}
+	return out
+}
+
+func assertIdentical(t *testing.T, got, want []byte) {
+	t.Helper()
+	got, want = stripHeartbeats(got), stripHeartbeats(want)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed output diverges from serial reference.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func doneLine(t *testing.T, body []byte) server.SweepLine {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimSpace(stripHeartbeats(body)), []byte("\n"))
+	var done server.SweepLine
+	if err := json.Unmarshal(lines[len(lines)-1], &done); err != nil || !done.Done {
+		t.Fatalf("no done line: %v %s", err, lines[len(lines)-1])
+	}
+	return done
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	req := testGrid()
+	want := serialReference(t, req)
+
+	w1, w2, w3 := newWorker(t), newWorker(t), newWorker(t)
+	c := newCoord(t, Config{
+		Backends:  []string{w1.URL, w2.URL, w3.URL},
+		Heartbeat: -1,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 || done.Cells != gridCells(t, req) {
+		t.Fatalf("done = %+v", done)
+	}
+	if c.metrics.Counter("coord.streams") == 0 {
+		t.Error("no sweep streams dispatched")
+	}
+}
+
+func TestZeroBackendsDegradesToLocal(t *testing.T) {
+	req := testGrid()
+	want := serialReference(t, req)
+
+	c := newCoord(t, Config{
+		Local:     server.New(server.Config{}),
+		Heartbeat: -1,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 {
+		t.Fatalf("local-only sweep failed cells: %+v", done)
+	}
+}
+
+func TestNoExecutorRejected(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("coordinator with no backends and no local executor was accepted")
+	}
+}
+
+func TestAllBackendsDownDegradesToLocal(t *testing.T) {
+	req := testGrid("vortex")
+	want := serialReference(t, req)
+
+	// A freshly closed listener: the port refuses connections.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	c := newCoord(t, Config{
+		Backends:      []string{dead.URL},
+		Local:         server.New(server.Config{}),
+		Heartbeat:     -1,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    4 * time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: time.Hour, // keep the prober out of this test
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 {
+		t.Fatalf("degraded sweep failed cells: %+v", done)
+	}
+	if n := c.metrics.Counter("coord.cells.local"); n == 0 {
+		t.Error("no cells fell back to the local executor")
+	}
+	if n := c.metrics.Counter("coord.breaker.opens"); n == 0 {
+		t.Error("dead backend never tripped its breaker")
+	}
+	if st := c.remotes[0].current(); st != stateOpen {
+		t.Errorf("dead backend breaker = %v, want open", st)
+	}
+
+	// The breaker state is operator-visible through /healthz.
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if !strings.Contains(rec.Body.String(), `"open"`) {
+		t.Errorf("healthz does not report the open breaker: %s", rec.Body.String())
+	}
+}
+
+// TestChaosKillRevive is the headline fault drill: workers sit behind
+// fault-injecting proxies randomly dropping, delaying, 503ing and
+// truncating traffic while one worker is killed outright mid-sweep and
+// revived at a different address — and the merged output must still be
+// byte-identical to an undisturbed serial run.
+func TestChaosKillRevive(t *testing.T) {
+	req := testGrid("vortex", "compress", "go")
+	req.Options = append(req.Options, server.SimOptions{Technique: "hybrid"})
+	want := serialReference(t, req)
+
+	// Worker 1: behind a proxy injecting availability faults (never
+	// content-altering ones — those are exercised in TestChaosCorruptLine).
+	w1 := newWorker(t)
+	p1, err := faultinject.NewProxy(w1.URL, 11, 0.25,
+		faultinject.FaultDrop, faultinject.Fault5xx, faultinject.FaultTruncate, faultinject.FaultDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Delay = 10 * time.Millisecond
+	p1.PassHealthz(true)
+	ts1 := httptest.NewServer(p1)
+	defer ts1.Close()
+
+	// Worker 2: healthy at first, killed mid-sweep, revived elsewhere.
+	w2 := httptest.NewServer(server.New(server.Config{}).Handler())
+	p2, err := faultinject.NewProxy(w2.URL, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.PassHealthz(true)
+	ts2 := httptest.NewServer(p2)
+	defer ts2.Close()
+
+	c := newCoord(t, Config{
+		Backends:      []string{ts1.URL, ts2.URL},
+		Local:         server.New(server.Config{}), // the floor under total fleet loss
+		Heartbeat:     -1,
+		HedgeAfter:    40 * time.Millisecond,
+		StallAfter:    120 * time.Millisecond,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    10 * time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: 15 * time.Millisecond,
+		Seed:          1,
+	})
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(20 * time.Millisecond)
+		w2.Close() // hard kill: connections refused at the old target
+		time.Sleep(100 * time.Millisecond)
+		revived := newWorker(t)
+		if err := p2.SetTarget(revived.URL); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	code, got := postSweep(t, c.Handler(), req)
+	<-killed
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 || done.Cells != gridCells(t, req) {
+		t.Fatalf("chaos sweep done = %+v", done)
+	}
+}
+
+// TestChaosCorruptLine: a proxy that flips bytes inside response bodies.
+// The coordinator must detect the damage (parse failure or identity
+// mismatch), fail the stream, and recompute — never absorb a wrong line.
+func TestChaosCorruptLine(t *testing.T) {
+	req := testGrid("vortex")
+	want := serialReference(t, req)
+
+	w := newWorker(t)
+	p, err := faultinject.NewProxy(w.URL, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PassHealthz(true)
+	p.Script(faultinject.FaultCorrupt) // first request (the sweep) corrupted
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	c := newCoord(t, Config{
+		Backends:      []string{ts.URL},
+		Local:         server.New(server.Config{}),
+		Heartbeat:     -1,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    4 * time.Millisecond,
+		FailThreshold: 10, // keep the breaker closed; retries hit the worker again
+		ProbeInterval: time.Hour,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 {
+		t.Fatalf("corrupt-stream sweep failed cells: %+v", done)
+	}
+	if n := c.metrics.Counter("coord.stream.failures"); n == 0 {
+		t.Error("corrupted stream was not detected as a failure")
+	}
+}
+
+// TestHedgedStragglers: every backend is fast on /v1/run but comatose on
+// /v1/sweep, so the primary streams go quiet past HedgeAfter and each
+// cell must be rescued by a hedged per-cell run on the other backend —
+// while the coordinator's own heartbeats keep its client stream alive.
+func TestHedgedStragglers(t *testing.T) {
+	req := testGrid()
+	want := serialReference(t, req)
+
+	slowWorker := func() *httptest.Server {
+		h := server.New(server.Config{}).Handler()
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" {
+				time.Sleep(400 * time.Millisecond)
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	w1, w2 := slowWorker(), slowWorker()
+
+	c := newCoord(t, Config{
+		Backends:      []string{w1.URL, w2.URL},
+		Heartbeat:     time.Millisecond,
+		HedgeAfter:    30 * time.Millisecond,
+		StallAfter:    5 * time.Second, // isolate the hedge path: no stall kills
+		BaseBackoff:   time.Millisecond,
+		ProbeInterval: time.Hour,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	if !bytes.Contains(got, []byte(server.HeartbeatLine)) {
+		t.Error("coordinator emitted no heartbeats while cells straggled")
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 {
+		t.Fatalf("hedged sweep failed cells: %+v", done)
+	}
+	if n := c.metrics.Counter("coord.hedges"); n == 0 {
+		t.Error("no cells were hedged despite comatose streams")
+	}
+}
+
+// TestDurableStoreAcrossRestart: a restarted coordinator must serve a
+// repeat sweep from its content-addressed store — even with the whole
+// fleet gone — and a corrupted entry must be quarantined and recomputed,
+// never served and never fatal.
+func TestDurableStoreAcrossRestart(t *testing.T) {
+	req := testGrid()
+	cells := gridCells(t, req)
+	want := serialReference(t, req)
+	dir := t.TempDir()
+
+	// First life: compute everything through a real worker, write through.
+	store1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorker(t)
+	c1 := newCoord(t, Config{Backends: []string{w.URL}, Store: store1, Heartbeat: -1})
+	code, got := postSweep(t, c1.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if n := c1.metrics.Counter("coord.store.puts"); n != uint64(cells) {
+		t.Fatalf("store puts = %d, want %d", n, cells)
+	}
+
+	// Second life: fleet dead, store intact. ≥90%% served from the store;
+	// here it must be 100%% — no executor exists to compute anything.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	store2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newCoord(t, Config{Backends: []string{dead.URL}, Store: store2, Heartbeat: -1, ProbeInterval: time.Hour})
+	code, got = postSweep(t, c2.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if hits := c2.metrics.Counter("coord.store.hits"); hits != uint64(cells) {
+		t.Fatalf("restarted coordinator store hits = %d, want %d", hits, cells)
+	}
+
+	// Third life: one entry corrupted on disk. It must be quarantined and
+	// recomputed (locally — the fleet is still dead), not served or fatal.
+	corruptOneEntry(t, dir)
+	store3, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := newCoord(t, Config{
+		Backends:      []string{dead.URL},
+		Local:         server.New(server.Config{}),
+		Store:         store3,
+		Heartbeat:     -1,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    4 * time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: time.Hour,
+	})
+	code, got = postSweep(t, c3.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if q := store3.Quarantined(); q != 1 {
+		t.Errorf("quarantined = %d, want 1", q)
+	}
+	if hits := c3.metrics.Counter("coord.store.hits"); hits != uint64(cells-1) {
+		t.Errorf("store hits after corruption = %d, want %d", hits, cells-1)
+	}
+	if n := c3.metrics.Counter("coord.cells.local"); n != 1 {
+		t.Errorf("locally recomputed cells = %d, want 1", n)
+	}
+	// The recomputed entry was written back: a fourth read is whole again.
+	if got := store3.Stats(); got.Puts != 1 {
+		t.Errorf("recomputed cell not written back: puts = %d", got.Puts)
+	}
+}
+
+// corruptOneEntry flips a byte deep inside one stored entry's body.
+func corruptOneEntry(t *testing.T, dir string) {
+	t.Helper()
+	var victim string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || victim != "" {
+			return err
+		}
+		if strings.Contains(path, "quarantine") {
+			return nil
+		}
+		victim = path
+		return nil
+	})
+	if err != nil || victim == "" {
+		t.Fatalf("no store entry to corrupt (err=%v)", err)
+	}
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0xff
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorDrain(t *testing.T) {
+	c := newCoord(t, Config{Local: server.New(server.Config{})})
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body := postSweep(t, c.Handler(), testGrid("vortex"))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("sweep while draining: status %d: %s", code, body)
+	}
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sweep", strings.NewReader("{}")))
+	if ra := rec.Header().Get("Retry-After"); ra != "5" {
+		t.Errorf("draining sweep Retry-After = %q, want 5", ra)
+	}
+	rec = httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Errorf("healthz while draining: %d %s", rec.Code, rec.Body.String())
+	}
+	// Idempotent.
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientCancelAbortsSweep: a client that disappears mid-stream must
+// abort the distributed sweep promptly (observable as coord.sweeps.aborted)
+// rather than leaving the fabric computing for nobody.
+func TestClientCancelAbortsSweep(t *testing.T) {
+	// One sweep worker and heavier cells: the sweep must still be running
+	// when the client walks away after the first line.
+	c := newCoord(t, Config{Local: server.New(server.Config{SweepParallelism: 1}), Heartbeat: -1})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	req := testGrid()
+	req.MaxInsts = 400_000
+	body, _ := json.Marshal(req)
+	ctx, cancel := context.WithCancel(context.Background())
+	reqH, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(reqH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line to prove the stream is live, then walk away.
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.metrics.Counter("coord.sweeps.aborted") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never noticed the departed client")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSweepCellLimit(t *testing.T) {
+	c := newCoord(t, Config{Local: server.New(server.Config{}), MaxSweepCells: 2})
+	code, body := postSweep(t, c.Handler(), testGrid("vortex")) // 3 cells > 2
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized sweep: status %d: %s", code, body)
+	}
+}
+
+func TestStoreKeyNamespaced(t *testing.T) {
+	// Coordinator entries must never collide with a server's /v1/run
+	// entries in a shared store directory: the formats differ.
+	tk := &cellTask{key: fmt.Sprintf("vortex|1|%d|somekey", testInsts)}
+	if !strings.HasPrefix(tk.storeKey(), "cell|") {
+		t.Fatalf("storeKey %q lacks the cell| namespace", tk.storeKey())
+	}
+}

@@ -1,0 +1,149 @@
+package coord
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	stateClosed   breakerState = iota // healthy: requests flow
+	stateOpen                         // tripped: requests blocked, awaiting probe
+	stateHalfOpen                     // probe passed: one trial request allowed
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// backend is one worker the coordinator can dispatch to: its base URL plus
+// the health state the dispatcher consults before routing.
+type backend struct {
+	url string
+
+	mu    sync.Mutex
+	state breakerState
+	fails int  // consecutive failures while closed
+	trial bool // half-open: a trial request is already in flight
+}
+
+// allow reports whether a request may be sent. In half-open state exactly
+// one trial request is admitted; its outcome decides closed vs re-open.
+func (b *backend) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateHalfOpen:
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+	return false
+}
+
+// onSuccess records a request that completed cleanly: failures reset and
+// a half-open trial closes the breaker.
+func (b *backend) onSuccess() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.fails = 0
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// onFailure records a failed request; threshold consecutive failures trip
+// the breaker open, and a failed half-open trial re-opens it immediately.
+func (b *backend) onFailure(threshold int) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.state = stateOpen
+		b.trial = false
+		return true
+	case stateClosed:
+		b.fails++
+		if b.fails >= threshold {
+			b.state = stateOpen
+			return true
+		}
+	}
+	return false
+}
+
+// current returns the state for reporting.
+func (b *backend) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// probeOpen moves an open breaker to half-open; called by the prober when
+// the backend's /healthz answers 200 again.
+func (b *backend) probeOpen() {
+	b.mu.Lock()
+	if b.state == stateOpen {
+		b.state = stateHalfOpen
+		b.trial = false
+	}
+	b.mu.Unlock()
+}
+
+// probe runs the health-probe loop until stop closes: every interval, each
+// open backend gets a GET /healthz with a short deadline; a 200 moves it
+// to half-open so the next dispatch can trial it.
+func (c *Coordinator) probe(stop <-chan struct{}) {
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		for _, b := range c.remotes {
+			if b.current() != stateOpen {
+				continue
+			}
+			if c.healthz(b) {
+				b.probeOpen()
+				c.metrics.Inc("coord.probe.passed")
+			} else {
+				c.metrics.Inc("coord.probe.failed")
+			}
+		}
+	}
+}
+
+// healthz asks one backend whether it is serving; 200 means yes, anything
+// else (including a draining 503) means no.
+func (c *Coordinator) healthz(b *backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

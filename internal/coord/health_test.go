@@ -1,0 +1,130 @@
+package coord
+
+import (
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := &backend{url: "http://x"}
+	if !b.allow() {
+		t.Fatal("fresh breaker should be closed")
+	}
+	for i := 0; i < 2; i++ {
+		if opened := b.onFailure(3); opened {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("breaker open before threshold")
+	}
+	if opened := b.onFailure(3); !opened {
+		t.Fatal("third consecutive failure did not trip the breaker")
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	if b.current() != stateOpen {
+		t.Fatalf("state = %v, want open", b.current())
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := &backend{url: "http://x"}
+	b.onFailure(3)
+	b.onFailure(3)
+	b.onSuccess() // consecutive count resets
+	b.onFailure(3)
+	b.onFailure(3)
+	if b.current() != stateClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b := &backend{url: "http://x"}
+	for i := 0; i < 3; i++ {
+		b.onFailure(3)
+	}
+	b.probeOpen()
+	if b.current() != stateHalfOpen {
+		t.Fatalf("state after probe = %v, want half-open", b.current())
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the trial request")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent request")
+	}
+	b.onSuccess()
+	if b.current() != stateClosed || !b.allow() {
+		t.Fatal("successful trial did not close the breaker")
+	}
+}
+
+func TestBreakerTrialFailureReopens(t *testing.T) {
+	b := &backend{url: "http://x"}
+	for i := 0; i < 3; i++ {
+		b.onFailure(3)
+	}
+	b.probeOpen()
+	if !b.allow() {
+		t.Fatal("no trial admitted")
+	}
+	if opened := b.onFailure(3); !opened {
+		t.Fatal("failed trial did not immediately re-open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+}
+
+// TestResolveDeduplicatesHedges pins the merge-state contract hedging
+// rests on: the first result for a cell wins, the losing duplicate is
+// discarded, and neither totals nor the stored line move twice.
+func TestResolveDeduplicatesHedges(t *testing.T) {
+	run := &sweepRun{
+		tasks: []*cellTask{{index: 0}, {index: 1}},
+		ready: []chan struct{}{make(chan struct{}), make(chan struct{})},
+		done:  make([]bool, 2),
+		lines: make([]server.SweepLine, 2),
+	}
+	first := server.SweepLine{Bench: "vortex", Config: "winner"}
+	if !run.resolve(0, first) {
+		t.Fatal("first resolve rejected")
+	}
+	if run.resolve(0, server.SweepLine{Bench: "vortex", Config: "loser", Error: "late"}) {
+		t.Fatal("duplicate resolve accepted")
+	}
+	select {
+	case <-run.ready[0]:
+	default:
+		t.Fatal("ready channel not closed")
+	}
+	if got := run.line(0); got.Config != "winner" || got.Error != "" {
+		t.Fatalf("duplicate overwrote the winner: %+v", got)
+	}
+	if cells, failed := run.totals(); cells != 2 || failed != 0 {
+		t.Fatalf("totals = %d cells %d failed; duplicate double-counted", cells, failed)
+	}
+	if run.resolved != 1 {
+		t.Fatalf("resolved = %d, want 1", run.resolved)
+	}
+
+	// At most one hedge per cell, and none once resolved.
+	tk := run.tasks[1]
+	if !run.markHedged(tk) {
+		t.Fatal("first hedge claim refused")
+	}
+	if run.markHedged(tk) {
+		t.Fatal("second hedge claim on the same cell accepted")
+	}
+	run.resolve(1, server.SweepLine{Bench: "vortex", Config: "x", Error: "boom"})
+	if run.markHedged(run.tasks[0]) {
+		t.Fatal("hedge claimed on an already-resolved cell")
+	}
+	if cells, failed := run.totals(); cells != 2 || failed != 1 {
+		t.Fatalf("totals after error line = %d/%d", cells, failed)
+	}
+}

@@ -1,0 +1,181 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+// Handler returns the coordinator's API mux — the same sweep surface a
+// single server exposes, so clients cannot tell a fleet from one worker:
+//
+//	POST /v1/sweep  distributed sweep, streamed as NDJSON
+//	GET  /healthz   coordinator status plus per-backend breaker states
+//	GET  /metrics   Prometheus text format
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// Drain rejects new sweeps with 503 and waits for in-flight ones to
+// finish (or ctx to expire). Idempotent; Close separately stops the
+// prober.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.stateMu.Lock()
+	c.draining = true
+	c.stateMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("coord: drain: %w", ctx.Err())
+	}
+}
+
+func (c *Coordinator) begin() bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.draining {
+		return false
+	}
+	c.inflight.Add(1)
+	return true
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg})
+}
+
+// handleSweep is the fabric's front door: resolve the request to cells,
+// serve what the store already has, dispatch the rest across the fleet,
+// and emit lines in deterministic cell order — byte-identical to what one
+// serial server would have produced, heartbeats aside.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !c.begin() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "coordinator is draining")
+		return
+	}
+	defer c.inflight.Done()
+	c.metrics.Inc("coord.sweeps")
+
+	var req server.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	specs, cfgs, err := server.ResolveCells(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(specs) > c.cfg.MaxSweepCells {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep of %d cells exceeds the %d-cell limit", len(specs), c.cfg.MaxSweepCells))
+		return
+	}
+	scale := req.Scale
+	if scale < 1 {
+		scale = 1
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	run := c.newRun(ctx, specs, cfgs, scale, req.MaxInsts)
+	c.dispatch(run)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+
+	var tick <-chan time.Time
+	if c.cfg.Heartbeat > 0 {
+		t := time.NewTicker(c.cfg.Heartbeat)
+		defer t.Stop()
+		tick = t.C
+	}
+	clientGone := r.Context().Done()
+
+	for i := range run.tasks {
+	cell:
+		for {
+			select {
+			case <-run.ready[i]:
+				if err := enc.Encode(run.line(i)); err != nil {
+					c.metrics.Inc("coord.sweeps.aborted")
+					return
+				}
+				flush()
+				break cell
+			case <-tick:
+				if _, err := fmt.Fprint(w, server.HeartbeatLine); err != nil {
+					c.metrics.Inc("coord.sweeps.aborted")
+					return
+				}
+				c.metrics.Inc("coord.heartbeats")
+				flush()
+			case <-clientGone:
+				// The deferred cancel tears down streams and retries.
+				c.metrics.Inc("coord.sweeps.aborted")
+				return
+			}
+		}
+	}
+	cells, failed := run.totals()
+	enc.Encode(server.SweepLine{Done: true, Cells: cells, Failed: failed})
+	flush()
+}
+
+// handleHealthz reports the coordinator's own state plus every backend's
+// breaker state, so an operator can see at a glance which workers the
+// fabric currently trusts.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.stateMu.Lock()
+	draining := c.draining
+	c.stateMu.Unlock()
+	backends := make(map[string]string, len(c.remotes))
+	for _, b := range c.remotes {
+		backends[b.url] = b.current().String()
+	}
+	resp := struct {
+		Status   string            `json:"status"`
+		Local    bool              `json:"local"`
+		Backends map[string]string `json:"backends,omitempty"`
+	}{Status: "ok", Local: c.local != nil, Backends: backends}
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		resp.Status = "draining"
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if c.cfg.Store != nil {
+		c.metrics.Set("coord.store.entries", float64(c.cfg.Store.Len()))
+		c.metrics.Set("coord.store.quarantined", float64(c.cfg.Store.Quarantined()))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.metrics.WritePrometheus(w)
+}

@@ -1,0 +1,70 @@
+package coord
+
+import (
+	"io"
+	"net/http"
+)
+
+// doLocal executes one HTTP request against an in-process handler,
+// returning a real *http.Response whose body streams as the handler
+// writes. This puts the local degraded-mode executor behind the exact
+// same request/response surface as a remote worker: the dispatch, retry
+// and validation code cannot tell the difference, so degraded mode
+// exercises the same code paths the healthy fleet does.
+func doLocal(h http.Handler, req *http.Request) (*http.Response, error) {
+	pr, pw := io.Pipe()
+	rw := &pipeResponseWriter{header: make(http.Header), pw: pw, status: make(chan int, 1)}
+	go func() {
+		h.ServeHTTP(rw, req)
+		rw.announce(http.StatusOK) // handler wrote nothing: implicit 200
+		pw.Close()
+	}()
+	select {
+	case st := <-rw.status:
+		return &http.Response{
+			Status:     http.StatusText(st),
+			StatusCode: st,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     rw.header,
+			Body:       pr,
+			Request:    req,
+		}, nil
+	case <-req.Context().Done():
+		pr.CloseWithError(req.Context().Err())
+		return nil, req.Context().Err()
+	}
+}
+
+// pipeResponseWriter adapts an io.Pipe into an http.ResponseWriter.
+// Writes stream through unbuffered, so NDJSON lines and heartbeats reach
+// the in-process reader as promptly as they would a socket; Flush is
+// therefore a no-op.
+type pipeResponseWriter struct {
+	header      http.Header
+	pw          *io.PipeWriter
+	status      chan int
+	wroteHeader bool
+}
+
+func (w *pipeResponseWriter) Header() http.Header { return w.header }
+
+func (w *pipeResponseWriter) WriteHeader(code int) { w.announce(code) }
+
+func (w *pipeResponseWriter) Write(p []byte) (int, error) {
+	w.announce(http.StatusOK)
+	return w.pw.Write(p)
+}
+
+func (w *pipeResponseWriter) Flush() {}
+
+// announce delivers the status line exactly once; the response becomes
+// visible to the caller at the first WriteHeader/Write, like a socket.
+func (w *pipeResponseWriter) announce(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status <- code
+}

@@ -1,0 +1,83 @@
+package coord
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// retryPolicy is the coordinator's backoff schedule: capped exponential
+// growth with multiplicative jitter drawn from a seeded source, so unit
+// tests are reproducible while a real fleet's retries still decorrelate.
+type retryPolicy struct {
+	base     time.Duration // first delay (attempt 0)
+	max      time.Duration // hard cap on any delay
+	attempts int           // bounded attempt count per cell
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetryPolicy(base, max time.Duration, attempts int, seed int64) *retryPolicy {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	if attempts <= 0 {
+		attempts = 3
+	}
+	return &retryPolicy{base: base, max: max, attempts: attempts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the backoff before retry number attempt (0-based): min(base
+// ·2^attempt, max), scaled by a jitter factor in [0.5, 1). The jittered
+// value therefore never exceeds max and never collapses below max/2 once
+// the exponential ramp has saturated.
+func (p *retryPolicy) delay(attempt int) time.Duration {
+	d := p.max
+	// Guard the shift: past 30 doublings any sane base has saturated.
+	if attempt < 30 {
+		if exp := p.base << uint(attempt); exp > 0 && exp < p.max {
+			d = exp
+		}
+	}
+	p.mu.Lock()
+	j := 0.5 + 0.5*p.rng.Float64()
+	p.mu.Unlock()
+	return time.Duration(float64(d) * j)
+}
+
+// rank orders backends for one cell key by rendezvous (highest-random-
+// weight) hashing: every coordinator ranks the same key the same way, so
+// repeated configurations route to the same backend for cache affinity,
+// and when that backend is unhealthy the next-ranked one takes over
+// without reshuffling any other key's placement.
+func rank(key string, backends []*backend) []*backend {
+	type scored struct {
+		b *backend
+		w uint64
+	}
+	s := make([]scored, len(backends))
+	for i, b := range backends {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(b.url))
+		s[i] = scored{b, h.Sum64()}
+	}
+	// Insertion sort by descending weight (ties by URL for determinism);
+	// fleet sizes are single digits.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].w > s[j-1].w || (s[j].w == s[j-1].w && s[j].b.url < s[j-1].b.url)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]*backend, len(s))
+	for i := range s {
+		out[i] = s[i].b
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := newRetryPolicy(10*time.Millisecond, 80*time.Millisecond, 5, 1)
+	for attempt := 0; attempt < 40; attempt++ {
+		want := 80 * time.Millisecond
+		if attempt < 3 { // 10ms<<3 = 80ms hits the cap
+			want = 10 * time.Millisecond << uint(attempt)
+		}
+		for i := 0; i < 50; i++ {
+			d := p.delay(attempt)
+			if d < want/2 || d >= want {
+				t.Fatalf("delay(%d) = %v, want in [%v, %v)", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyMonotoneCap(t *testing.T) {
+	// The deterministic envelope min(base<<n, max) is monotone and
+	// saturates at max; jitter cannot push any delay past the cap.
+	p := newRetryPolicy(time.Millisecond, 16*time.Millisecond, 3, 42)
+	prevEnvelope := time.Duration(0)
+	for attempt := 0; attempt < 64; attempt++ {
+		envelope := p.max
+		if attempt < 30 {
+			if exp := p.base << uint(attempt); exp > 0 && exp < p.max {
+				envelope = exp
+			}
+		}
+		if envelope < prevEnvelope {
+			t.Fatalf("envelope shrank at attempt %d: %v < %v", attempt, envelope, prevEnvelope)
+		}
+		prevEnvelope = envelope
+		if d := p.delay(attempt); d > p.max {
+			t.Fatalf("delay(%d) = %v exceeds cap %v", attempt, d, p.max)
+		}
+	}
+	if prevEnvelope != p.max {
+		t.Fatalf("envelope never saturated: %v != %v", prevEnvelope, p.max)
+	}
+}
+
+func TestRetryPolicySeededDeterminism(t *testing.T) {
+	seq := func(seed int64) string {
+		p := newRetryPolicy(5*time.Millisecond, 50*time.Millisecond, 3, seed)
+		out := ""
+		for i := 0; i < 100; i++ {
+			out += p.delay(i%6).String() + ","
+		}
+		return out
+	}
+	if seq(7) != seq(7) {
+		t.Error("same seed produced different delay sequences")
+	}
+	if seq(7) == seq(8) {
+		t.Error("different seeds produced identical delay sequences")
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := newRetryPolicy(0, 0, 0, 0)
+	if p.base != 100*time.Millisecond || p.max != 100*time.Millisecond || p.attempts != 3 {
+		t.Errorf("defaults = base %v max %v attempts %d", p.base, p.max, p.attempts)
+	}
+}
+
+func backendsNamed(urls ...string) []*backend {
+	out := make([]*backend, len(urls))
+	for i, u := range urls {
+		out[i] = &backend{url: u}
+	}
+	return out
+}
+
+func TestRankDeterministicAcrossOrderings(t *testing.T) {
+	a := backendsNamed("http://a", "http://b", "http://c")
+	b := []*backend{a[2], a[0], a[1]} // same fleet, shuffled slice
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("vortex|1|20000|key-%d", i)
+		ra, rb := rank(key, a), rank(key, b)
+		for j := range ra {
+			if ra[j].url != rb[j].url {
+				t.Fatalf("key %q ranked differently across orderings: %s vs %s at %d",
+					key, ra[j].url, rb[j].url, j)
+			}
+		}
+	}
+}
+
+func TestRankMinimalDisruption(t *testing.T) {
+	// Rendezvous property: removing one backend must not reorder the
+	// survivors — keys placed elsewhere keep their placement.
+	full := backendsNamed("http://a", "http://b", "http://c", "http://d")
+	reduced := full[:3] // "http://d" gone
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		want := make([]*backend, 0, 3)
+		for _, b := range rank(key, full) {
+			if b.url != "http://d" {
+				want = append(want, b)
+			}
+		}
+		got := rank(key, reduced)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("key %q: survivor order changed after removal", key)
+			}
+		}
+	}
+}
+
+func TestRankSpreadsKeys(t *testing.T) {
+	bs := backendsNamed("http://a", "http://b", "http://c")
+	hits := map[string]int{}
+	for i := 0; i < 300; i++ {
+		hits[rank(fmt.Sprintf("key-%d", i), bs)[0].url]++
+	}
+	for _, b := range bs {
+		if hits[b.url] == 0 {
+			t.Errorf("backend %s never ranked first over 300 keys: %v", b.url, hits)
+		}
+	}
+}

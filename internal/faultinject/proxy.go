@@ -1,0 +1,252 @@
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyFault names one service-layer fault the reverse proxy can inject
+// between a coordinator and a backend worker. Where the microarchitectural
+// faults in this package corrupt simulator state, these corrupt the
+// *transport*: the distributed sweep fabric must mask all of them without
+// the merged results changing by a byte.
+type ProxyFault int
+
+const (
+	// FaultNone forwards the request untouched.
+	FaultNone ProxyFault = iota
+	// FaultDrop aborts the connection without a response (the client sees
+	// EOF / connection reset), as a crashed or partitioned worker would.
+	FaultDrop
+	// FaultDelay holds the request for the proxy's Delay before
+	// forwarding — a straggler, not a failure.
+	FaultDelay
+	// Fault5xx answers 503 without contacting the backend, as an
+	// overloaded or draining worker would.
+	Fault5xx
+	// FaultTruncate forwards the request but severs the response
+	// mid-body — for NDJSON sweeps, mid-stream after roughly half the
+	// bytes — as a connection cut under a long-running sweep would.
+	FaultTruncate
+	// FaultCorrupt forwards the request but flips bytes in the response
+	// body, as a broken middlebox or torn cache would.
+	FaultCorrupt
+	numProxyFaults
+)
+
+func (f ProxyFault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case Fault5xx:
+		return "5xx"
+	case FaultTruncate:
+		return "truncate"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// ProxyFaults returns every injectable fault kind (excluding FaultNone) in
+// a fixed order.
+func ProxyFaults() []ProxyFault {
+	out := make([]ProxyFault, 0, numProxyFaults-1)
+	for f := FaultDrop; f < numProxyFaults; f++ {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Proxy is a fault-injecting HTTP reverse proxy. Faults are drawn
+// per-request from a seeded source (deterministic for a fixed seed and
+// request order) at probability P, or scripted exactly with Script. The
+// backend target is swappable at runtime so tests can kill a worker and
+// revive it at a new address while the proxy's own address stays stable —
+// exactly what a load balancer in front of a restarting worker looks like.
+type Proxy struct {
+	// Delay is the hold time for FaultDelay (default 50 ms).
+	Delay time.Duration
+
+	target atomic.Value // *url.URL
+	client *http.Client
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	p       float64
+	kinds   []ProxyFault
+	script  []ProxyFault
+	counts  map[ProxyFault]uint64
+	healthy bool // pass /healthz through un-faulted
+}
+
+// NewProxy builds a proxy forwarding to target (a base URL like
+// "http://127.0.0.1:8080"). With probability p a request draws one fault
+// uniformly from kinds (empty = all kinds); the stream of draws is
+// deterministic in seed and request order. Scripted faults (Script) take
+// precedence over random draws.
+func NewProxy(target string, seed int64, p float64, kinds ...ProxyFault) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		kinds = ProxyFaults()
+	}
+	pr := &Proxy{
+		Delay:  50 * time.Millisecond,
+		client: &http.Client{},
+		rng:    rand.New(rand.NewSource(seed)),
+		p:      p,
+		kinds:  kinds,
+		counts: make(map[ProxyFault]uint64),
+	}
+	pr.target.Store(u)
+	return pr, nil
+}
+
+// SetTarget atomically repoints the proxy at a new backend URL (reviving a
+// killed worker at a fresh address).
+func (p *Proxy) SetTarget(target string) error {
+	u, err := url.Parse(target)
+	if err != nil {
+		return err
+	}
+	p.target.Store(u)
+	return nil
+}
+
+// Script queues exact faults for the next requests, consumed in order
+// before any random draw; use it for deterministic unit tests.
+func (p *Proxy) Script(faults ...ProxyFault) {
+	p.mu.Lock()
+	p.script = append(p.script, faults...)
+	p.mu.Unlock()
+}
+
+// PassHealthz exempts GET /healthz from fault injection, so breaker
+// half-open probes test the backend rather than the proxy's dice.
+func (p *Proxy) PassHealthz(pass bool) {
+	p.mu.Lock()
+	p.healthy = pass
+	p.mu.Unlock()
+}
+
+// Injected returns how many times each fault kind fired.
+func (p *Proxy) Injected() map[ProxyFault]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[ProxyFault]uint64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// draw picks this request's fault: scripted first, then a seeded coin.
+func (p *Proxy) draw(r *http.Request) ProxyFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.healthy && r.Method == http.MethodGet && r.URL.Path == "/healthz" {
+		return FaultNone
+	}
+	if len(p.script) > 0 {
+		f := p.script[0]
+		p.script = p.script[1:]
+		p.counts[f]++
+		return f
+	}
+	if p.p > 0 && p.rng.Float64() < p.p {
+		f := p.kinds[p.rng.Intn(len(p.kinds))]
+		p.counts[f]++
+		return f
+	}
+	return FaultNone
+}
+
+// ServeHTTP forwards one request, injecting at most one fault.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault := p.draw(r)
+	switch fault {
+	case FaultDrop:
+		// Abort without writing a response: net/http resets the
+		// connection and the client sees a transport error.
+		panic(http.ErrAbortHandler)
+	case Fault5xx:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "injected 503", http.StatusServiceUnavailable)
+		return
+	case FaultDelay:
+		select {
+		case <-time.After(p.Delay):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+
+	u := p.target.Load().(*url.URL)
+	out := r.Clone(r.Context())
+	out.URL.Scheme = u.Scheme
+	out.URL.Host = u.Host
+	out.Host = u.Host
+	out.RequestURI = ""
+	resp, err := p.client.Do(out)
+	if err != nil {
+		// The backend itself is down — indistinguishable from a drop.
+		panic(http.ErrAbortHandler)
+	}
+	defer resp.Body.Close()
+
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Del("Content-Length") // we may not write the whole body
+
+	switch fault {
+	case FaultTruncate:
+		// Sever mid-body: for an NDJSON sweep this cuts a line in half,
+		// which the coordinator must detect as a dead stream, not a
+		// result. Write roughly half, flush so the bytes are on the wire,
+		// then abort the connection.
+		w.WriteHeader(resp.StatusCode)
+		cut := len(body) / 2
+		if nl := strings.IndexByte(string(body[cut:]), '\n'); nl > 0 {
+			cut += nl / 2 // land mid-line, not on a boundary
+		}
+		w.Write(body[:cut])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case FaultCorrupt:
+		// Flip bytes sparsely through the body; checksum-verified readers
+		// and JSON parsers must reject it rather than absorb it.
+		corrupted := make([]byte, len(body))
+		copy(corrupted, body)
+		for i := 0; i < len(corrupted); i += 64 {
+			corrupted[i] ^= 0x5a
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(corrupted)
+		return
+	default:
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	}
+}

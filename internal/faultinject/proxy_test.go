@@ -1,0 +1,207 @@
+package faultinject
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ndjsonBackend answers GET /stream with three NDJSON lines and /healthz
+// with ok; everything else echoes the path.
+func ndjsonBackend() *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"index":0,"ok":true}`+"\n"+`{"index":1,"ok":true}`+"\n"+`{"done":true}`+"\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	return httptest.NewServer(mux)
+}
+
+func proxyFor(t *testing.T, backend string, seed int64, p float64, kinds ...ProxyFault) (*Proxy, *httptest.Server) {
+	t.Helper()
+	pr, err := NewProxy(backend, seed, p, kinds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(pr)
+	t.Cleanup(ts.Close)
+	return pr, ts
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	backend := ndjsonBackend()
+	defer backend.Close()
+	_, ts := proxyFor(t, backend.URL, 1, 0)
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if lines := strings.Count(string(body), "\n"); lines != 3 {
+		t.Fatalf("pass-through body has %d lines:\n%s", lines, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q not forwarded", ct)
+	}
+}
+
+func TestProxyScriptedFaults(t *testing.T) {
+	backend := ndjsonBackend()
+	defer backend.Close()
+	pr, ts := proxyFor(t, backend.URL, 1, 0)
+
+	// drop: transport error, no response.
+	pr.Script(FaultDrop)
+	if _, err := http.Get(ts.URL + "/stream"); err == nil {
+		t.Error("dropped request returned a response")
+	}
+
+	// 5xx: a clean 503 without touching the backend.
+	pr.Script(Fault5xx)
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("5xx fault returned %d", resp.StatusCode)
+	}
+
+	// truncate: some bytes then EOF mid-stream — a scanner must see an
+	// incomplete final line or an error, never the done line.
+	pr.Script(FaultTruncate)
+	resp, err = http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr == nil && strings.Contains(string(raw), `"done"`) {
+		t.Errorf("truncated stream still delivered the done line:\n%s", raw)
+	}
+	if len(raw) == 0 {
+		t.Error("truncate delivered no bytes at all; want a mid-stream cut")
+	}
+
+	// corrupt: full-length body that no longer parses cleanly.
+	pr.Script(FaultCorrupt)
+	resp, err = http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(raw) == `{"index":0,"ok":true}`+"\n"+`{"index":1,"ok":true}`+"\n"+`{"done":true}`+"\n" {
+		t.Error("corrupt fault left the body intact")
+	}
+
+	// delay: forwarded, but not before Delay has elapsed.
+	pr.Delay = 30 * time.Millisecond
+	pr.Script(FaultDelay)
+	start := time.Now()
+	resp, err = http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	resp.Body.Close()
+	if n != 3 {
+		t.Errorf("delayed response has %d lines, want 3", n)
+	}
+	if since := time.Since(start); since < 30*time.Millisecond {
+		t.Errorf("delayed response arrived in %v", since)
+	}
+
+	counts := pr.Injected()
+	for _, f := range []ProxyFault{FaultDrop, Fault5xx, FaultTruncate, FaultCorrupt, FaultDelay} {
+		if counts[f] != 1 {
+			t.Errorf("injected[%v] = %d, want 1", f, counts[f])
+		}
+	}
+}
+
+func TestProxyDeterministicDraws(t *testing.T) {
+	// Two proxies with the same seed draw the same fault sequence; a
+	// different seed draws a different one (overwhelmingly likely over
+	// 200 requests at p=0.5).
+	seq := func(seed int64) string {
+		pr, err := NewProxy("http://127.0.0.1:1", seed, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 200; i++ {
+			r := httptest.NewRequest("POST", "/v1/run", nil)
+			b.WriteString(pr.draw(r).String())
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	if seq(7) != seq(7) {
+		t.Error("same seed produced different fault sequences")
+	}
+	if seq(7) == seq(8) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestProxyHealthzExemption(t *testing.T) {
+	backend := ndjsonBackend()
+	defer backend.Close()
+	pr, ts := proxyFor(t, backend.URL, 1, 1.0) // every request faulted
+	pr.PassHealthz(true)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz through a p=1 proxy: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestProxyRetarget(t *testing.T) {
+	b1 := ndjsonBackend()
+	pr, ts := proxyFor(t, b1.URL, 1, 0)
+
+	get := func() error {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	}
+	if err := get(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the worker: requests through the stable proxy address now fail.
+	b1.Close()
+	if err := get(); err == nil {
+		t.Error("request to a killed backend succeeded")
+	}
+	// Revive it at a new address; the proxy swaps targets atomically.
+	b2 := ndjsonBackend()
+	defer b2.Close()
+	if err := pr.SetTarget(b2.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := get(); err != nil {
+		t.Errorf("request after revive failed: %v", err)
+	}
+}

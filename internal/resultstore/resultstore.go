@@ -1,0 +1,263 @@
+// Package resultstore is a crash-safe, content-addressed on-disk store for
+// simulation results. It backs the in-memory result caches (the server LRU,
+// the coordinator's merge layer) with durable history: a restarted
+// coordinator or a cold fleet warms itself from disk instead of recomputing
+// every cell.
+//
+// Entries are keyed by the full simulation identity
+// "bench|scale|max_insts|Config.Key" and addressed on disk by the SHA-256
+// of that key (two-level fan-out, hex). Each entry file carries a JSON
+// header naming the key and the SHA-256 of the body, then the body bytes;
+// reads verify both. Because simulations are deterministic, entries never
+// expire — the store is an append-mostly memo table.
+//
+// Crash safety is structural, not best-effort:
+//
+//   - Writes go to a temp file in the store directory, are fsynced, and
+//     then atomically renamed into place. A crash mid-write leaves a temp
+//     file (swept on Open), never a half-visible entry.
+//   - Reads verify the stored key (hash collisions, tampering) and the
+//     body checksum (torn writes, bit rot). A corrupt entry is quarantined
+//     — moved into quarantine/ for post-mortem — and reported as a miss,
+//     so the caller recomputes; corruption is never fatal.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// header is the first line of every entry file, terminated by '\n'; the
+// body bytes follow verbatim.
+type header struct {
+	// Key is the full simulation identity the entry was stored under.
+	Key string `json:"key"`
+	// SHA256 is the hex digest of the body bytes.
+	SHA256 string `json:"sha256"`
+	// Len is the body length in bytes.
+	Len int `json:"len"`
+}
+
+// Stats counts store traffic since Open. Corrupt is the number of entries
+// quarantined by failed verification (each also counts as a miss).
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Puts    uint64
+	Corrupt uint64
+}
+
+// Store is a content-addressed result store rooted at one directory. It is
+// safe for concurrent use by multiple goroutines; concurrent writers of the
+// same key are idempotent (last rename wins, all contents identical by the
+// determinism contract).
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open creates (if needed) and returns the store rooted at dir, sweeping
+// any temp files a crashed writer left behind.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{dir: dir}
+	s.sweepTemp()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// path maps a key to its entry file: sha256(key) hex, fanned out on the
+// first two hex digits so no directory grows unboundedly.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, name[:2], name[2:])
+}
+
+const tempPrefix = "tmp-"
+
+// Put durably stores body under key: temp file, fsync, atomic rename.
+// Re-putting an existing key atomically replaces it.
+func (s *Store) Put(key string, body []byte) error {
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("resultstore: put %q: %w", key, err)
+	}
+	sum := sha256.Sum256(body)
+	hdr, err := json.Marshal(header{Key: key, SHA256: hex.EncodeToString(sum[:]), Len: len(body)})
+	if err != nil {
+		return fmt.Errorf("resultstore: put %q: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), tempPrefix)
+	if err != nil {
+		return fmt.Errorf("resultstore: put %q: %w", key, err)
+	}
+	// Any failure past this point must not leave the temp file behind.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: put %q: %w", key, err)
+	}
+	if _, err := tmp.Write(append(hdr, '\n')); err != nil {
+		return fail(err)
+	}
+	if _, err := tmp.Write(body); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: put %q: %w", key, err)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the body stored under key. ok is false on a clean miss and
+// on a corrupt entry (which is quarantined, counted, and treated as a
+// miss); err is reserved for environmental failures (permissions, I/O).
+func (s *Store) Get(key string) (body []byte, ok bool, err error) {
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.count(func(st *Stats) { st.Misses++ })
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("resultstore: get %q: %w", key, err)
+	}
+	body, verr := verify(key, raw)
+	if verr != nil {
+		s.quarantine(key, verr)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return nil, false, nil
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return body, true, nil
+}
+
+// verify splits an entry file into header+body and checks both the key
+// binding and the body checksum.
+func verify(key string, raw []byte) ([]byte, error) {
+	nl := -1
+	for i, b := range raw {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	var h header
+	if err := json.Unmarshal(raw[:nl], &h); err != nil {
+		return nil, fmt.Errorf("bad header: %w", err)
+	}
+	if h.Key != key {
+		return nil, fmt.Errorf("key mismatch: entry stored under %q", h.Key)
+	}
+	body := raw[nl+1:]
+	if len(body) != h.Len {
+		return nil, fmt.Errorf("body length %d, header says %d", len(body), h.Len)
+	}
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != h.SHA256 {
+		return nil, fmt.Errorf("checksum %s, header says %s", got, h.SHA256)
+	}
+	return body, nil
+}
+
+// quarantine moves a failed entry into quarantine/ (named by its content
+// address) so operators can inspect it; the slot becomes a recomputable
+// miss. Removal is the fallback if the move itself fails.
+func (s *Store) quarantine(key string, cause error) {
+	src := s.path(key)
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(src)
+		return
+	}
+	dst := filepath.Join(qdir, filepath.Base(filepath.Dir(src))+filepath.Base(src))
+	if err := os.Rename(src, dst); err != nil {
+		os.Remove(src)
+		return
+	}
+	// Leave a note naming the cause next to the quarantined bytes.
+	os.WriteFile(dst+".reason", []byte(cause.Error()+"\n"), 0o644)
+}
+
+// Quarantined returns how many entries currently sit in quarantine/.
+func (s *Store) Quarantined() int {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "quarantine"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".reason") {
+			n++
+		}
+	}
+	return n
+}
+
+// Len walks the store and returns the number of committed entries.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		rel, _ := filepath.Rel(s.dir, path)
+		if strings.HasPrefix(rel, "quarantine") || strings.HasPrefix(filepath.Base(path), tempPrefix) {
+			return nil
+		}
+		n++
+		return nil
+	})
+	return n
+}
+
+// sweepTemp removes temp files abandoned by crashed writers.
+func (s *Store) sweepTemp() {
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), tempPrefix) {
+			os.Remove(path)
+		}
+		return nil
+	})
+}
+
+func (s *Store) count(fn func(*Stats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
+}

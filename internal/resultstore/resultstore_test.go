@@ -1,0 +1,294 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "gcc|1|20000|fw4 dw4"
+	body := []byte(`{"stats":{"ipc":1.25}}` + "\n")
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("get before put: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, body) {
+		t.Fatalf("get = %q ok=%v err=%v, want stored body", got, ok, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Re-put replaces atomically.
+	body2 := []byte("replacement")
+	if err := s.Put(key, body2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get(key); !ok || !bytes.Equal(got, body2) {
+		t.Fatalf("after re-put got %q ok=%v", got, ok)
+	}
+}
+
+func TestPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A "restarted" process opens the same directory and sees every entry.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n != 10 {
+		t.Fatalf("reopened store has %d entries, want 10", n)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok, err := s2.Get(fmt.Sprintf("key-%d", i))
+		if err != nil || !ok || string(got) != fmt.Sprintf("body-%d", i) {
+			t.Fatalf("key-%d: %q ok=%v err=%v", i, got, ok, err)
+		}
+	}
+}
+
+// corruptEntry flips a byte in the middle of key's on-disk entry file.
+func corruptEntry(t *testing.T, s *Store, key string) {
+	t.Helper()
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionQuarantinedNotFatal(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", []byte("good-body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bad", []byte("bad-body")); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, s, "bad")
+
+	// The corrupt entry reads as a miss — quarantined, never an error.
+	if _, ok, err := s.Get("bad"); ok || err != nil {
+		t.Fatalf("corrupt get: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if s.Stats().Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", s.Stats().Corrupt)
+	}
+	if q := s.Quarantined(); q != 1 {
+		t.Errorf("quarantined = %d, want 1", q)
+	}
+	// The slot is recomputable: a fresh Put then Get succeeds.
+	if err := s.Put("bad", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get("bad"); !ok || string(got) != "recomputed" {
+		t.Fatalf("recomputed entry: %q ok=%v", got, ok)
+	}
+	// The healthy neighbour was untouched.
+	if got, ok, _ := s.Get("good"); !ok || string(got) != "good-body" {
+		t.Fatalf("good entry: %q ok=%v", got, ok)
+	}
+	// The quarantine preserves the bytes and a reason note.
+	qdir := filepath.Join(s.Dir(), "quarantine")
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) < 2 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(entries), err)
+	}
+	foundReason := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".reason") {
+			foundReason = true
+			note, _ := os.ReadFile(filepath.Join(qdir, e.Name()))
+			if !strings.Contains(string(note), "checksum") {
+				t.Errorf("reason note = %q, want checksum mention", note)
+			}
+		}
+	}
+	if !foundReason {
+		t.Error("no .reason note in quarantine")
+	}
+}
+
+func TestKeyBindingDetected(t *testing.T) {
+	// An entry whose header names a different key (hash collision,
+	// tampering, or a file copied between slots) must not be served.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("original", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy the (internally consistent) entry into another key's slot.
+	other := s.path("impostor")
+	if err := os.MkdirAll(filepath.Dir(other), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("impostor"); ok || err != nil {
+		t.Fatalf("impostor get: ok=%v err=%v, want miss", ok, err)
+	}
+	if s.Stats().Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", s.Stats().Corrupt)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("k")
+	raw, _ := os.ReadFile(path)
+	// A torn write that lost the tail of the body.
+	if err := os.WriteFile(path, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("truncated entry served")
+	}
+}
+
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that crashed mid-Put.
+	leftover := filepath.Join(dir, "ab")
+	os.MkdirAll(leftover, 0o755)
+	if err := os.WriteFile(filepath.Join(leftover, tempPrefix+"crashed"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(leftover, tempPrefix+"crashed")); !os.IsNotExist(err) {
+		t.Error("Open did not sweep the abandoned temp file")
+	}
+	// Temp files never count as entries.
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				// Overlapping keys across goroutines: same key, same body —
+				// the determinism contract — so any interleaving is valid.
+				key := fmt.Sprintf("key-%d", i%5)
+				body := []byte(fmt.Sprintf("body-%d", i%5))
+				if err := s.Put(key, body); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := s.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok && !bytes.Equal(got, body) {
+					t.Errorf("key %s: got %q", key, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n != 5 {
+		t.Errorf("Len = %d, want 5", n)
+	}
+}
+
+// TestHostileKeysIsolated: the content-addressed path mapping must keep
+// arbitrary keys apart and on disk — including keys containing path
+// separators, dots, newlines and the coordinator's "cell|" namespace
+// prefix, which shares a directory with the server's unprefixed keys.
+func TestHostileKeysIsolated(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"vortex|1|20000|somecfg",
+		"cell|vortex|1|20000|somecfg", // coordinator namespace of the same identity
+		"../../etc/passwd",
+		"a/b/c",
+		"key\nwith\nnewlines",
+		"", // degenerate but must not panic or collide
+	}
+	for i, k := range keys {
+		if err := s.Put(k, []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || string(got) != fmt.Sprintf("body-%d", i) {
+			t.Fatalf("get %q = %q ok=%v err=%v", k, got, ok, err)
+		}
+	}
+	if n := s.Len(); n != len(keys) {
+		t.Fatalf("store holds %d entries, want %d", n, len(keys))
+	}
+	// Every entry landed inside the store root.
+	err = filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			t.Errorf("walk %s: %v", path, err)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -103,15 +103,27 @@ type RunRequest struct {
 	Options  SimOptions `json:"options"`
 }
 
-// SweepRequest is the body of POST /v1/sweep: the cross product of
-// benchmarks and configurations, decomposed into cells and batched through
-// the harness sweep engine. The response is NDJSON, one SweepLine per cell
-// in deterministic cell order (bench-major), streamed as cells complete.
+// SweepRequest is the body of POST /v1/sweep: either the cross product of
+// benchmarks and configurations, or an explicit cell list (the form the
+// distributed coordinator uses to hand a worker its partition — a hash
+// partition of a grid is not itself a grid). The two forms are mutually
+// exclusive. The response is NDJSON, one SweepLine per cell in
+// deterministic cell order (bench-major for grids, list order for explicit
+// cells), streamed as cells complete, with '#'-prefixed heartbeat comment
+// lines interleaved while cells compute.
 type SweepRequest struct {
-	Benches  []string     `json:"benches"`
-	Options  []SimOptions `json:"options"`
-	Scale    int          `json:"scale,omitempty"`
-	MaxInsts uint64       `json:"max_insts,omitempty"`
+	Benches  []string        `json:"benches,omitempty"`
+	Options  []SimOptions    `json:"options,omitempty"`
+	Cells    []SweepCellSpec `json:"cells,omitempty"`
+	Scale    int             `json:"scale,omitempty"`
+	MaxInsts uint64          `json:"max_insts,omitempty"`
+}
+
+// SweepCellSpec names one explicit sweep cell: a benchmark under a
+// configuration.
+type SweepCellSpec struct {
+	Bench   string     `json:"bench"`
+	Options SimOptions `json:"options"`
 }
 
 // SimStats is the wire form of one simulation's results: the raw counters
@@ -145,6 +157,11 @@ type SimStats struct {
 	Contention               float64 `json:"contention"`
 	MeanBranchResolveLatency float64 `json:"mean_branch_resolve_latency"`
 }
+
+// StatsFrom renders one simulation's counters in wire form; the
+// coordinator uses it to synthesize sweep lines from locally executed
+// cells that are byte-identical to worker-produced ones.
+func StatsFrom(cfg core.Config, s core.Stats) SimStats { return statsFrom(cfg, s) }
 
 func statsFrom(cfg core.Config, s core.Stats) SimStats {
 	rp, rm := s.VPResultRates()

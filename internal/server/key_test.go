@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// optionVariants enumerates, per SimOptions field, values that must map to
+// distinct machine configurations. Every field of the struct must appear
+// here: the reflective walk below fails on any field it has no variants
+// for, so adding a wire knob without deciding its identity semantics is a
+// compile-to-red change.
+var optionVariants = map[string][]SimOptions{
+	"Technique": {
+		{}, {Technique: "ir"}, {Technique: "vp"}, {Technique: "hybrid"},
+	},
+	"Scheme": {
+		{Technique: "vp"}, {Technique: "vp", Scheme: "lvp"}, {Technique: "vp", Scheme: "stride"},
+	},
+	"BranchResolution": {
+		{Technique: "vp"}, {Technique: "vp", BranchResolution: "nsb"},
+	},
+	"Reexec": {
+		{Technique: "vp"}, {Technique: "vp", Reexec: "nme"},
+	},
+	"VerifyLatency": {
+		{Technique: "vp"}, {Technique: "vp", VerifyLatency: 3},
+	},
+	"LateValidation": {
+		{Technique: "ir"}, {Technique: "ir", LateValidation: true},
+	},
+	"WatchdogCycles": {
+		{}, {WatchdogCycles: 12345}, {WatchdogCycles: -1},
+	},
+}
+
+// TestSimOptionsKeyCoverage is the wire-level companion of the core
+// package's reflective Config.Key test: every SimOptions field must (a)
+// survive a JSON round-trip unchanged — the coordinator re-marshals specs
+// when partitioning, so a lossy field would silently collapse distinct
+// cells — and (b) produce distinct Config.Key values across its variants,
+// so the result cache, the durable store, and rendezvous routing can
+// never alias two different experiments.
+func TestSimOptionsKeyCoverage(t *testing.T) {
+	typ := reflect.TypeOf(SimOptions{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		variants, ok := optionVariants[name]
+		if !ok {
+			t.Errorf("SimOptions.%s has no entry in optionVariants; decide its cache-identity semantics", name)
+			continue
+		}
+		seen := map[string]SimOptions{}
+		for _, o := range variants {
+			// JSON round-trip: the wire form must be lossless.
+			b, err := json.Marshal(o)
+			if err != nil {
+				t.Fatalf("%s: marshal %+v: %v", name, o, err)
+			}
+			var back SimOptions
+			if err := json.Unmarshal(b, &back); err != nil {
+				t.Fatalf("%s: unmarshal %s: %v", name, b, err)
+			}
+			if back != o {
+				t.Errorf("%s: options %+v round-tripped to %+v", name, o, back)
+			}
+			cfg, err := o.Config()
+			if err != nil {
+				t.Fatalf("%s: %+v does not map to a config: %v", name, o, err)
+			}
+			key := cfg.Key()
+			if prev, dup := seen[key]; dup {
+				t.Errorf("%s: variants %+v and %+v share Config.Key %q", name, prev, o, key)
+			}
+			seen[key] = o
+		}
+	}
+}
+
+// TestCellIdentityKeyShape pins the full cell identity the fabric routes,
+// caches and stores by: bench, scale and instruction budget must all
+// contribute, on top of the config key coverage proven above.
+func TestCellIdentityKeyShape(t *testing.T) {
+	base := cacheKey(t, "vortex", 1, 20_000, SimOptions{})
+	for name, other := range map[string]string{
+		"bench":     cacheKey(t, "compress", 1, 20_000, SimOptions{}),
+		"scale":     cacheKey(t, "vortex", 2, 20_000, SimOptions{}),
+		"max_insts": cacheKey(t, "vortex", 1, 30_000, SimOptions{}),
+		"options":   cacheKey(t, "vortex", 1, 20_000, SimOptions{Technique: "ir"}),
+	} {
+		if other == base {
+			t.Errorf("cell identity ignores %s: %q", name, base)
+		}
+	}
+}
+
+// cacheKey mirrors the identity spelling in handleRun and the
+// coordinator's cellTask: bench|scale|max_insts|Config.Key.
+func cacheKey(t *testing.T, bench string, scale int, maxInsts uint64, o SimOptions) string {
+	t.Helper()
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%s|%d|%d|%s", bench, scale, maxInsts, cfg.Key())
+}

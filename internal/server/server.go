@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/harness"
 	"github.com/vpir-sim/vpir/internal/obs"
+	"github.com/vpir-sim/vpir/internal/resultstore"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
@@ -22,8 +24,21 @@ const (
 	DefaultTimeout       = 2 * time.Minute
 	DefaultMaxScale      = 16
 	DefaultMaxSweepCells = 256
+	DefaultHeartbeat     = 10 * time.Second
 	maxRequestBody       = 1 << 20
 )
+
+// HeartbeatLine is the NDJSON comment line periodically written into a
+// sweep stream while a cell is still computing, so idle proxies and load
+// balancers don't sever long-running sweeps. Comment lines start with '#';
+// NDJSON consumers must skip them (the coordinator additionally treats a
+// heartbeat gap as a straggler signal).
+const HeartbeatLine = "# heartbeat\n"
+
+// retryAfterSeconds is the Retry-After hint on 503 responses while
+// draining: long enough for a load balancer to fail over, short enough
+// that a restarted instance picks traffic back up promptly.
+const retryAfterSeconds = "5"
 
 // Config tunes the simulation server. The zero value gets sensible
 // defaults (GOMAXPROCS workers, a 1024-entry cache, a 2-minute
@@ -52,6 +67,14 @@ type Config struct {
 	// MaxSweepCells bounds benches × configs per sweep request
 	// (0 = the default 256).
 	MaxSweepCells int
+	// Heartbeat is the sweep-stream heartbeat interval (0 = the 10 s
+	// default; negative disables heartbeats).
+	Heartbeat time.Duration
+	// Store, when non-nil, is the durable content-addressed result store
+	// backing the in-memory LRU: /v1/run misses consult it before
+	// simulating (X-Cache: STORE) and computed results are written through,
+	// so a restarted server warms itself from history.
+	Store *resultstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweepCells <= 0 {
 		c.MaxSweepCells = DefaultMaxSweepCells
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = DefaultHeartbeat
 	}
 	return c
 }
@@ -184,6 +210,14 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }
 
+// writeDraining is the 503 rejection while draining; Retry-After tells
+// well-behaved clients and load balancers when to try again instead of
+// abandoning the fleet member forever.
+func writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
 // clamp applies the server's scale and instruction-count bounds to a
 // request, returning the effective values (which also feed the cache key,
 // so a clamped request and an explicit request for the effective values
@@ -212,7 +246,7 @@ func (s *Server) simContext(ctx context.Context) (context.Context, context.Cance
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.begin() {
 		s.metrics.Inc("server.rejected")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeDraining(w)
 		return
 	}
 	defer s.end()
@@ -245,6 +279,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Inc("server.cache.misses")
 
+	// Behind the LRU sits the durable store: a restarted server (or a cold
+	// fleet member sharing history) serves repeats from disk instead of
+	// resimulating. Store reads are checksum-verified; a corrupt entry is
+	// quarantined inside the store and comes back as a plain miss.
+	if body, ok := s.storeGet(key); ok {
+		writeJSONBody(w, "STORE", body)
+		return
+	}
+
 	body, err, shared := s.flight.do(key, func() ([]byte, error) {
 		ctx, cancel := s.simContext(r.Context())
 		defer cancel()
@@ -275,6 +318,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if evicted > 0 {
 			s.metrics.Add("server.cache.evictions", uint64(evicted))
 		}
+		s.storePut(key, b)
 		return b, nil
 	})
 	if err != nil {
@@ -299,16 +343,111 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // runSecondsBounds buckets simulation wall-clock times.
 var runSecondsBounds = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30}
 
+// storeGet consults the durable store (if configured) and promotes a hit
+// into the LRU so the disk is touched at most once per key per process.
+func (s *Server) storeGet(key string) ([]byte, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	body, ok, err := s.cfg.Store.Get(key)
+	if err != nil {
+		s.metrics.Inc("server.store.errors")
+		return nil, false
+	}
+	if !ok {
+		s.metrics.Inc("server.store.misses")
+		return nil, false
+	}
+	s.metrics.Inc("server.store.hits")
+	s.mu.Lock()
+	evicted := s.cache.add(key, body)
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.metrics.Add("server.cache.evictions", uint64(evicted))
+	}
+	return body, true
+}
+
+// storePut writes a computed result through to the durable store. Write
+// failures are counted, not fatal: durability is an optimization, the
+// in-memory result is already correct.
+func (s *Server) storePut(key string, body []byte) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Put(key, body); err != nil {
+		s.metrics.Inc("server.store.errors")
+		return
+	}
+	s.metrics.Inc("server.store.puts")
+}
+
 func writeJSONBody(w http.ResponseWriter, cacheStatus string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheStatus)
 	w.Write(body)
 }
 
+// ResolveCells expands a SweepRequest into its validated cell list —
+// either the explicit Cells (the coordinator's partition form) or the
+// benches × options cross product in deterministic bench-major order —
+// returning each cell's spec alongside its resolved machine configuration.
+// The two request forms are mutually exclusive. The coordinator shares
+// this resolution so a distributed sweep names exactly the cells a
+// single-machine sweep would.
+func ResolveCells(req SweepRequest) ([]SweepCellSpec, []core.Config, error) {
+	if len(req.Cells) > 0 {
+		if len(req.Benches) > 0 || len(req.Options) > 0 {
+			return nil, nil, errors.New("sweep takes either cells or benches×options, not both")
+		}
+		cfgs := make([]core.Config, len(req.Cells))
+		for i, c := range req.Cells {
+			if _, err := workload.Get(c.Bench); err != nil {
+				return nil, nil, err
+			}
+			cfg, err := c.Options.Config()
+			if err != nil {
+				return nil, nil, err
+			}
+			cfgs[i] = cfg
+		}
+		return req.Cells, cfgs, nil
+	}
+	benches := req.Benches
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	for _, b := range benches {
+		if _, err := workload.Get(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(req.Options) == 0 {
+		return nil, nil, errors.New("sweep needs at least one configuration in options")
+	}
+	optCfgs := make([]core.Config, len(req.Options))
+	for i, o := range req.Options {
+		cfg, err := o.Config()
+		if err != nil {
+			return nil, nil, err
+		}
+		optCfgs[i] = cfg
+	}
+	specs := make([]SweepCellSpec, 0, len(benches)*len(req.Options))
+	cfgs := make([]core.Config, 0, len(benches)*len(req.Options))
+	for _, b := range benches {
+		for i, o := range req.Options {
+			specs = append(specs, SweepCellSpec{Bench: b, Options: o})
+			cfgs = append(cfgs, optCfgs[i])
+		}
+	}
+	return specs, cfgs, nil
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.begin() {
 		s.metrics.Inc("server.rejected")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeDraining(w)
 		return
 	}
 	defer s.end()
@@ -319,36 +458,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	if len(req.Benches) == 0 {
-		req.Benches = workload.Names()
-	}
-	for _, b := range req.Benches {
-		if _, err := workload.Get(b); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-	}
-	if len(req.Options) == 0 {
-		writeError(w, http.StatusBadRequest, "sweep needs at least one configuration in options")
+	specs, cfgs, err := ResolveCells(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	cfgs := make([]core.Config, len(req.Options))
-	for i, o := range req.Options {
-		cfg, err := o.Config()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		cfgs[i] = cfg
-	}
-	if n := len(req.Benches) * len(req.Options); n > s.cfg.MaxSweepCells {
+	if len(specs) > s.cfg.MaxSweepCells {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("sweep of %d cells exceeds the server bound of %d", n, s.cfg.MaxSweepCells))
+			fmt.Sprintf("sweep of %d cells exceeds the server bound of %d", len(specs), s.cfg.MaxSweepCells))
 		return
+	}
+	cells := make([]harness.SweepCell, len(specs))
+	for i := range specs {
+		cells[i] = harness.SweepCell{Bench: specs[i].Bench, Cfg: cfgs[i]}
 	}
 
 	scale, maxInsts := s.clamp(req.Scale, req.MaxInsts)
-	cells := harness.Grid(req.Benches, cfgs)
 	s.metrics.Add("server.sweep.cells", uint64(len(cells)))
 
 	// One Runner per request: its unbounded internal cache lives exactly
@@ -379,32 +504,71 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Stream one NDJSON line per cell, in deterministic cell order, each
 	// flushed as soon as its result (or error) is in. Per-cell failures
 	// never abort the stream — the Done line carries the failure total,
-	// the streaming analogue of RunAll's errors.Join contract.
+	// the streaming analogue of RunAll's errors.Join contract. While a
+	// cell is still computing, heartbeat comment lines keep idle
+	// proxies/load balancers from severing the connection (and tell the
+	// coordinator the worker is alive, just slow).
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	failed := 0
-	for i := range cells {
-		res := <-ready[i]
-		line := SweepLine{Index: i, Bench: res.Bench, Config: res.Cfg.Name()}
-		if res.Err != nil {
-			failed++
-			line.Error = res.Err.Error()
-		} else {
-			st := statsFrom(res.Cfg, res.Stats)
-			line.Stats = &st
-		}
-		if err := enc.Encode(line); err != nil {
-			// Client went away; stop the sweep and drain the remaining
-			// cells so the runner's workers can exit.
-			cancel()
-			for j := i + 1; j < len(cells); j++ {
-				<-ready[j]
-			}
-			break
-		}
+	flush := func() {
 		if flusher != nil {
 			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	var tick <-chan time.Time
+	if s.cfg.Heartbeat > 0 {
+		ticker := time.NewTicker(s.cfg.Heartbeat)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	// abort stops the sweep and drains every not-yet-consumed cell so the
+	// runner's workers can exit; the derived ctx reaches them at their
+	// next deadline check, so abandoned requests stop consuming
+	// simulation slots promptly.
+	abort := func(from int) {
+		cancel()
+		s.metrics.Inc("server.sweep.aborted")
+		for j := from; j < len(cells); j++ {
+			<-ready[j]
+		}
+	}
+	clientGone := r.Context().Done()
+	failed := 0
+stream:
+	for i := range cells {
+		for {
+			select {
+			case res := <-ready[i]:
+				line := SweepLine{Index: i, Bench: res.Bench, Config: res.Cfg.Name()}
+				if res.Err != nil {
+					failed++
+					line.Error = res.Err.Error()
+				} else {
+					st := statsFrom(res.Cfg, res.Stats)
+					line.Stats = &st
+				}
+				if err := enc.Encode(line); err != nil {
+					abort(i + 1)
+					break stream
+				}
+				flush()
+			case <-tick:
+				if _, err := io.WriteString(w, HeartbeatLine); err != nil {
+					abort(i)
+					break stream
+				}
+				s.metrics.Inc("server.sweep.heartbeats")
+				flush()
+				continue
+			case <-clientGone:
+				// The client hung up between lines; without this arm the
+				// handler would only notice at the next write, holding
+				// pool slots for a request nobody is reading.
+				abort(i)
+				break stream
+			}
+			break
 		}
 	}
 	<-sweepDone
@@ -412,9 +576,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Add("server.sweep.failed", uint64(failed))
 	}
 	enc.Encode(SweepLine{Done: true, Cells: len(cells), Failed: failed})
-	if flusher != nil {
-		flusher.Flush()
-	}
+	flush()
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
