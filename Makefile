@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden fuzz-smoke cover check bench bench-all bench-check profile clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden fuzz-smoke ui-smoke cover check bench bench-all bench-check profile clean
 
 all: build
 
@@ -70,6 +70,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm
 	$(GO) test -run '^$$' -fuzz FuzzRunSource -fuzztime 10s .
 
+# Dashboard smoke gate: boot a real vpir-server binary on an ephemeral
+# port, fetch the embedded UI assets, run /v1/trace for a golden config
+# twice (shape-validated; the repeat must be a byte-identical cache HIT),
+# then SIGTERM and require a clean drain. See docs/observability.md.
+ui-smoke:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) build -o "$$tmp/vpir-server" ./cmd/vpir-server && \
+	$(GO) run ./scripts/uismoke -bin "$$tmp/vpir-server"; \
+	status=$$?; rm -rf "$$tmp"; exit $$status
+
 # Total-coverage gate: fails below the 70% floor. Writes cover.out for
 # `go tool cover -html=cover.out` spelunking.
 cover:
@@ -78,7 +88,7 @@ cover:
 	echo "total coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { if (t+0 < 70) { print "cover: $$total% is below the 70% floor"; exit 1 } }'
 
-check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke
+check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke ui-smoke
 	@echo "check: all gates passed"
 
 # Simulator throughput benchmarks, recorded as the perf baseline: the text

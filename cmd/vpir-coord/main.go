@@ -14,6 +14,10 @@
 //	vpir-coord -backends http://w1:8080,http://w2:8080
 //	vpir-coord -backends http://w1:8080 -local -store /var/lib/vpir
 //	vpir-coord -local                    # no fleet: a one-box sweep service
+//	vpir-coord -local -pprof             # expose /debug/pprof/ for profiling
+//
+// The coordinator serves the same embedded dashboard as a worker (open
+// /v1/ui/), proxying POST /v1/trace to the cell's rendezvous worker.
 //
 // On SIGINT/SIGTERM the coordinator drains: new sweeps are rejected with
 // 503 + Retry-After, in-flight ones finish within -drain-timeout, then
@@ -25,6 +29,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,6 +63,8 @@ func run() int {
 	probeInterval := flag.Duration("probe-interval", coord.DefaultProbeInterval, "health-probe cadence for open breakers")
 	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "output heartbeat interval (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sweeps")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+	accessLog := flag.Bool("access-log", true, "write JSON access-log lines to stderr")
 	flag.Parse()
 
 	var urls []string
@@ -101,10 +109,25 @@ func run() int {
 		return 1
 	}
 	defer c.Close()
-	httpSrv := &http.Server{Addr: *addr, Handler: c.Handler()}
+	var logw io.Writer
+	if *accessLog {
+		logw = os.Stderr
+	}
+	handler := server.WithRequestID(c.Handler(), logw)
+	if *pprofOn {
+		handler = server.WithPprof(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpir-coord:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "vpir-coord: listening on %s\n", ln.Addr())
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -11,6 +11,11 @@
 //	vpir-server -addr :9090 -workers 8   # explicit listen address and pool size
 //	vpir-server -cache 4096              # bigger result cache
 //	vpir-server -maxinsts 1000000        # clamp per-run instruction counts
+//	vpir-server -pprof                   # expose /debug/pprof/ for profiling
+//
+// The binary also embeds the analysis dashboard: open /v1/ui/ in a
+// browser for the pipeline visualizer backed by POST /v1/trace. See
+// docs/observability.md.
 //
 // On SIGINT/SIGTERM the server drains: new run/sweep requests are rejected
 // with 503 (and /healthz turns 503 "draining" so load balancers stop
@@ -23,6 +28,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +56,8 @@ func run() int {
 	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "sweep-stream heartbeat interval (negative disables)")
 	storeDir := flag.String("store", "", "directory for the durable content-addressed result store (empty disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+	accessLog := flag.Bool("access-log", true, "write JSON access-log lines to stderr")
 	flag.Parse()
 
 	var store *resultstore.Store
@@ -71,10 +80,27 @@ func run() int {
 		Heartbeat:        *heartbeat,
 		Store:            store,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	var logw io.Writer
+	if *accessLog {
+		logw = os.Stderr
+	}
+	handler := server.WithRequestID(s.Handler(), logw)
+	if *pprofOn {
+		handler = server.WithPprof(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
+
+	// Listen before serving so the bound address (meaningful with -addr
+	// :0, as the ui-smoke harness uses) can be announced.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpir-server:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "vpir-server: listening on %s\n", ln.Addr())
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -7,21 +7,35 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/vpir-sim/vpir/internal/obs"
 	"github.com/vpir-sim/vpir/internal/server"
 )
 
-// Handler returns the coordinator's API mux — the same sweep surface a
-// single server exposes, so clients cannot tell a fleet from one worker:
+// Handler returns the coordinator's API mux — the same surface a single
+// server exposes, so clients (and the embedded dashboard) cannot tell a
+// fleet from one worker:
 //
-//	POST /v1/sweep  distributed sweep, streamed as NDJSON
-//	GET  /healthz   coordinator status plus per-backend breaker states
-//	GET  /metrics   Prometheus text format
+//	POST /v1/sweep      distributed sweep, streamed as NDJSON
+//	POST /v1/trace      proxied to the cell's rendezvous worker
+//	GET  /v1/benchmarks the built-in workloads (served directly)
+//	GET  /v1/ui/        the embedded analysis dashboard
+//	GET  /healthz       coordinator status plus per-backend breaker states
+//	GET  /metrics       Prometheus text format, incl. breaker-state gauges
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("POST /v1/trace", c.handleTrace)
+	mux.HandleFunc("GET /v1/benchmarks", c.handleBenchmarks)
+	mux.Handle("GET /v1/ui/", server.UIHandler())
+	mux.HandleFunc("GET /v1/ui", redirectUI)
+	mux.HandleFunc("GET /{$}", redirectUI)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return mux
+}
+
+func redirectUI(w http.ResponseWriter, r *http.Request) {
+	http.Redirect(w, r, "/v1/ui/", http.StatusMovedPermanently)
 }
 
 // Drain rejects new sweeps with 503 and waits for in-flight ones to
@@ -178,4 +192,8 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	c.metrics.WritePrometheus(w)
+	// Breaker states ride along as enum-style labeled gauges — the hedge /
+	// dedup / re-dispatch / abort counters above tell you how often the
+	// fabric recovered; these tell you which workers it currently trusts.
+	obs.WriteLabeledGauge(w, "coord.backend.state", c.breakerRows())
 }

@@ -1,0 +1,155 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/vpir-sim/vpir/internal/obs"
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+// maxProxyBody bounds a proxied request body, matching the server's own
+// request bound.
+const maxProxyBody = 1 << 20
+
+// handleTrace proxies POST /v1/trace to the fleet. Traces are routed by
+// the same rendezvous key the worker caches under, so repeated traces of
+// one configuration land on the worker that already holds the result (the
+// X-Cache header passes through untouched — a fleet HIT looks exactly like
+// a single-server HIT). Backend failure walks the cell's rendezvous order
+// and degrades to the local executor, like every other dispatch path.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !c.begin() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "coordinator is draining")
+		return
+	}
+	defer c.inflight.Done()
+	c.metrics.Inc("coord.trace.requests")
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var req server.TraceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	scale := req.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	key, err := server.TraceKey(req, scale, req.MaxInsts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var exclude *backend
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		b := c.pick(key, exclude)
+		if b == nil {
+			break
+		}
+		done, err := c.proxyTrace(w, r, b, body)
+		if done {
+			if b == c.local {
+				c.metrics.Inc("coord.trace.local")
+			} else {
+				c.metrics.Inc("coord.trace.proxied")
+				b.onSuccess()
+			}
+			return
+		}
+		lastErr = err
+		c.backendFailure(b)
+		if b == c.local {
+			break // the floor failed; nothing further to degrade onto
+		}
+		exclude = b
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("coord: no backend available")
+	}
+	c.metrics.Inc("coord.trace.errors")
+	writeError(w, http.StatusBadGateway, lastErr.Error())
+}
+
+// proxyTrace issues one trace attempt against one backend and, when the
+// backend produced a definitive answer, relays it verbatim. A definitive
+// answer is any response that isn't a transport error or a 5xx/429 —
+// backend 4xx (a bad config, an unknown bench) is the client's answer, not
+// a reason to burn through the fleet. Returns done=false when the caller
+// should try the next backend.
+func (c *Coordinator) proxyTrace(w http.ResponseWriter, r *http.Request, b *backend, body []byte) (done bool, err error) {
+	ctx := r.Context()
+	if c.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.CellTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/trace", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Thread the correlation id through so the worker's access log and the
+	// coordinator's agree on the request's identity.
+	if id := r.Header.Get(server.RequestIDHeader); id != "" {
+		req.Header.Set(server.RequestIDHeader, id)
+	}
+	resp, err := c.do(b, req)
+	if err != nil {
+		return false, fmt.Errorf("coord: %s trace: %w", b.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		return false, fmt.Errorf("coord: %s trace: status %d", b.url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "" {
+		w.Header().Set("X-Cache", xc)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true, nil
+}
+
+// handleBenchmarks serves the workload list directly: it is static
+// process-wide data identical on every fleet member, so proxying would
+// only add a failure mode.
+func (c *Coordinator) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	server.WriteBenchmarks(w)
+}
+
+// breakerRows renders every backend's breaker as an enum-style labeled
+// gauge: one sample per (backend, state) with the current state at 1, so a
+// Prometheus query can both alert on open breakers and graph transitions
+// without string parsing.
+func (c *Coordinator) breakerRows() []obs.LabeledSample {
+	states := []string{"closed", "open", "half-open"}
+	rows := make([]obs.LabeledSample, 0, len(c.remotes)*len(states))
+	for _, b := range c.remotes {
+		cur := b.current().String()
+		for _, s := range states {
+			v := 0.0
+			if s == cur {
+				v = 1
+			}
+			rows = append(rows, obs.LabeledSample{
+				Labels: []obs.Label{{Key: "backend", Value: b.url}, {Key: "state", Value: s}},
+				Value:  v,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,181 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+func postTrace(t *testing.T, h http.Handler, req server.TraceRequest, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/trace", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestTraceProxied(t *testing.T) {
+	w := newWorker(t)
+	c := newCoord(t, Config{Backends: []string{w.URL}, Seed: 1})
+
+	req := server.TraceRequest{Bench: "compress", MaxInsts: 15_000, Options: server.SimOptions{Technique: "ir"}, Window: 32}
+	resp, body := postTrace(t, c.Handler(), req, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("first trace X-Cache = %q, want MISS (passed through)", got)
+	}
+	var tr server.TraceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("bad body: %v", err)
+	}
+	if len(tr.Window.Insts) == 0 || tr.Stats.Cycles == 0 {
+		t.Errorf("empty trace payload: %d insts, %d cycles", len(tr.Window.Insts), tr.Stats.Cycles)
+	}
+
+	// The repeat hits the worker's cache, and the fleet relays that fact.
+	resp2, body2 := postTrace(t, c.Handler(), req, nil)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("repeat trace X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("repeat trace not byte-identical through the proxy")
+	}
+}
+
+func TestTraceDegradesToLocal(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from the start
+	local := server.New(server.Config{Workers: 2})
+	t.Cleanup(func() { local.Drain(t.Context()) })
+	c := newCoord(t, Config{Backends: []string{dead.URL}, Local: local, Seed: 1})
+
+	req := server.TraceRequest{Bench: "vortex", MaxInsts: 10_000, Options: server.SimOptions{Technique: "base"}}
+	resp, body := postTrace(t, c.Handler(), req, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var tr server.TraceResponse
+	if err := json.Unmarshal(body, &tr); err != nil || tr.Stats.Cycles == 0 {
+		t.Fatalf("local fallback produced a bad trace: %v %s", err, body)
+	}
+	if got := c.metrics.Counter("coord.trace.local"); got == 0 {
+		t.Error("coord.trace.local not counted")
+	}
+}
+
+func TestTraceBadRequestNotRetried(t *testing.T) {
+	w := newWorker(t)
+	c := newCoord(t, Config{Backends: []string{w.URL}, Seed: 1})
+
+	req := server.TraceRequest{Bench: "vortex", Options: server.SimOptions{Technique: "warp-drive"}}
+	resp, body := postTrace(t, c.Handler(), req, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	if got := c.metrics.Counter("coord.backend.failures"); got != 0 {
+		t.Errorf("a client error fed the breaker: %v failures", got)
+	}
+}
+
+func TestTraceRequestIDThreaded(t *testing.T) {
+	var seen string
+	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get(server.RequestIDHeader)
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write([]byte(`{"bench":"vortex","scale":1,"stats":{"cycles":1},"window":{"max":1,"insts":[]},"events":{"dropped":0,"events":[]},"series":{"interval":1,"fields":[],"rows":[]}}`))
+	}))
+	t.Cleanup(w.Close)
+	c := newCoord(t, Config{Backends: []string{w.URL}, Seed: 1})
+
+	req := server.TraceRequest{Bench: "vortex", Options: server.SimOptions{Technique: "base"}}
+	resp, _ := postTrace(t, c.Handler(), req, map[string]string{server.RequestIDHeader: "trace-abc-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if seen != "trace-abc-1" {
+		t.Errorf("backend saw request id %q, want trace-abc-1", seen)
+	}
+}
+
+func TestCoordUIServed(t *testing.T) {
+	w := newWorker(t)
+	c := newCoord(t, Config{Backends: []string{w.URL}, Seed: 1})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/ui/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(strings.ToLower(string(body)), "<!doctype html") {
+		t.Errorf("GET /v1/ui/ = %d, dashboard not served", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []server.BenchmarkEntry
+	err = json.NewDecoder(resp.Body).Decode(&benches)
+	resp.Body.Close()
+	if err != nil || len(benches) == 0 {
+		t.Errorf("GET /v1/benchmarks: %v, %d entries", err, len(benches))
+	}
+}
+
+func TestMetricsBreakerStates(t *testing.T) {
+	w := newWorker(t)
+	c := newCoord(t, Config{Backends: []string{w.URL}, Seed: 1})
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "# TYPE vpir_coord_backend_state gauge") {
+		t.Errorf("metrics missing breaker-state gauge family:\n%s", text)
+	}
+	want := `vpir_coord_backend_state{backend="` + w.URL + `",state="closed"} 1`
+	if !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q:\n%s", want, text)
+	}
+	for _, s := range []string{"open", "half-open"} {
+		line := `vpir_coord_backend_state{backend="` + w.URL + `",state="` + s + `"} 0`
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics missing zero sample %q", line)
+		}
+	}
+}

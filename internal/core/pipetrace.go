@@ -109,6 +109,50 @@ func (m *Machine) traceEvent(e *robEntry, update func(ev *PipeEvent)) {
 	update(ev)
 }
 
+// PipeEventJSON is the wire form of one PipeEvent, as served by the
+// dashboard's /v1/trace endpoint: the same cycle timestamps, with the PC
+// pre-rendered as a zero-padded hex string. Cycle fields keep their
+// zero-means-never convention (Issue 0 = never executed, Commit 0 = never
+// committed).
+type PipeEventJSON struct {
+	Seq    uint64 `json:"seq"`
+	PC     string `json:"pc"`
+	Disasm string `json:"disasm"`
+	Fetch  uint64 `json:"fetch"`
+	Decode uint64 `json:"decode"`
+	Issue  uint64 `json:"issue,omitempty"`
+	Done   uint64 `json:"done,omitempty"`
+	Commit uint64 `json:"commit,omitempty"`
+	Reused bool   `json:"reused,omitempty"`
+	Pred   bool   `json:"pred,omitempty"`
+	Execs  int    `json:"execs,omitempty"`
+	Squash bool   `json:"squash,omitempty"`
+}
+
+// JSON renders the recorded window oldest-first in wire form (never nil,
+// so it marshals as [] rather than null when empty).
+func (t *PipeTracer) JSON() []PipeEventJSON {
+	events := t.Ordered()
+	out := make([]PipeEventJSON, 0, len(events))
+	for _, ev := range events {
+		out = append(out, PipeEventJSON{
+			Seq:    ev.Seq,
+			PC:     fmt.Sprintf("0x%08x", ev.PC),
+			Disasm: ev.Disasm,
+			Fetch:  ev.Fetch,
+			Decode: ev.Decode,
+			Issue:  ev.Issue,
+			Done:   ev.Done,
+			Commit: ev.Commit,
+			Reused: ev.Reused,
+			Pred:   ev.Pred,
+			Execs:  ev.Execs,
+			Squash: ev.Squash,
+		})
+	}
+	return out
+}
+
 // Render writes a classic pipeline diagram: one row per instruction, one
 // column per cycle, with stage letters F (in flight from fetch), D
 // (decoded/waiting), E (executing), R (reused at decode), and C (commit).

@@ -253,3 +253,41 @@ zero:   addiu $s0, $s0, 1
 		t.Error("no squashed events on a data-dependent branch workload")
 	}
 }
+
+// TestPipeTracerJSON checks the wire form: oldest-first after a ring
+// wrap, hex PCs, and the zero-means-never cycle convention surviving the
+// omitempty tags.
+func TestPipeTracerJSON(t *testing.T) {
+	m := buildMachine(t, `
+        .text
+main:   li   $t0, 1
+        addu $t1, $t0, $t0
+        addu $t2, $t1, $t1
+        li   $v0, 10
+        syscall
+`, DefaultConfig())
+	tr := &PipeTracer{Max: 3, Ring: true}
+	m.Trace(tr)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	js := tr.JSON()
+	ordered := tr.Ordered()
+	if len(js) != len(ordered) {
+		t.Fatalf("JSON len = %d, Ordered len = %d", len(js), len(ordered))
+	}
+	for i := range js {
+		if js[i].Seq != ordered[i].Seq {
+			t.Fatalf("JSON[%d].Seq = %d, want %d (ring order must match Ordered)", i, js[i].Seq, ordered[i].Seq)
+		}
+		if len(js[i].PC) != 10 || js[i].PC[:2] != "0x" {
+			t.Fatalf("JSON[%d].PC = %q, want 0x%%08x form", i, js[i].PC)
+		}
+		if js[i].Disasm == "" {
+			t.Fatalf("JSON[%d] missing disasm", i)
+		}
+	}
+	if (&PipeTracer{}).JSON() == nil {
+		t.Fatal("empty tracer must render as [], not nil")
+	}
+}

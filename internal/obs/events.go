@@ -137,6 +137,59 @@ func (l *EventLog) Events() []Event {
 	return append(out, l.events[:l.next]...)
 }
 
+// EventJSON is the wire form of one Event, as served by the dashboard's
+// /v1/trace endpoint. PC is rendered as a zero-padded hex string so the
+// UI never re-derives address formatting.
+type EventJSON struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	PC    string `json:"pc"`
+	Seq   uint64 `json:"seq"`
+	A     uint64 `json:"a,omitempty"`
+	B     uint64 `json:"b,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// EventLogJSON is the wire form of a whole EventLog: the buffered window
+// oldest-first, plus the lifetime per-kind totals (which include events
+// the ring has since overwritten) and the overwrite count, so a consumer
+// can tell a complete log from a window.
+type EventLogJSON struct {
+	Dropped uint64            `json:"dropped,omitempty"`
+	Counts  map[string]uint64 `json:"counts,omitempty"`
+	Events  []EventJSON       `json:"events"`
+}
+
+// JSON renders the log in wire form; a nil log renders as an empty window.
+func (l *EventLog) JSON() EventLogJSON {
+	out := EventLogJSON{Events: []EventJSON{}}
+	if l == nil {
+		return out
+	}
+	out.Dropped = l.dropped
+	for k, n := range l.counts {
+		if n == 0 {
+			continue
+		}
+		if out.Counts == nil {
+			out.Counts = make(map[string]uint64)
+		}
+		out.Counts[EventKind(k).String()] = n
+	}
+	for _, e := range l.Events() {
+		out.Events = append(out.Events, EventJSON{
+			Cycle: e.Cycle,
+			Kind:  e.Kind.String(),
+			PC:    fmt.Sprintf("0x%08x", e.PC),
+			Seq:   e.Seq,
+			A:     e.A,
+			B:     e.B,
+			Note:  e.Note,
+		})
+	}
+	return out
+}
+
 // WriteJSONL writes the buffered events oldest-first, one JSON object per
 // line.
 func (l *EventLog) WriteJSONL(w io.Writer) error {

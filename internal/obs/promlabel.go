@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Label is one Prometheus label pair. Keys are code-chosen and sanitized
+// like metric names; values are arbitrary runtime strings (backend URLs,
+// breaker states) and are escaped per the text exposition format.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// LabeledSample is one sample of a labeled metric family.
+type LabeledSample struct {
+	Labels []Label
+	Value  float64
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote and newline must be written
+// as \\, \" and \n (a raw newline would terminate the sample line and a
+// raw quote would terminate the value).
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// labelKey sanitizes a label name to the Prometheus charset
+// [a-zA-Z_][a-zA-Z0-9_]*; anything else becomes '_'.
+func labelKey(k string) string {
+	if k == "" {
+		return "_"
+	}
+	out := make([]byte, 0, len(k))
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WriteLabeledGauge writes one gauge metric family in the Prometheus text
+// exposition format: a single TYPE header followed by one sample per row.
+// The metric name goes through the same vpir_-prefixed sanitization as
+// the Registry exporter, so labeled and unlabeled metrics share one
+// namespace. Rows with no labels render as plain samples.
+func WriteLabeledGauge(w io.Writer, name string, rows []LabeledSample) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	pn := promName(name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row.Labels) == 0 {
+			if _, err := fmt.Fprintf(w, "%s %s\n", pn, formatFloat(row.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		parts := make([]string, 0, len(row.Labels))
+		for _, l := range row.Labels {
+			parts = append(parts, fmt.Sprintf(`%s="%s"`, labelKey(l.Key), EscapeLabelValue(l.Value)))
+		}
+		if _, err := fmt.Fprintf(w, "%s{%s} %s\n", pn, strings.Join(parts, ","), formatFloat(row.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

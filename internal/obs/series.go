@@ -94,6 +94,32 @@ func (s *Series) Column(field string) []float64 {
 	return nil
 }
 
+// SeriesJSON is the wire form of a Series: a column-name header (the
+// implicit "cycle" made explicit, first) and one row per sample in cycle
+// order. Rows are positional — compact to ship and trivial to index —
+// which is why the header travels with them.
+type SeriesJSON struct {
+	Fields []string    `json:"fields"`
+	Rows   [][]float64 `json:"rows"`
+}
+
+// JSON renders the series in wire form; a nil series renders as an empty
+// row set with an empty schema.
+func (s *Series) JSON() SeriesJSON {
+	out := SeriesJSON{Fields: []string{}, Rows: [][]float64{}}
+	if s == nil {
+		return out
+	}
+	out.Fields = append([]string{"cycle"}, s.fields...)
+	for _, sm := range s.samples {
+		row := make([]float64, 0, len(sm.Values)+1)
+		row = append(row, float64(sm.Cycle))
+		row = append(row, sm.Values...)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
 // WriteJSONL writes one self-describing JSON object per sample, keys in
 // schema order, "cycle" first.
 func (s *Series) WriteJSONL(w io.Writer) error {

@@ -226,7 +226,10 @@ type BenchmarkEntry struct {
 	Desc string `json:"desc"`
 }
 
-// ErrorResponse is the body of every non-2xx JSON response.
+// ErrorResponse is the body of every non-2xx JSON response. RequestID is
+// present when the request passed through WithRequestID, so a client error
+// report can be joined against the server's access log.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -17,23 +17,37 @@ import (
 // past the cap an arbitrary machine is dropped and rebuilt on next use.
 const machineCap = 8
 
-// poolJob is one /v1/run simulation queued for a pool worker.
+// poolJob is one /v1/run or /v1/trace simulation queued for a pool worker.
 type poolJob struct {
 	ctx      context.Context
 	bench    string
 	scale    int
 	maxInsts uint64
 	cfg      core.Config
+	trace    *traceParams // non-nil for /v1/trace: capture obs + pipetrace
 	reply    chan poolResult
+}
+
+// traceParams are the capture bounds of one traced run: the pipetrace
+// ring window (last N instructions), the interval sampler period, and the
+// event ring capacity. All three are clamped by the handler before they
+// reach the pool.
+type traceParams struct {
+	window   int
+	interval uint64
+	events   int
 }
 
 // poolResult carries everything a RunResponse needs: unlike the harness's
 // SweepResult it includes the architectural Output/ExitCode, which the
-// differential tests (and users validating runs) care about.
+// differential tests (and users validating runs) care about. Traced runs
+// additionally carry the detached tracer and observer.
 type poolResult struct {
 	stats    core.Stats
 	output   string
 	exitCode int
+	tracer   *core.PipeTracer
+	obs      *core.Observer
 	err      error
 }
 
@@ -69,15 +83,29 @@ func newPool(workers int) *pool {
 // the job's context: a caller whose deadline passes while every worker is
 // busy gets the context error instead of queueing forever.
 func (p *pool) run(ctx context.Context, bench string, scale int, maxInsts uint64, cfg core.Config) poolResult {
-	j := &poolJob{
+	return p.submit(&poolJob{
 		ctx: ctx, bench: bench, scale: scale, maxInsts: maxInsts, cfg: cfg,
 		reply: make(chan poolResult, 1),
-	}
+	})
+}
+
+// trace submits one observed simulation: the same pooled, machine-reusing
+// path as run, with a pipetrace ring and an interval-sampling observer
+// attached for the duration of the run.
+func (p *pool) trace(ctx context.Context, bench string, scale int, maxInsts uint64, cfg core.Config, tp traceParams) poolResult {
+	return p.submit(&poolJob{
+		ctx: ctx, bench: bench, scale: scale, maxInsts: maxInsts, cfg: cfg,
+		trace: &tp,
+		reply: make(chan poolResult, 1),
+	})
+}
+
+func (p *pool) submit(j *poolJob) poolResult {
 	select {
 	case p.jobs <- j:
 		return <-j.reply
-	case <-ctx.Done():
-		return poolResult{err: fmt.Errorf("server: queue wait: %w", ctx.Err())}
+	case <-j.ctx.Done():
+		return poolResult{err: fmt.Errorf("server: queue wait: %w", j.ctx.Err())}
 	}
 }
 
@@ -131,10 +159,28 @@ func runJob(j *poolJob, machines map[string]*core.Machine) (res poolResult) {
 		}
 		machines[key] = m
 	}
+	var tracer *core.PipeTracer
+	var observer *core.Observer
+	if j.trace != nil {
+		tracer = &core.PipeTracer{Max: j.trace.window, Ring: true}
+		observer = core.NewObserver(j.trace.interval, j.trace.events)
+		m.Trace(tracer)
+		m.AttachObserver(observer)
+		// Detach on every exit path (including errors) so the machine the
+		// worker keeps for the next request never samples into a dead
+		// observer; the panic path drops the machine entirely.
+		defer func() {
+			m.Trace(nil)
+			m.AttachObserver(nil)
+		}()
+	}
 	if err := driveMachine(j.ctx, m); err != nil {
 		return poolResult{err: err}
 	}
-	return poolResult{stats: m.Stats(), output: m.Output(), exitCode: m.ExitCode()}
+	return poolResult{
+		stats: m.Stats(), output: m.Output(), exitCode: m.ExitCode(),
+		tracer: tracer, obs: observer,
+	}
 }
 
 // driveMachine runs m to completion in bounded cycle slices so the request

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"abc-123_X.y", "abc-123_X.y"},
+		{"", ""},
+		{"has space", ""},
+		{"newline\nattack", ""},
+		{"quote\"attack", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+	}
+	for _, c := range cases {
+		if got := sanitizeRequestID(c.in); got != c.want {
+			t.Errorf("sanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewRequestID(), NewRequestID()
+	if !hex16.MatchString(a) || !hex16.MatchString(b) {
+		t.Fatalf("ids %q / %q are not 16 hex digits", a, b)
+	}
+	if a == b {
+		t.Error("two ids collided")
+	}
+}
+
+func TestWithRequestID(t *testing.T) {
+	s := New(Config{Workers: 1})
+	t.Cleanup(func() { s.Drain(t.Context()) })
+	var logBuf bytes.Buffer
+	h := WithRequestID(s.Handler(), &logBuf)
+
+	// A valid inbound id is echoed on the response and the error body.
+	r := httptest.NewRequest("POST", "/v1/run", strings.NewReader(`{"bench":"no-such"}`))
+	r.Header.Set(RequestIDHeader, "upstream-7")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if got := w.Header().Get(RequestIDHeader); got != "upstream-7" {
+		t.Errorf("response id = %q, want the inbound one", got)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID != "upstream-7" {
+		t.Errorf("error body request_id = %q, want upstream-7", er.RequestID)
+	}
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("status = %d", w.Code)
+	}
+
+	// A hostile inbound id (header-injection shape) is replaced.
+	r = httptest.NewRequest("GET", "/healthz", nil)
+	r.Header.Set(RequestIDHeader, "evil\r\nSet-Cookie: x")
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	got := w.Header().Get(RequestIDHeader)
+	if got == "" || strings.Contains(got, "evil") {
+		t.Errorf("hostile id not replaced: %q", got)
+	}
+
+	// Both requests produced parseable access-log lines carrying the id.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var first struct {
+		RequestID string `json:"request_id"`
+		Method    string `json:"method"`
+		Path      string `json:"path"`
+		Status    int    `json:"status"`
+		Bytes     int    `json:"bytes"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("unparseable access line %q: %v", lines[0], err)
+	}
+	if first.RequestID != "upstream-7" || first.Path != "/v1/run" ||
+		first.Status != http.StatusBadRequest || first.Bytes == 0 {
+		t.Errorf("access line = %+v", first)
+	}
+}

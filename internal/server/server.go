@@ -137,15 +137,21 @@ func (s *Server) Metrics() *obs.Shared { return s.metrics }
 // Handler returns the API mux:
 //
 //	POST /v1/run        one simulation (cached, coalesced)
+//	POST /v1/trace      one simulation with pipetrace + events + series
 //	POST /v1/sweep      benches × configs, streamed as NDJSON
 //	GET  /v1/benchmarks the built-in workloads
+//	GET  /v1/ui/        the embedded analysis dashboard
 //	GET  /healthz       "ok", or 503 "draining" during shutdown
 //	GET  /metrics       Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.recovered(s.handleRun))
+	mux.HandleFunc("POST /v1/trace", s.recovered(s.handleTrace))
 	mux.HandleFunc("POST /v1/sweep", s.recovered(s.handleSweep))
 	mux.HandleFunc("GET /v1/benchmarks", s.recovered(s.handleBenchmarks))
+	mux.Handle("GET /v1/ui/", UIHandler())
+	mux.HandleFunc("GET /v1/ui", redirectUI)
+	mux.HandleFunc("GET /{$}", redirectUI)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -207,7 +213,9 @@ func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 func writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	// WithRequestID stamps the header before handlers run; echoing it in the
+	// body lets a client error report be joined against the access log.
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg, RequestID: w.Header().Get(RequestIDHeader)})
 }
 
 // writeDraining is the 503 rejection while draining; Retry-After tells
@@ -580,6 +588,14 @@ stream:
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	WriteBenchmarks(w)
+}
+
+// WriteBenchmarks writes the GET /v1/benchmarks response body: the
+// registered workloads, in registry order. The workload list is static
+// process-wide data, so the coordinator serves it directly with this
+// helper instead of proxying to a backend.
+func WriteBenchmarks(w http.ResponseWriter) {
 	out := make([]BenchmarkEntry, 0, len(workload.Names()))
 	for _, n := range workload.Names() {
 		wl, err := workload.Get(n)

@@ -50,6 +50,18 @@ echo "== fuzz smoke (assembler + end-to-end RunSource) =="
 go test -run '^$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm
 go test -run '^$' -fuzz FuzzRunSource -fuzztime 10s .
 
+echo "== ui smoke (embedded dashboard + /v1/trace against a real binary) =="
+# Boot a real vpir-server on an ephemeral port, fetch the embedded UI,
+# drive /v1/trace twice (shape-validated, byte-identical cache HIT on the
+# repeat), then SIGTERM for a clean drain.
+uitmp="$(mktemp -d)"
+go build -o "$uitmp/vpir-server" ./cmd/vpir-server
+if ! go run ./scripts/uismoke -bin "$uitmp/vpir-server"; then
+    rm -rf "$uitmp"
+    exit 1
+fi
+rm -rf "$uitmp"
+
 # Opt-in profiling pass: VPIR_PROFILE=1 scripts/check.sh additionally
 # captures CPU and allocation profiles of the three pipeline variants into
 # profiles/ (same as `make profile`; see docs/performance.md).
