@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden fuzz-smoke ui-smoke cover check bench bench-all bench-check profile clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden fuzz-smoke ui-smoke sample-smoke cover check bench bench-all bench-check profile clean
 
 all: build
 
@@ -80,6 +80,13 @@ ui-smoke:
 	$(GO) run ./scripts/uismoke -bin "$$tmp/vpir-server"; \
 	status=$$?; rm -rf "$$tmp"; exit $$status
 
+# Sampled-simulation smoke gate: on two kernels, a 100%-coverage plan must
+# reproduce the non-sampled run bit for bit, and a sparse plan's stitched
+# IPC must land within tolerance of the full-detail IPC. See
+# docs/sampling.md for the method these properties pin down.
+sample-smoke:
+	$(GO) run ./scripts/samplesmoke
+
 # Total-coverage gate: fails below the 70% floor. Writes cover.out for
 # `go tool cover -html=cover.out` spelunking.
 cover:
@@ -88,7 +95,7 @@ cover:
 	echo "total coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { if (t+0 < 70) { print "cover: $$total% is below the 70% floor"; exit 1 } }'
 
-check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke ui-smoke
+check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke ui-smoke sample-smoke
 	@echo "check: all gates passed"
 
 # Simulator throughput benchmarks, recorded as the perf baseline: the text
@@ -96,7 +103,7 @@ check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke
 # to BENCH_baseline.json. The observability-overhead budget in
 # docs/observability.md is checked against this baseline.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem . | tee BENCH_baseline.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSim|BenchmarkEmu' -benchmem . | tee BENCH_baseline.txt
 	$(GO) run ./cmd/vpir-metrics -bench2json BENCH_baseline.txt > BENCH_baseline.json
 
 # Every benchmark in the repo, one iteration each (smoke, not measurement).
@@ -109,16 +116,21 @@ bench-all:
 # allocs/op in absolute terms (the hot loops are allocation-free; the
 # remaining allocations are machine construction and the functional
 # pre-run). Refresh the baseline with `make bench` after a deliberate
-# performance change.
+# performance change. BenchmarkSampledSpeedup then runs standalone: it
+# self-gates at 5x effective simcycles/s over serial detailed simulation on
+# a paper-scale workload, and stays out of the baseline because its
+# interval-oracle allocations are by design far above the alloc ceiling.
 bench-check:
 	@tmp="$$(mktemp -d)"; \
-	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem . > "$$tmp/bench.txt" \
+	$(GO) test -run '^$$' -bench 'BenchmarkSim|BenchmarkEmu' -benchmem . > "$$tmp/bench.txt" \
 		|| { cat "$$tmp/bench.txt"; rm -rf "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/vpir-metrics -bench2json "$$tmp/bench.txt" > "$$tmp/bench.json" \
 		|| { rm -rf "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/vpir-metrics -compare -threshold 0.10 -units simcycles/s \
 		-max-allocs 10000 BENCH_baseline.json "$$tmp/bench.json"; \
-	status=$$?; rm -rf "$$tmp"; exit $$status
+	status=$$?; rm -rf "$$tmp"; \
+	[ $$status -eq 0 ] || exit $$status; \
+	$(GO) test -run '^$$' -bench 'BenchmarkSampledSpeedup' -benchtime 1x .
 
 # CPU and allocation profiles of the three pipeline variants, written to
 # profiles/ for `go tool pprof` spelunking (see docs/performance.md for how

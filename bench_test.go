@@ -1,12 +1,16 @@
 package vpir
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/emu"
 	"github.com/vpir-sim/vpir/internal/faultinject"
+	"github.com/vpir-sim/vpir/internal/harness"
+	"github.com/vpir-sim/vpir/internal/sample"
 	"github.com/vpir-sim/vpir/internal/vp"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
@@ -156,6 +160,96 @@ func BenchmarkFaultCampaign(b *testing.B) {
 		if _, ok := faultinject.Summarize(reports); !ok {
 			b.Fatal("smoke campaign verdict FAIL")
 		}
+	}
+}
+
+// Fast-forward throughput: the functional emulator with predictor/cache/
+// RB warming and checkpoint capture running, i.e. what sampled simulation
+// pays per skipped instruction. The gap to BenchmarkEmulator is the cost
+// of warming; the gap to BenchmarkSimBase is the speedup ceiling sampling
+// can buy.
+func BenchmarkEmuFastForward(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fast-forward benchmark skipped in -short mode")
+	}
+	w, err := workload.Get("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := sample.Plan{Interval: 200_000, Every: 1, Warmup: 2_000}
+	cfg := core.DefaultConfig()
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ff, err := sample.FastForward(p, cfg, plan, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += ff.TotalInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSampledSpeedup is the sampling throughput gate on a paper-scale
+// workload (gcc ×64 ≈ 65M dynamic instructions): effective simulated
+// cycles per second — whole-program estimated cycles over wall time — of a
+// checkpointed sampled run fanned across 8 workers, against the serial
+// detailed simulation rate measured on the same machine. The run fails
+// outright below 5×, so `make bench-check` (which runs this benchmark
+// standalone) guards the speedup, not just its drift. Deliberately outside
+// the BENCH_baseline alloc gate: a 65M-inst fan-out allocates interval
+// oracles by design.
+func BenchmarkSampledSpeedup(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale sampling benchmark skipped in -short mode")
+	}
+	// Serial detailed reference rate, on a truncated run of the same
+	// scaled workload so the measurement costs seconds, not minutes.
+	w, err := workload.Get("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Load(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	m, err := core.New(p, cfg, 2_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refStart := time.Now()
+	if err := m.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	refRate := float64(m.Stats().Cycles) / time.Since(refStart).Seconds()
+
+	plan := sample.Plan{Interval: 100_000, Every: 20, Warmup: 2_000}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner()
+		r.Scale = 64
+		r.Parallel = true
+		r.Parallelism = 8
+		sum, err := r.RunSampled(context.Background(), "gcc", cfg, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.TotalInsts < 50_000_000 {
+			b.Fatalf("workload too small for the gate: %d insts", sum.TotalInsts)
+		}
+		cycles += sum.Stats.Cycles
+	}
+	rate := float64(cycles) / b.Elapsed().Seconds()
+	b.ReportMetric(rate, "simcycles/s")
+	b.ReportMetric(rate/refRate, "speedup")
+	if rate < 5*refRate {
+		b.Fatalf("sampled throughput %.3g simcycles/s is under 5x the serial detailed rate %.3g", rate, refRate)
 	}
 }
 

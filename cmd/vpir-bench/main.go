@@ -7,6 +7,8 @@
 //	vpir-bench -scale 4        # 4x longer workloads
 //	vpir-bench -maxinsts 50000 # truncated runs (quick look)
 //	vpir-bench -parallel 8     # 8 sweep workers (results identical at any setting)
+//	vpir-bench -scale 64 -sample 10 -interval 100000 -warmup 2000
+//	                           # paper-scale workloads via checkpointed sampling
 //
 // With -metrics-dir every underlying simulation additionally writes its
 // sampled time series (and event log) into the given directory, one file
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"github.com/vpir-sim/vpir/internal/harness"
+	"github.com/vpir-sim/vpir/internal/sample"
 )
 
 func main() {
@@ -36,6 +39,9 @@ func run() int {
 	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions per run (0 = full)")
 	serial := flag.Bool("serial", false, "run benchmarks sequentially (same as -parallel 1)")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS); results are identical at any setting")
+	sampleEvery := flag.Uint64("sample", 0, "checkpointed sampling: measure 1 interval in every N (0 = off, 1 = 100% coverage)")
+	intervalLen := flag.Uint64("interval", 100_000, "sampling: measured interval length in instructions")
+	warmup := flag.Uint64("warmup", 0, "sampling: detailed-warmup instructions before each interval (discarded)")
 	metricsDir := flag.String("metrics-dir", "", "write per-run observability files (series/events JSONL) into this directory")
 	interval := flag.Uint64("metrics-interval", 0, "cycles between metric samples (0 = default 10000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -73,6 +79,9 @@ func run() int {
 	r.Parallelism = *parallel
 	if *metricsDir != "" {
 		r.Obs = &harness.ObsExport{Dir: *metricsDir, Interval: *interval, Events: true}
+	}
+	if *sampleEvery > 0 {
+		r.Sample = &sample.Plan{Interval: *intervalLen, Every: *sampleEvery, Warmup: *warmup}
 	}
 
 	runExp := func(e harness.Experiment) int {

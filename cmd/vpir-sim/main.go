@@ -7,6 +7,13 @@
 //	vpir-sim -bench go -tech vp -scheme lvp -resolution nsb -vlat 1
 //	vpir-sim -file prog.s -tech base
 //
+// Checkpointed sampling (see docs/sampling.md) makes paper-scale workloads
+// tractable: -sample N measures one interval in every N (1 = all of them,
+// which is bit-identical to a full run), -interval and -warmup set the
+// interval and detailed-warmup lengths in instructions:
+//
+//	vpir-sim -bench gcc -scale 64 -tech ir -sample 10 -interval 100000 -warmup 2000
+//
 // Observability (see docs/observability.md):
 //
 //	vpir-sim -bench gcc -tech ir -metrics gcc.series.jsonl -events gcc.events.jsonl
@@ -44,6 +51,9 @@ func run() int {
 	vlat := flag.Int("vlat", 0, "vp verification latency in cycles")
 	late := flag.Bool("late", false, "ir: late validation (Figure 3 'late')")
 	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions (0 = full run)")
+	sampleEvery := flag.Uint64("sample", 0, "checkpointed sampling: measure 1 interval in every N (0 = off, 1 = 100% coverage)")
+	intervalLen := flag.Uint64("interval", 100_000, "sampling: measured interval length in instructions")
+	warmup := flag.Uint64("warmup", 0, "sampling: detailed-warmup instructions before each interval (discarded)")
 	showOutput := flag.Bool("output", false, "print the program's output")
 	list := flag.Bool("list", false, "list the benchmarks and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none), e.g. 30s")
@@ -103,6 +113,9 @@ func run() int {
 	}
 	if *metrics != "" || *metricsCSV != "" || *events != "" || *prom != "" || *interval > 0 {
 		opt.Metrics = &vpir.MetricsOptions{Interval: *interval}
+	}
+	if *sampleEvery > 0 {
+		opt.Sample = &vpir.SampleOptions{Interval: *intervalLen, Every: *sampleEvery, Warmup: *warmup}
 	}
 
 	var res vpir.Result
@@ -168,6 +181,17 @@ func run() int {
 	if res.Obs != nil {
 		fmt.Printf("metric samples        %d (every %d cycles)\n", res.Obs.Samples(), res.Obs.SampleInterval())
 		fmt.Printf("events buffered       %d (%d dropped)\n", res.Obs.EventsBuffered(), res.Obs.EventsDropped())
+	}
+	if sm := res.Sample; sm != nil {
+		kind := "estimated"
+		if sm.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("sampling              %d intervals, %d of %d insts (%.1f%% coverage, %s)\n",
+			sm.Intervals, sm.SampledInsts, sm.TotalInsts, 100*sm.Coverage, kind)
+		for _, ci := range sm.CIs {
+			fmt.Printf("  %-19s %.3f ± %.3f (95%% CI)\n", ci.Name, ci.Mean, ci.Half)
+		}
 	}
 	if *showOutput {
 		fmt.Printf("--- program output ---\n%s\n", res.Output)

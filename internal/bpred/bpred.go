@@ -242,6 +242,77 @@ func (p *Predictor) CorruptBTB(r *rand.Rand) (desc string, ok bool) {
 	return fmt.Sprintf("btb[%d,%d] pc=%#x target^=%#x", victimSet, victimWay, e.tag, mask), true
 }
 
+// Snapshot is the complete warm state of a Predictor, with the BTB
+// flattened set-major (way 0 then way 1 of set 0, then set 1, ...) for a
+// stable serialized form. Functional warming (internal/sample) captures one
+// per checkpoint and restores it onto a pooled machine's predictor.
+type Snapshot struct {
+	Cfg      Config
+	Hist     uint32
+	Counters []uint8
+	BTBTag   []uint32
+	BTBTgt   []uint32
+	BTBValid []bool
+	BTBTick  []uint64
+	Tick     uint64
+	RAS      []uint32
+	RASTop   int
+}
+
+// Snapshot captures the predictor's complete state.
+func (p *Predictor) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Cfg:      p.cfg,
+		Hist:     p.hist,
+		Counters: append([]uint8(nil), p.counters...),
+		BTBTag:   make([]uint32, 0, 2*len(p.btb)),
+		BTBTgt:   make([]uint32, 0, 2*len(p.btb)),
+		BTBValid: make([]bool, 0, 2*len(p.btb)),
+		BTBTick:  make([]uint64, 0, 2*len(p.btb)),
+		Tick:     p.tick,
+		RAS:      append([]uint32(nil), p.ras...),
+		RASTop:   p.rasTop,
+	}
+	for i := range p.btb {
+		for w := 0; w < 2; w++ {
+			e := &p.btb[i][w]
+			s.BTBTag = append(s.BTBTag, e.tag)
+			s.BTBTgt = append(s.BTBTgt, e.target)
+			s.BTBValid = append(s.BTBValid, e.valid)
+			s.BTBTick = append(s.BTBTick, e.tick)
+		}
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the predictor to a captured state. The snapshot's
+// geometry must match the predictor's.
+func (p *Predictor) RestoreSnapshot(s *Snapshot) error {
+	if s.Cfg != p.cfg {
+		return fmt.Errorf("bpred: snapshot config %+v does not match predictor %+v", s.Cfg, p.cfg)
+	}
+	if len(s.Counters) != len(p.counters) || len(s.BTBTag) != 2*len(p.btb) || len(s.RAS) != len(p.ras) {
+		return fmt.Errorf("bpred: snapshot geometry mismatch")
+	}
+	p.hist = s.Hist
+	copy(p.counters, s.Counters)
+	for i := range p.btb {
+		for w := 0; w < 2; w++ {
+			k := 2*i + w
+			p.btb[i][w] = btbEntry{
+				tag:    s.BTBTag[k],
+				target: s.BTBTgt[k],
+				valid:  s.BTBValid[k],
+				tick:   s.BTBTick[k],
+			}
+		}
+	}
+	p.tick = s.Tick
+	copy(p.ras, s.RAS)
+	p.rasTop = s.RASTop
+	return nil
+}
+
 // Reset clears all predictor state.
 func (p *Predictor) Reset() {
 	p.hist = 0

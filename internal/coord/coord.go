@@ -304,9 +304,13 @@ func (c *Coordinator) newRun(ctx context.Context, specs []server.SweepCellSpec, 
 	for i := range specs {
 		run.ready[i] = make(chan struct{})
 		run.tasks[i] = &cellTask{
-			index:      i,
-			spec:       specs[i],
-			key:        fmt.Sprintf("%s|%d|%d|%s", specs[i].Bench, scale, maxInsts, cfgs[i].Key()),
+			index: i,
+			spec:  specs[i],
+			// Sampled cells extend the key with the plan (and interval
+			// index), exactly like the server's cache keys: non-sampled keys
+			// — and the store entries addressed through them — stay
+			// byte-identical to before sampling existed.
+			key:        fmt.Sprintf("%s|%d|%d|%s%s", specs[i].Bench, scale, maxInsts, cfgs[i].Key(), specs[i].Sample.KeySuffix()),
 			wantConfig: cfgs[i].Name(),
 		}
 	}
@@ -615,6 +619,13 @@ func (c *Coordinator) finishCell(run *sweepRun, t *cellTask, exclude *backend) {
 // line byte-identical to what the cell's worker stream would have
 // produced.
 func (c *Coordinator) runRemote(run *sweepRun, t *cellTask, b *backend) (server.SweepLine, error) {
+	if t.spec.Sample != nil {
+		// /v1/run cannot express an interval cell, and its response lacks
+		// the raw counters a stitcher needs; sampled cells are hedged as
+		// single-cell sweeps so the recovered line is exactly what the dead
+		// worker's stream would have carried.
+		return c.runSampledCell(run, t, b)
+	}
 	ctx := run.ctx
 	if c.cfg.CellTimeout > 0 {
 		var cancel context.CancelFunc
@@ -649,6 +660,64 @@ func (c *Coordinator) runRemote(run *sweepRun, t *cellTask, b *backend) (server.
 		return server.SweepLine{}, fmt.Errorf("coord: %s run: %w", b.url, err)
 	}
 	return line, nil
+}
+
+// runSampledCell recovers one sampled cell as a single-cell /v1/sweep: the
+// only endpoint that can name an interval of a sampling plan, and the only
+// one whose line carries the raw counters, interval measurement and retry
+// audit the stitcher consumes.
+func (c *Coordinator) runSampledCell(run *sweepRun, t *cellTask, b *backend) (server.SweepLine, error) {
+	ctx := run.ctx
+	if c.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.CellTimeout)
+		defer cancel()
+	}
+	body, err := json.Marshal(server.SweepRequest{
+		Cells: []server.SweepCellSpec{t.spec}, Scale: run.scale, MaxInsts: run.maxInsts,
+	})
+	if err != nil {
+		return server.SweepLine{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return server.SweepLine{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(b, req)
+	if err != nil {
+		return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: %w", b.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: status %d", b.url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 || raw[0] == '#' {
+			continue // heartbeat: liveness only
+		}
+		var line server.SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: corrupt line: %w", b.url, err)
+		}
+		if line.Done {
+			break
+		}
+		if line.Error != "" {
+			return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: %s", b.url, line.Error)
+		}
+		if err := validateLine(t, line); err != nil {
+			return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: %w", b.url, err)
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: %w", b.url, err)
+	}
+	return server.SweepLine{}, fmt.Errorf("coord: %s sampled cell: stream ended without a result", b.url)
 }
 
 // storeGet serves a cell from the durable store if an intact entry

@@ -1,0 +1,167 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/vpir-sim/vpir/internal/server"
+)
+
+// sampledGrid is a small sweep with a request-level sampling plan: every
+// cell runs under checkpointed sampling, full coverage.
+func sampledGrid() server.SweepRequest {
+	return server.SweepRequest{
+		Benches:  []string{"vortex"},
+		Options:  []server.SimOptions{{}, {Technique: "ir"}},
+		MaxInsts: testInsts,
+		Sample:   &server.SampleBlock{Interval: 5_000},
+	}
+}
+
+// sampleIntervals learns how many intervals a plan has over a benchmark by
+// running one whole-plan sampled cell on a fresh serial server.
+func sampleIntervals(t *testing.T, bench string, interval, maxInsts uint64) int {
+	t.Helper()
+	req := server.SweepRequest{
+		Cells:    []server.SweepCellSpec{{Bench: bench, Sample: &server.SampleBlock{Interval: interval}}},
+		MaxInsts: maxInsts,
+	}
+	code, body := postSweep(t, server.New(server.Config{Heartbeat: -1}).Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("whole-plan probe: status %d: %s", code, body)
+	}
+	lines := bytes.Split(bytes.TrimSpace(stripHeartbeats(body)), []byte("\n"))
+	var first server.SweepLine
+	if err := json.Unmarshal(lines[0], &first); err != nil || first.Sample == nil {
+		t.Fatalf("whole-plan probe line: %v %s", err, lines[0])
+	}
+	return first.Sample.Intervals
+}
+
+// intervalCellSweep names every interval of the plan as one explicit sweep
+// cell — the partition form the coordinator fans across the fleet.
+func intervalCellSweep(t *testing.T, bench string, interval, maxInsts uint64) server.SweepRequest {
+	t.Helper()
+	k := sampleIntervals(t, bench, interval, maxInsts)
+	if k < 2 {
+		t.Fatalf("plan has %d intervals, need >= 2 for a meaningful fan-out", k)
+	}
+	cells := make([]server.SweepCellSpec, k)
+	for i := range cells {
+		idx := i
+		cells[i] = server.SweepCellSpec{
+			Bench:  bench,
+			Sample: &server.SampleBlock{Interval: interval, IntervalIndex: &idx},
+		}
+	}
+	return server.SweepRequest{Cells: cells, MaxInsts: maxInsts}
+}
+
+// TestDistributedSampledSweep: a request-level sampling plan must survive
+// distribution — the coordinator's merged stream is byte-identical to one
+// serial server sampling every cell itself.
+func TestDistributedSampledSweep(t *testing.T) {
+	req := sampledGrid()
+	want := serialReference(t, req)
+
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoord(t, Config{
+		Backends:  []string{w1.URL, w2.URL},
+		Heartbeat: -1,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 || done.Cells != 2 {
+		t.Fatalf("done = %+v", done)
+	}
+}
+
+// TestDistributedIntervalCells: one sampled run's intervals, fanned across
+// the fleet as explicit sweep cells, must come back in deterministic cell
+// order byte-identical to a serial worker — the distributed form of
+// checkpoint-parallel sampling.
+func TestDistributedIntervalCells(t *testing.T) {
+	req := intervalCellSweep(t, "vortex", 5_000, testInsts)
+	want := serialReference(t, req)
+
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoord(t, Config{
+		Backends:  []string{w1.URL, w2.URL},
+		Heartbeat: -1,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 || done.Cells != len(req.Cells) {
+		t.Fatalf("done = %+v", done)
+	}
+	// Every line must carry its interval measurement, in cell order.
+	lines := bytes.Split(bytes.TrimSpace(stripHeartbeats(got)), []byte("\n"))
+	for i, raw := range lines[:len(req.Cells)] {
+		var l server.SweepLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if l.Interval == nil || l.Interval.Index != i || l.Raw == nil {
+			t.Errorf("line %d is not an interval measurement: %s", i, raw)
+		}
+	}
+}
+
+// TestSampledHedge: batch streams carrying sampled cells go comatose, so
+// every cell must be rescued by the sampled hedge path — a single-cell
+// /v1/sweep, the only endpoint that can name an interval — and the merged
+// stream must still be byte-identical to the serial reference.
+func TestSampledHedge(t *testing.T) {
+	req := intervalCellSweep(t, "vortex", 5_000, testInsts)
+	want := serialReference(t, req)
+
+	// Comatose only on multi-cell sweeps: hedged single-cell recoveries
+	// pass through at full speed, isolating the runSampledCell path.
+	slowWorker := func() *httptest.Server {
+		h := server.New(server.Config{}).Handler()
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" {
+				body, _ := io.ReadAll(r.Body)
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				if bytes.Count(body, []byte(`"bench"`)) > 1 {
+					time.Sleep(400 * time.Millisecond)
+				}
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	w1, w2 := slowWorker(), slowWorker()
+
+	c := newCoord(t, Config{
+		Backends:      []string{w1.URL, w2.URL},
+		Heartbeat:     time.Millisecond,
+		HedgeAfter:    30 * time.Millisecond,
+		StallAfter:    5 * time.Second, // isolate the hedge path: no stall kills
+		BaseBackoff:   time.Millisecond,
+		ProbeInterval: time.Hour,
+	})
+	code, got := postSweep(t, c.Handler(), req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	assertIdentical(t, got, want)
+	if done := doneLine(t, got); done.Failed != 0 {
+		t.Fatalf("hedged sampled sweep failed cells: %+v", done)
+	}
+	if n := c.metrics.Counter("coord.hedges"); n == 0 {
+		t.Error("no sampled cells were hedged despite comatose streams")
+	}
+}

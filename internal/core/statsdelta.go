@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Minus returns the counter-wise difference s − prev. Every Stats field is
+// a monotonically non-decreasing uint64 counter (or a fixed array of them),
+// so the difference of two snapshots taken from the same run is exactly the
+// activity between them; sampled simulation uses this to discard the
+// detailed-warmup region of an interval by subtraction. The derived-rate
+// accessors then apply to the region as if it had been a run of its own.
+//
+// The subtraction walks the struct reflectively so a future counter can
+// never be silently left out; a non-counter field type panics, which the
+// stats tests turn into a compile-time-adjacent failure.
+func (s Stats) Minus(prev Stats) Stats {
+	out := s
+	ov := reflect.ValueOf(&out).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	for i := 0; i < ov.NumField(); i++ {
+		subCounter(ov.Field(i), pv.Field(i), ov.Type().Field(i).Name)
+	}
+	return out
+}
+
+func subCounter(a, b reflect.Value, name string) {
+	switch a.Kind() {
+	case reflect.Uint64:
+		x, y := a.Uint(), b.Uint()
+		if y > x {
+			panic(fmt.Sprintf("core: Stats.%s went backwards (%d - %d)", name, x, y))
+		}
+		a.SetUint(x - y)
+	case reflect.Array:
+		for j := 0; j < a.Len(); j++ {
+			subCounter(a.Index(j), b.Index(j), fmt.Sprintf("%s[%d]", name, j))
+		}
+	default:
+		panic(fmt.Sprintf("core: Stats.%s is not a uint64 counter; teach Minus about it", name))
+	}
+}

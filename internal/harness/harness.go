@@ -14,6 +14,7 @@ import (
 
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/redundancy"
+	"github.com/vpir-sim/vpir/internal/sample"
 	"github.com/vpir-sim/vpir/internal/stats"
 	"github.com/vpir-sim/vpir/internal/vp"
 	"github.com/vpir-sim/vpir/internal/workload"
@@ -54,10 +55,16 @@ type Runner struct {
 	// must be safe for concurrent use. The simulation server uses it to
 	// stream sweep results before the whole grid has finished.
 	OnResult func(i int, res SweepResult)
+	// Sample, when non-nil, switches every plain cell to checkpointed sampled
+	// simulation under this plan (see internal/sample): Run and RunAll return
+	// the stitched whole-program estimates instead of full-simulation stats.
+	// Cells that carry their own SampleSpec are unaffected.
+	Sample *sample.Plan
 
 	mu    sync.Mutex
-	cache map[string]core.Stats
+	cache map[string]cellOutcome
 	red   map[string]*redundancy.Result
+	ff    map[string]*ffEntry
 
 	// runHook, when non-nil, replaces the simulation in attempt; tests use
 	// it to inject failures, panics and transient errors.
@@ -82,7 +89,7 @@ func NewRunner() *Runner {
 	return &Runner{
 		Scale:    1,
 		Parallel: true,
-		cache:    make(map[string]core.Stats),
+		cache:    make(map[string]cellOutcome),
 		red:      make(map[string]*redundancy.Result),
 	}
 }
@@ -92,7 +99,8 @@ func NewRunner() *Runner {
 // not just its display name — ablation sweeps vary structure sizes under
 // the same name, and a sloppier key would silently alias their entries.
 func (r *Runner) Run(bench string, cfg core.Config) (core.Stats, error) {
-	return r.runCell(context.Background(), bench, cfg, nil)
+	out, _, err := r.runCell(context.Background(), SweepCell{Bench: bench, Cfg: cfg}, nil)
+	return out.stats, err
 }
 
 // runMachine drives m to completion in bounded cycle slices so the context

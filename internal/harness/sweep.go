@@ -7,13 +7,22 @@ import (
 	"sync"
 
 	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/sample"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
-// SweepCell names one (benchmark, configuration) simulation in a sweep.
+// SweepCell names one simulation in a sweep: a (benchmark, configuration)
+// pair, optionally narrowed to one sampled interval (or widened to a whole
+// sampled plan) by Sample.
 type SweepCell struct {
 	Bench string
 	Cfg   core.Config
+	// Sample, when non-nil, makes this a sampled cell: Index ≥ 0 simulates
+	// one interval of the plan (the unit of parallel fan-out), Index ==
+	// WholeProgram runs the full plan serially inside the cell. Nil cells are
+	// plain full-program simulations — unless Runner.Sample is set, which
+	// samples them transparently.
+	Sample *SampleSpec
 }
 
 // SweepResult is the outcome of one cell. Exactly one of Stats/Err is
@@ -23,7 +32,19 @@ type SweepResult struct {
 	Bench string
 	Cfg   core.Config
 	Stats core.Stats
-	Err   error
+	// Interval carries the per-interval measurement for sampled interval
+	// cells (Sample.Index ≥ 0); nil otherwise.
+	Interval *sample.IntervalResult
+	// Summary carries the stitched summary of a whole-plan sampled cell
+	// (Sample.Index == WholeProgram, or a plain cell under Runner.Sample);
+	// nil otherwise.
+	Summary *sample.Summary
+	// Attempts records which attempt produced this result: 0 for a cache
+	// hit, 1 for a first-try success, n > 1 when n−1 transient failures were
+	// retried. It makes hedged/retried interval cells auditable — a stitched
+	// summary can report exactly which intervals needed retries.
+	Attempts int
+	Err      error
 }
 
 // Grid builds the cross product of benchmarks and configurations in
@@ -89,7 +110,9 @@ func (r *Runner) Sweep(ctx context.Context, cells []SweepCell) []SweepResult {
 				if err := ctx.Err(); err != nil {
 					res.Err = err
 				} else {
-					res.Stats, res.Err = r.runCell(ctx, c.Bench, c.Cfg, machines)
+					var out cellOutcome
+					out, res.Attempts, res.Err = r.runCell(ctx, c, machines)
+					res.Stats, res.Interval, res.Summary = out.stats, out.interval, out.summary
 				}
 				results[i] = res
 				if r.OnResult != nil {
@@ -106,27 +129,71 @@ func (r *Runner) Sweep(ctx context.Context, cells []SweepCell) []SweepResult {
 	return results
 }
 
-// runCell is the cached, retrying simulation shared by Run and Sweep.
-func (r *Runner) runCell(ctx context.Context, bench string, cfg core.Config, machines map[string]*core.Machine) (core.Stats, error) {
+// cellOutcome is everything a cell can produce: the stats every cell has,
+// plus the per-interval measurement of a sampled interval cell or the
+// stitched summary of a whole-sampled cell.
+type cellOutcome struct {
+	stats    core.Stats
+	interval *sample.IntervalResult
+	summary  *sample.Summary
+}
+
+// cellKey builds the cache key for a cell. Non-sampled keys are byte-for-byte
+// what they were before sampling existed, so persisted caches keyed on them
+// stay valid; sampled cells append the plan key and interval index, so
+// sampled and non-sampled results can never alias.
+func (r *Runner) cellKey(bench string, cfg core.Config, spec *SampleSpec) string {
 	key := fmt.Sprintf("%s|%s|%d|%d", bench, cfg.Key(), r.Scale, r.MaxInsts)
+	if spec != nil {
+		key = fmt.Sprintf("%s|%s|k%d", key, spec.Plan.Key(), spec.Index)
+	}
+	return key
+}
+
+// runCell is the cached, retrying simulation shared by Run, RunSampled and
+// Sweep. The returned attempt count is 0 for a cache hit and otherwise the
+// 1-based attempt that produced the result.
+func (r *Runner) runCell(ctx context.Context, c SweepCell, machines map[string]*core.Machine) (cellOutcome, int, error) {
+	spec := c.Sample
+	if spec == nil && r.Sample != nil {
+		// Transparent sampling: a plain cell under a sampling Runner becomes
+		// a whole-plan sampled run.
+		spec = &SampleSpec{Plan: *r.Sample, Index: WholeProgram}
+	}
+	key := r.cellKey(c.Bench, c.Cfg, spec)
 	r.mu.Lock()
-	if s, ok := r.cache[key]; ok {
+	if out, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		return s, nil
+		return out, 0, nil
 	}
 	r.mu.Unlock()
 
-	s, err := r.attempt(ctx, bench, cfg, machines)
-	for retry := 0; err != nil && IsTransient(err) && retry < r.Retries; retry++ {
-		s, err = r.attempt(ctx, bench, cfg, machines)
+	attempts := 1
+	out, err := r.attemptCell(ctx, c.Bench, c.Cfg, spec, machines)
+	for err != nil && IsTransient(err) && attempts <= r.Retries {
+		attempts++
+		out, err = r.attemptCell(ctx, c.Bench, c.Cfg, spec, machines)
 	}
 	if err != nil {
-		return core.Stats{}, err
+		return cellOutcome{}, attempts, err
 	}
 	r.mu.Lock()
-	r.cache[key] = s
+	r.cache[key] = out
 	r.mu.Unlock()
-	return s, nil
+	return out, attempts, nil
+}
+
+// attemptCell dispatches one attempt to the cell's simulation mode.
+func (r *Runner) attemptCell(ctx context.Context, bench string, cfg core.Config, spec *SampleSpec, machines map[string]*core.Machine) (cellOutcome, error) {
+	switch {
+	case spec == nil:
+		s, err := r.attempt(ctx, bench, cfg, machines)
+		return cellOutcome{stats: s}, err
+	case spec.Index == WholeProgram:
+		return r.attemptWholeSampled(ctx, bench, cfg, spec, machines)
+	default:
+		return r.attemptInterval(ctx, bench, cfg, spec, machines)
+	}
 }
 
 // attempt performs one simulation, reusing (and on success keeping) a

@@ -161,6 +161,51 @@ func (c *Cache) CorruptTag(r *rand.Rand) (desc string, ok bool) {
 	return fmt.Sprintf("cache tag[%d,%d]^=%#x", victimSet, victimWay, mask), true
 }
 
+// CacheSnapshot is the warm state of a Cache: every tag and LRU timestamp
+// plus the tick counter, flattened set-major. Statistics are deliberately
+// not part of a snapshot — restored caches start counting from zero, so an
+// interval's stats cover only that interval.
+type CacheSnapshot struct {
+	Cfg  CacheConfig
+	Tags []uint32
+	LRU  []uint64
+	Tick uint64
+}
+
+// Snapshot captures the cache's warm state.
+func (c *Cache) Snapshot() *CacheSnapshot {
+	nSets := len(c.tags)
+	s := &CacheSnapshot{
+		Cfg:  c.cfg,
+		Tags: make([]uint32, 0, nSets*c.cfg.Ways),
+		LRU:  make([]uint64, 0, nSets*c.cfg.Ways),
+		Tick: c.tick,
+	}
+	for set := 0; set < nSets; set++ {
+		s.Tags = append(s.Tags, c.tags[set]...)
+		s.LRU = append(s.LRU, c.lruTick[set]...)
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the cache to a previously captured warm state.
+// The snapshot's geometry must match the cache's; statistics are zeroed.
+func (c *Cache) RestoreSnapshot(s *CacheSnapshot) error {
+	if s.Cfg != c.cfg {
+		return fmt.Errorf("mem: cache snapshot config %+v does not match cache %+v", s.Cfg, c.cfg)
+	}
+	if want := len(c.tags) * c.cfg.Ways; len(s.Tags) != want || len(s.LRU) != want {
+		return fmt.Errorf("mem: cache snapshot has %d tags/%d lru, want %d", len(s.Tags), len(s.LRU), want)
+	}
+	for set := range c.tags {
+		copy(c.tags[set], s.Tags[set*c.cfg.Ways:])
+		copy(c.lruTick[set], s.LRU[set*c.cfg.Ways:])
+	}
+	c.tick = s.Tick
+	c.stats = CacheStats{}
+	return nil
+}
+
 // Reset invalidates all lines and zeroes the statistics.
 func (c *Cache) Reset() {
 	for i := range c.tags {

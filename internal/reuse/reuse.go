@@ -667,6 +667,86 @@ func (b *Buffer) Instances(pc uint32) int {
 	return n
 }
 
+// SnapEntry is the exported logical state of one RB entry. The intrusive
+// load-index node fields are deliberately absent: they are a pure function
+// of the logical state and are rebuilt deterministically on restore, which
+// is what makes serialize→restore→serialize byte-identical.
+type SnapEntry struct {
+	Valid              bool
+	Tag                uint32
+	Gen                uint32
+	Tick               uint64
+	Op                 isa.Op
+	Result             isa.Word
+	Src1Name, Src2Name isa.Reg
+	Src1Val, Src2Val   isa.Word
+	Src1Link, Src2Link Link
+	IsMem, IsLoad      bool
+	Addr               uint32
+	Width              uint32
+	MemValid           bool
+	WrongPath          bool
+}
+
+// Snapshot is the complete warm state of a Buffer, entries in set-major
+// order. Statistics are not captured: a restored buffer counts from zero.
+type Snapshot struct {
+	Cfg     Config
+	Tick    uint64
+	Entries []SnapEntry
+}
+
+// Snapshot captures the buffer's warm state.
+func (b *Buffer) Snapshot() *Snapshot {
+	s := &Snapshot{Cfg: b.cfg, Tick: b.tick, Entries: make([]SnapEntry, len(b.entries))}
+	for i := range b.entries {
+		e := &b.entries[i]
+		s.Entries[i] = SnapEntry{
+			Valid: e.valid, Tag: e.tag, Gen: e.gen, Tick: e.tick,
+			Op: e.op, Result: e.result,
+			Src1Name: e.src1Name, Src2Name: e.src2Name,
+			Src1Val: e.src1Val, Src2Val: e.src2Val,
+			Src1Link: e.src1Link, Src2Link: e.src2Link,
+			IsMem: e.isMem, IsLoad: e.isLoad,
+			Addr: e.addr, Width: e.width,
+			MemValid: e.memValid, WrongPath: e.wrongPath,
+		}
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the buffer to a captured warm state (geometry
+// must match). The intrusive load index is rebuilt from the restored
+// entries in ascending entry order; statistics are zeroed.
+func (b *Buffer) RestoreSnapshot(s *Snapshot) error {
+	if s.Cfg != b.cfg || len(s.Entries) != len(b.entries) {
+		return fmt.Errorf("reuse: snapshot geometry mismatch (snapshot %+v/%d entries, buffer %+v/%d)",
+			s.Cfg, len(s.Entries), b.cfg, len(b.entries))
+	}
+	for i := range b.heads {
+		b.heads[i] = -1
+	}
+	for i := range b.entries {
+		se := &s.Entries[i]
+		b.entries[i] = entry{
+			valid: se.Valid, tag: se.Tag, gen: se.Gen, tick: se.Tick,
+			op: se.Op, result: se.Result,
+			src1Name: se.Src1Name, src2Name: se.Src2Name,
+			src1Val: se.Src1Val, src2Val: se.Src2Val,
+			src1Link: se.Src1Link, src2Link: se.Src2Link,
+			isMem: se.IsMem, isLoad: se.IsLoad,
+			addr: se.Addr, width: se.Width,
+			memValid: se.MemValid, wrongPath: se.WrongPath,
+		}
+	}
+	for i := range b.entries {
+		b.indexLoad(int32(i), &b.entries[i])
+	}
+	b.tick = s.Tick
+	b.stats = Stats{}
+	return nil
+}
+
 // Reset clears the buffer and statistics for a new run. Storage is reused
 // in place when the geometry matches cfg — the steady state of machine
 // reuse, with zero allocations — and rebuilt only on a geometry change.

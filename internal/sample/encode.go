@@ -1,0 +1,35 @@
+package sample
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// checkpointMagic versions the serialized checkpoint format.
+const checkpointMagic = "VPIRCKPT1\n"
+
+// Encode serializes the checkpoint deterministically: the restore state is
+// flattened slices and arrays throughout (no maps), so a fresh encoder over
+// equal state produces byte-identical output — serialize→restore→serialize
+// round-trips exactly, which is what makes checkpoints content-addressable.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagic)
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("sample: encode checkpoint %d: %w", ck.Index, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses a serialized checkpoint.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < len(checkpointMagic) || string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("sample: not a checkpoint (bad magic)")
+	}
+	ck := &Checkpoint{}
+	if err := gob.NewDecoder(bytes.NewReader(b[len(checkpointMagic):])).Decode(ck); err != nil {
+		return nil, fmt.Errorf("sample: decode checkpoint: %w", err)
+	}
+	return ck, nil
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/sample"
 	"github.com/vpir-sim/vpir/internal/vp"
 )
 
@@ -101,6 +102,10 @@ type RunRequest struct {
 	Scale    int        `json:"scale,omitempty"`
 	MaxInsts uint64     `json:"max_insts,omitempty"`
 	Options  SimOptions `json:"options"`
+	// Sample switches the run to checkpointed sampled simulation; the
+	// response then carries a SampleResult. Malformed blocks are rejected
+	// with a structured 400.
+	Sample *SampleBlock `json:"sample,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: either the cross product of
@@ -117,13 +122,21 @@ type SweepRequest struct {
 	Cells    []SweepCellSpec `json:"cells,omitempty"`
 	Scale    int             `json:"scale,omitempty"`
 	MaxInsts uint64          `json:"max_insts,omitempty"`
+	// Sample, at the request level, samples every cell under this plan
+	// (interval_index is not valid here); per-cell blocks on explicit Cells
+	// override it.
+	Sample *SampleBlock `json:"sample,omitempty"`
 }
 
 // SweepCellSpec names one explicit sweep cell: a benchmark under a
-// configuration.
+// configuration, optionally narrowed to one sampled interval.
 type SweepCellSpec struct {
 	Bench   string     `json:"bench"`
 	Options SimOptions `json:"options"`
+	// Sample samples this cell; with IntervalIndex set the cell simulates
+	// exactly one interval of the plan and its SweepLine carries the
+	// per-interval measurement for client-side stitching.
+	Sample *SampleBlock `json:"sample,omitempty"`
 }
 
 // SimStats is the wire form of one simulation's results: the raw counters
@@ -201,6 +214,9 @@ type RunResponse struct {
 	Stats    SimStats `json:"stats"`
 	Output   string   `json:"output"`
 	ExitCode int      `json:"exit_code"`
+	// Sample is the stitched sampling summary of a sampled run; absent
+	// otherwise, so non-sampled responses are byte-identical to before.
+	Sample *SampleResult `json:"sample,omitempty"`
 }
 
 // SweepLine is one NDJSON line of a POST /v1/sweep response: either a
@@ -214,6 +230,24 @@ type SweepLine struct {
 	Config string    `json:"config,omitempty"`
 	Stats  *SimStats `json:"stats,omitempty"`
 	Error  string    `json:"error,omitempty"`
+
+	// Raw carries the cell's raw counters for sampled cells (SimStats holds
+	// only derived metrics, and stitching needs the counters): the interval's
+	// own statistics for interval cells, the stitched whole-program counters
+	// for whole-plan cells.
+	Raw *core.Stats `json:"raw,omitempty"`
+	// Interval is the full per-interval measurement of an interval cell
+	// (sample.interval_index set); a client stitches these, in index order,
+	// into whole-program estimates.
+	Interval *sample.IntervalResult `json:"interval,omitempty"`
+	// Sample is the stitched summary of a whole-plan sampled cell.
+	Sample *SampleResult `json:"sample,omitempty"`
+	// Attempts audits retries on sampled and failed cells: 0 = served from
+	// the runner's cache, 1 = first-try success, n > 1 = n−1 transient
+	// failures were retried before this result. Hedged/retried interval
+	// cells are thereby attributable; plain successful cells omit it so
+	// their lines keep the pre-sampling byte shape.
+	Attempts int `json:"attempts,omitempty"`
 
 	Done   bool `json:"done,omitempty"`
 	Cells  int  `json:"cells,omitempty"`

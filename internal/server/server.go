@@ -274,8 +274,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Sample != nil {
+		if err := req.Sample.Validate(false); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	scale, maxInsts := s.clamp(req.Scale, req.MaxInsts)
-	key := fmt.Sprintf("%s|%d|%d|%s", req.Bench, scale, maxInsts, cfg.Key())
+	// Sampled requests extend the key with the plan; non-sampled keys (and
+	// the store entries they address) are byte-identical to before sampling
+	// existed, so X-Cache semantics are unchanged for existing clients.
+	key := fmt.Sprintf("%s|%d|%d|%s%s", req.Bench, scale, maxInsts, cfg.Key(), req.Sample.KeySuffix())
 
 	s.mu.Lock()
 	body, hit := s.cache.get(key)
@@ -301,19 +310,41 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		s.metrics.AddGauge("server.sims.inflight", 1)
 		start := time.Now()
-		res := s.pool.run(ctx, req.Bench, scale, maxInsts, cfg)
-		s.metrics.AddGauge("server.sims.inflight", -1)
-		s.metrics.Observe("server.run.seconds", runSecondsBounds, time.Since(start).Seconds())
-		if res.err != nil {
-			return nil, res.err
-		}
-		resp := RunResponse{
-			Bench:    req.Bench,
-			Scale:    scale,
-			MaxInsts: maxInsts,
-			Stats:    statsFrom(cfg, res.stats),
-			Output:   res.output,
-			ExitCode: res.exitCode,
+		var resp RunResponse
+		if req.Sample != nil {
+			// Sampled runs go to a per-request harness runner (the pattern
+			// handleSweep uses) so the plan's intervals fan out in parallel
+			// instead of holding one pool worker for the whole program.
+			sum, err := s.runSampled(ctx, req.Bench, scale, maxInsts, cfg, req.Sample)
+			s.metrics.AddGauge("server.sims.inflight", -1)
+			s.metrics.Observe("server.run.seconds", runSecondsBounds, time.Since(start).Seconds())
+			if err != nil {
+				return nil, err
+			}
+			resp = RunResponse{
+				Bench:    req.Bench,
+				Scale:    scale,
+				MaxInsts: maxInsts,
+				Stats:    statsFrom(cfg, sum.Stats),
+				Output:   sum.Output,
+				ExitCode: sum.ExitCode,
+				Sample:   sampleResultFrom(sum),
+			}
+		} else {
+			res := s.pool.run(ctx, req.Bench, scale, maxInsts, cfg)
+			s.metrics.AddGauge("server.sims.inflight", -1)
+			s.metrics.Observe("server.run.seconds", runSecondsBounds, time.Since(start).Seconds())
+			if res.err != nil {
+				return nil, res.err
+			}
+			resp = RunResponse{
+				Bench:    req.Bench,
+				Scale:    scale,
+				MaxInsts: maxInsts,
+				Stats:    statsFrom(cfg, res.stats),
+				Output:   res.output,
+				ExitCode: res.exitCode,
+			}
 		}
 		b, err := json.Marshal(resp)
 		if err != nil {
@@ -403,7 +434,17 @@ func writeJSONBody(w http.ResponseWriter, cacheStatus string, body []byte) {
 // The two request forms are mutually exclusive. The coordinator shares
 // this resolution so a distributed sweep names exactly the cells a
 // single-machine sweep would.
+//
+// A request-level Sample block is normalized here into each resolved cell
+// (explicit cells with their own block keep it), so samplers downstream —
+// the local runner or a remote worker the coordinator hands a cell to —
+// see the same per-cell plan either way.
 func ResolveCells(req SweepRequest) ([]SweepCellSpec, []core.Config, error) {
+	if req.Sample != nil {
+		if err := req.Sample.Validate(false); err != nil {
+			return nil, nil, err
+		}
+	}
 	if len(req.Cells) > 0 {
 		if len(req.Benches) > 0 || len(req.Options) > 0 {
 			return nil, nil, errors.New("sweep takes either cells or benches×options, not both")
@@ -416,6 +457,15 @@ func ResolveCells(req SweepRequest) ([]SweepCellSpec, []core.Config, error) {
 			cfg, err := c.Options.Config()
 			if err != nil {
 				return nil, nil, err
+			}
+			if c.Sample != nil {
+				// Interval indexes are legal here: cells are how a stitcher
+				// (the coordinator, or any client) names one interval.
+				if err := c.Sample.Validate(true); err != nil {
+					return nil, nil, fmt.Errorf("cell %d: %w", i, err)
+				}
+			} else if req.Sample != nil {
+				req.Cells[i].Sample = req.Sample
 			}
 			cfgs[i] = cfg
 		}
@@ -445,7 +495,7 @@ func ResolveCells(req SweepRequest) ([]SweepCellSpec, []core.Config, error) {
 	cfgs := make([]core.Config, 0, len(benches)*len(req.Options))
 	for _, b := range benches {
 		for i, o := range req.Options {
-			specs = append(specs, SweepCellSpec{Bench: b, Options: o})
+			specs = append(specs, SweepCellSpec{Bench: b, Options: o, Sample: req.Sample})
 			cfgs = append(cfgs, optCfgs[i])
 		}
 	}
@@ -478,7 +528,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	cells := make([]harness.SweepCell, len(specs))
 	for i := range specs {
-		cells[i] = harness.SweepCell{Bench: specs[i].Bench, Cfg: cfgs[i]}
+		cells[i] = harness.SweepCell{Bench: specs[i].Bench, Cfg: cfgs[i], Sample: specs[i].Sample.spec()}
 	}
 
 	scale, maxInsts := s.clamp(req.Scale, req.MaxInsts)
@@ -552,9 +602,22 @@ stream:
 				if res.Err != nil {
 					failed++
 					line.Error = res.Err.Error()
+					line.Attempts = res.Attempts
 				} else {
 					st := statsFrom(res.Cfg, res.Stats)
 					line.Stats = &st
+					if res.Interval != nil || res.Summary != nil {
+						// Sampled cells additionally carry their raw counters
+						// (stitching needs counters, SimStats has only derived
+						// metrics), the interval measurement or the stitched
+						// summary, and the retry audit. Plain cells keep their
+						// pre-sampling line shape byte for byte.
+						raw := res.Stats
+						line.Raw = &raw
+						line.Interval = res.Interval
+						line.Sample = sampleResultFrom(res.Summary)
+						line.Attempts = res.Attempts
+					}
 				}
 				if err := enc.Encode(line); err != nil {
 					abort(i + 1)

@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// t95 holds two-sided 95% Student-t critical values indexed by degrees of
+// freedom (1-based); beyond the table the normal value 1.960 is used. Small
+// sampled-simulation runs have few intervals, where the t correction
+// matters most.
+var t95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// T95 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom (df ≤ 0 returns 0).
+func T95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.960
+}
+
+// MeanCI returns the sample mean of xs and the half-width of its two-sided
+// 95% confidence interval (Student t with n−1 degrees of freedom). Fewer
+// than two samples yield a zero half-width: a single interval is a point
+// estimate, not a distribution.
+func MeanCI(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, T95(n-1) * sd / math.Sqrt(float64(n))
+}

@@ -324,6 +324,52 @@ func (t *Table) CorruptValue(r *rand.Rand) (desc string, ok bool) {
 	return fmt.Sprintf("vpt[%d] pc=%#x value^=%#x", victim, e.tag, uint32(mask)), true
 }
 
+// SnapEntry is the exported form of one table entry, used by Snapshot.
+type SnapEntry struct {
+	Valid  bool
+	Tag    uint32
+	Value  isa.Word
+	Stride isa.Word
+	Conf   uint8
+	Tick   uint64
+}
+
+// Snapshot is the complete warm state of a Table, entries in set-major
+// order. Statistics are not captured: a restored table counts from zero.
+type Snapshot struct {
+	Cfg     Config
+	Tick    uint64
+	Entries []SnapEntry
+}
+
+// Snapshot captures the table's warm state.
+func (t *Table) Snapshot() *Snapshot {
+	s := &Snapshot{Cfg: t.cfg, Tick: t.tick, Entries: make([]SnapEntry, len(t.entries))}
+	for i := range t.entries {
+		e := &t.entries[i]
+		s.Entries[i] = SnapEntry{Valid: e.valid, Tag: e.tag, Value: e.value,
+			Stride: e.stride, Conf: e.conf, Tick: e.tick}
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the table to a captured warm state (geometry must
+// match); statistics are zeroed.
+func (t *Table) RestoreSnapshot(s *Snapshot) error {
+	if s.Cfg != t.cfg || len(s.Entries) != len(t.entries) {
+		return fmt.Errorf("vp: snapshot geometry mismatch (snapshot %+v/%d entries, table %+v/%d)",
+			s.Cfg, len(s.Entries), t.cfg, len(t.entries))
+	}
+	for i := range t.entries {
+		se := &s.Entries[i]
+		t.entries[i] = entry{valid: se.Valid, tag: se.Tag, value: se.Value,
+			stride: se.Stride, conf: se.Conf, tick: se.Tick}
+	}
+	t.tick = s.Tick
+	t.stats = Stats{}
+	return nil
+}
+
 // Reset clears the table and statistics for a new run. Storage is reused
 // in place when the geometry matches cfg (zero allocations in the machine
 // reuse steady state) and rebuilt only on a geometry change.

@@ -62,6 +62,12 @@ if ! go run ./scripts/uismoke -bin "$uitmp/vpir-server"; then
 fi
 rm -rf "$uitmp"
 
+echo "== sampled-simulation smoke (bit-identity + stitched-IPC tolerance) =="
+# On two kernels: a 100%-coverage sampling plan must reproduce the
+# non-sampled run bit for bit, and a sparse plan's stitched IPC must land
+# within tolerance of the full-detail IPC (see docs/sampling.md).
+go run ./scripts/samplesmoke
+
 # Opt-in profiling pass: VPIR_PROFILE=1 scripts/check.sh additionally
 # captures CPU and allocation profiles of the three pipeline variants into
 # profiles/ (same as `make profile`; see docs/performance.md).

@@ -1,0 +1,87 @@
+// Command samplesmoke is the sampled-simulation smoke gate run by
+// `make sample-smoke` (and `make check`). On two kernels it checks the two
+// properties docs/sampling.md promises:
+//
+//  1. A 100%-coverage plan whose single interval covers the whole program
+//     is bit-identical to the non-sampled run — same cycles, same counters,
+//     same architectural output.
+//  2. A sparse plan's stitched IPC lands within a fixed tolerance of the
+//     full-detail IPC, so the estimator is wired to the right counters
+//     (a unit mix-up is a >10% error; genuine sampling bias at these plan
+//     sizes is a few percent).
+//
+// Exit status is the verdict; output is deterministic on success.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	vpir "github.com/vpir-sim/vpir"
+)
+
+const (
+	maxInsts = 80_000
+	// ipcTolerance bounds the relative stitched-IPC error of the sparse
+	// plan. Sampling bias at this interval size is ~1-3%; 10% catches
+	// estimator bugs without flaking on real bias.
+	ipcTolerance = 0.10
+)
+
+func main() {
+	kernels := []string{"compress", "go"}
+	for _, k := range kernels {
+		if err := smoke(k); err != nil {
+			fmt.Fprintf(os.Stderr, "sample-smoke: %s: %v\n", k, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("sample-smoke: PASS (%d kernels: full-coverage bit-identity, sparse IPC within %.0f%%)\n",
+		len(kernels), ipcTolerance*100)
+}
+
+func smoke(kernel string) error {
+	full, err := vpir.RunBenchmark(kernel, 1, vpir.Options{MaxInsts: maxInsts})
+	if err != nil {
+		return fmt.Errorf("full run: %w", err)
+	}
+
+	// Gate 1: one interval covering the whole program must reproduce the
+	// non-sampled run bit for bit.
+	exact, err := vpir.RunBenchmark(kernel, 1, vpir.Options{
+		MaxInsts: maxInsts,
+		Sample:   &vpir.SampleOptions{Interval: 1 << 40},
+	})
+	if err != nil {
+		return fmt.Errorf("100%%-coverage run: %w", err)
+	}
+	if exact.Sample == nil || !exact.Sample.Exact || exact.Sample.Intervals != 1 {
+		return fmt.Errorf("100%%-coverage run not exact: %+v", exact.Sample)
+	}
+	a, b := full, exact
+	a.Sample, b.Sample = nil, nil
+	if a != b {
+		return fmt.Errorf("100%%-coverage run diverges from the full run:\nfull:    %+v\nsampled: %+v", a, b)
+	}
+
+	// Gate 2: a sparse plan's stitched IPC within tolerance of the truth.
+	sparse, err := vpir.RunBenchmark(kernel, 1, vpir.Options{
+		MaxInsts: maxInsts,
+		Sample:   &vpir.SampleOptions{Interval: 5_000, Every: 4, Warmup: 1_000},
+	})
+	if err != nil {
+		return fmt.Errorf("sparse run: %w", err)
+	}
+	if sparse.Sample == nil || sparse.Sample.Exact || sparse.Sample.Coverage >= 1 {
+		return fmt.Errorf("sparse run did not sample: %+v", sparse.Sample)
+	}
+	relErr := math.Abs(sparse.IPC-full.IPC) / full.IPC
+	if relErr > ipcTolerance {
+		return fmt.Errorf("stitched IPC %.4f vs full %.4f: %.1f%% error exceeds %.0f%%",
+			sparse.IPC, full.IPC, relErr*100, ipcTolerance*100)
+	}
+	fmt.Printf("sample-smoke: %s ok (full IPC %.4f, stitched %.4f at %.0f%% coverage, err %.2f%%)\n",
+		kernel, full.IPC, sparse.IPC, sparse.Sample.Coverage*100, relErr*100)
+	return nil
+}

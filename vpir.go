@@ -32,6 +32,7 @@ import (
 	"github.com/vpir-sim/vpir/internal/harness"
 	"github.com/vpir-sim/vpir/internal/prog"
 	"github.com/vpir-sim/vpir/internal/redundancy"
+	"github.com/vpir-sim/vpir/internal/sample"
 	"github.com/vpir-sim/vpir/internal/server"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
@@ -82,6 +83,29 @@ type Options struct {
 	// pipeline events. The collected data comes back in Result.Obs. A nil
 	// Metrics keeps the fully uninstrumented fast path.
 	Metrics *MetricsOptions
+
+	// Sample, when non-nil, switches the run to checkpointed sampled
+	// simulation: one functional pass with functional warming captures
+	// checkpoints, the sampled intervals are simulated in detail in parallel,
+	// and the per-interval statistics are stitched into whole-program
+	// estimates (Result.Sample carries the coverage and confidence
+	// intervals). A plan covering the whole program in one interval is
+	// bit-identical to a non-sampled run. Only benchmark runs can be sampled
+	// (RunSource rejects it), and Metrics is unsupported under sampling.
+	Sample *SampleOptions
+}
+
+// SampleOptions is a checkpointed-sampling plan (see docs/sampling.md).
+type SampleOptions struct {
+	// Interval is the length of each measured interval in dynamic
+	// instructions (required).
+	Interval uint64
+	// Every measures one interval out of this many (0 or 1 = all of them,
+	// i.e. 100% coverage; k>1 ≈ 1/k coverage).
+	Every uint64
+	// Warmup is the number of detailed-warmup instructions simulated before
+	// each measured interval and then discarded from its statistics.
+	Warmup uint64
 }
 
 // MetricsOptions tunes the observability instrumentation (see
@@ -146,6 +170,31 @@ type Result struct {
 	// Obs carries the observability data when Options.Metrics was set;
 	// nil otherwise.
 	Obs *Obs
+
+	// Sample carries the sampling summary when Options.Sample was set; nil
+	// otherwise. All the headline fields above are then whole-program
+	// estimates (exact sums at 100% coverage, ratio-scaled otherwise).
+	Sample *SampleSummary
+}
+
+// SampleSummary describes how a sampled run covered the program.
+type SampleSummary struct {
+	Intervals    int
+	TotalInsts   uint64
+	SampledInsts uint64
+	Coverage     float64 // SampledInsts / TotalInsts
+	Exact        bool    // true when every instruction was measured
+	// CIs are two-sided 95% confidence intervals of the derived metrics
+	// across the sampled intervals.
+	CIs []MetricCI
+}
+
+// MetricCI is one metric's confidence interval: Mean ± Half covers the
+// metric's per-interval values at 95% confidence.
+type MetricCI struct {
+	Name string
+	Mean float64
+	Half float64
 }
 
 // Obs is the observability payload of an instrumented run: the sampled
@@ -186,11 +235,20 @@ func (ob *Obs) WriteEventsJSONL(w io.Writer) error { return ob.o.Events().WriteJ
 func (ob *Obs) WritePrometheus(w io.Writer) error { return ob.o.Registry().WritePrometheus(w) }
 
 func resultFrom(m *core.Machine) Result {
-	s := m.Stats()
+	res := resultFromStats(m.Config().Name(), m.Stats(), m.Output(), m.ExitCode())
+	if o := m.Observer(); o != nil {
+		res.Obs = &Obs{o: o}
+	}
+	return res
+}
+
+// resultFromStats derives the public result from raw counters; sampled runs
+// use it with stitched whole-program statistics.
+func resultFromStats(config string, s core.Stats, output string, exitCode int) Result {
 	rp, rm := s.VPResultRates()
 	ap, am := s.VPAddrRates()
-	res := Result{
-		Config:                   m.Config().Name(),
+	return Result{
+		Config:                   config,
 		Cycles:                   s.Cycles,
 		Committed:                s.Committed,
 		Executed:                 s.Executed,
@@ -210,13 +268,9 @@ func resultFrom(m *core.Machine) Result {
 		ExecTimesPct:             s.ExecTimesPct(),
 		Contention:               s.Contention(),
 		MeanBranchResolveLatency: s.MeanBrResolveLat(),
-		Output:                   m.Output(),
-		ExitCode:                 m.ExitCode(),
+		Output:                   output,
+		ExitCode:                 exitCode,
 	}
-	if o := m.Observer(); o != nil {
-		res.Obs = &Obs{o: o}
-	}
-	return res
 }
 
 // Benchmarks returns the seven benchmark names in the paper's order.
@@ -242,6 +296,9 @@ func BenchmarkInfos() []BenchmarkInfo {
 }
 
 func runProgram(p *prog.Program, opt Options) (Result, error) {
+	if opt.Sample != nil {
+		return Result{}, fmt.Errorf("vpir: sampling requires a registered benchmark (use RunBenchmark)")
+	}
 	cfg, err := opt.config()
 	if err != nil {
 		return Result{}, err
@@ -274,20 +331,63 @@ func runProgram(p *prog.Program, opt Options) (Result, error) {
 }
 
 // RunBenchmark simulates one of the built-in benchmarks at the given scale
-// (1 = the standard ~0.2-1M instruction runs).
+// (1 = the standard ~0.2-1M instruction runs; larger scales multiply the
+// kernels' iteration counts, the paper-scale workload mode that sampling
+// makes tractable).
 func RunBenchmark(name string, scale int, opt Options) (Result, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	if opt.Sample != nil {
+		return runBenchmarkSampled(name, scale, opt)
+	}
 	w, err := workload.Get(name)
 	if err != nil {
 		return Result{}, err
-	}
-	if scale < 1 {
-		scale = 1
 	}
 	p, err := w.Load(scale)
 	if err != nil {
 		return Result{}, err
 	}
 	return runProgram(p, opt)
+}
+
+// runBenchmarkSampled is the checkpointed-sampling path: the harness fans
+// the plan's intervals across a worker pool and stitches the results.
+func runBenchmarkSampled(name string, scale int, opt Options) (Result, error) {
+	if opt.Metrics != nil {
+		return Result{}, fmt.Errorf("vpir: Metrics instrumentation is not supported with Sample")
+	}
+	cfg, err := opt.config()
+	if err != nil {
+		return Result{}, err
+	}
+	r := harness.NewRunner()
+	r.Scale = scale
+	r.MaxInsts = opt.MaxInsts
+	r.Timeout = opt.Timeout
+	plan := sample.Plan{Interval: opt.Sample.Interval, Every: opt.Sample.Every, Warmup: opt.Sample.Warmup}
+	sum, err := r.RunSampled(context.Background(), name, cfg, plan)
+	if err != nil {
+		return Result{}, err
+	}
+	res := resultFromStats(cfg.Name(), sum.Stats, sum.Output, sum.ExitCode)
+	res.Sample = sampleSummary(sum)
+	return res, nil
+}
+
+func sampleSummary(sum *sample.Summary) *SampleSummary {
+	out := &SampleSummary{
+		Intervals:    sum.Intervals,
+		TotalInsts:   sum.TotalInsts,
+		SampledInsts: sum.SampledInsts,
+		Coverage:     sum.Coverage,
+		Exact:        sum.Exact,
+	}
+	for _, ci := range sum.CIs {
+		out.CIs = append(out.CIs, MetricCI{Name: ci.Name, Mean: ci.Mean, Half: ci.Half})
+	}
+	return out
 }
 
 // RunSource assembles the given assembly program (see the README for the
