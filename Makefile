@@ -55,8 +55,10 @@ smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos|TestDurableStore|TestAllBackendsDown|TestHedgedStragglers' -count 1 ./internal/coord/
 
-# Golden-result corpus: every benchmark x {base, VP, IR} against the
-# snapshots in testdata/golden. Runs inside `make test` too; this target
+# Golden-result corpus: every benchmark x every registered technique
+# against the snapshots in testdata/golden (the cell list auto-enumerates
+# the technique registry, and a completeness check fails any registered
+# name without a committed snapshot). Runs inside `make test` too; this target
 # names it for the pre-commit gate and for quick one-off checks. After a
 # deliberate core change, regenerate with:
 #   $(GO) test -run TestGoldenCorpus -update . && git diff testdata/golden
@@ -87,13 +89,13 @@ ui-smoke:
 sample-smoke:
 	$(GO) run ./scripts/samplesmoke
 
-# Total-coverage gate: fails below the 70% floor. Writes cover.out for
+# Total-coverage gate: fails below the 75% floor. Writes cover.out for
 # `go tool cover -html=cover.out` spelunking.
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "total coverage: $$total%"; \
-	awk -v t="$$total" 'BEGIN { if (t+0 < 70) { print "cover: $$total% is below the 70% floor"; exit 1 } }'
+	awk -v t="$$total" 'BEGIN { if (t+0 < 75) { print "cover: $$total% is below the 75% floor"; exit 1 } }'
 
 check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke ui-smoke sample-smoke
 	@echo "check: all gates passed"

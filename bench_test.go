@@ -96,6 +96,27 @@ func BenchmarkSimVP(b *testing.B) {
 	benchMachine(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1), false)
 }
 
+// Per-technique throughput for the extension predictors and the hybrid
+// arbitration policies: each registered technique family has a BenchmarkSim*
+// cell under bench-check's simcycles/s threshold and allocs/op ceiling, so a
+// predictor whose lookup path regresses (or starts allocating) fails the
+// perf gate like the paper configurations do.
+func BenchmarkSimVPStride(b *testing.B) {
+	benchMachine(b, core.VPChoice(vp.Stride, core.SB, core.ME, 1), false)
+}
+func BenchmarkSimVP2Delta(b *testing.B) {
+	benchMachine(b, core.VPChoice(vp.TwoDelta, core.SB, core.ME, 1), false)
+}
+func BenchmarkSimVPFCM(b *testing.B) {
+	benchMachine(b, core.VPChoice(vp.FCM, core.SB, core.ME, 1), false)
+}
+func BenchmarkSimHybrid(b *testing.B) {
+	benchMachine(b, core.HybridChoice(vp.Magic, core.SB, core.ME, 1), false)
+}
+func BenchmarkSimHybridConf(b *testing.B) {
+	benchMachine(b, core.HybridConfChoice(vp.Magic, core.SB, core.ME, 1), false)
+}
+
 // BenchmarkSimBaseMetrics is the instrumented counterpart of
 // BenchmarkSimBase: same machine with an Observer attached at the default
 // sampling interval, to keep the cost of enabled observability visible.

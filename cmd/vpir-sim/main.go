@@ -5,7 +5,13 @@
 //
 //	vpir-sim -bench compress -tech ir
 //	vpir-sim -bench go -tech vp -scheme lvp -resolution nsb -vlat 1
+//	vpir-sim -bench compress -tech vp_2delta
+//	vpir-sim -bench gcc -tech hybrid_conf -scheme fcm
 //	vpir-sim -file prog.s -tech base
+//
+// -tech accepts any name in the technique registry (see -list); unknown
+// names and knobs a technique does not consume are rejected, never
+// silently mapped to a different machine.
 //
 // Checkpointed sampling (see docs/sampling.md) makes paper-scale workloads
 // tractable: -sample N measures one interval in every N (1 = all of them,
@@ -32,6 +38,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 
 	"github.com/vpir-sim/vpir"
 )
@@ -44,10 +51,11 @@ func run() int {
 	bench := flag.String("bench", "", "benchmark name (go, m88ksim, ijpeg, perl, vortex, gcc, compress)")
 	file := flag.String("file", "", "assembly source file to run instead of a benchmark")
 	scale := flag.Int("scale", 1, "workload scale factor")
-	tech := flag.String("tech", "base", "technique: base, vp, ir")
-	scheme := flag.String("scheme", "magic", "vp scheme: magic or lvp")
-	resolution := flag.String("resolution", "sb", "vp branch resolution: sb or nsb")
-	reexec := flag.String("reexec", "me", "vp re-execution policy: me or nme")
+	tech := flag.String("tech", "base",
+		"technique: "+strings.Join(vpir.Techniques(), ", "))
+	scheme := flag.String("scheme", "", "vp scheme: magic (default), lvp, stride, 2delta or fcm")
+	resolution := flag.String("resolution", "", "vp branch resolution: sb (default) or nsb")
+	reexec := flag.String("reexec", "", "vp re-execution policy: me (default) or nme")
 	vlat := flag.Int("vlat", 0, "vp verification latency in cycles")
 	late := flag.Bool("late", false, "ir: late validation (Figure 3 'late')")
 	maxInsts := flag.Uint64("maxinsts", 0, "cap dynamic instructions (0 = full run)")
@@ -55,7 +63,7 @@ func run() int {
 	intervalLen := flag.Uint64("interval", 100_000, "sampling: measured interval length in instructions")
 	warmup := flag.Uint64("warmup", 0, "sampling: detailed-warmup instructions before each interval (discarded)")
 	showOutput := flag.Bool("output", false, "print the program's output")
-	list := flag.Bool("list", false, "list the benchmarks and exit")
+	list := flag.Bool("list", false, "list the benchmarks and registered techniques, then exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none), e.g. 30s")
 	watchdog := flag.Int64("watchdog", 0, "livelock watchdog: abort after N cycles without a retirement (0 = default, negative = off)")
 
@@ -71,8 +79,13 @@ func run() int {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("benchmarks:")
 		for _, b := range vpir.BenchmarkInfos() {
-			fmt.Printf("%-9s %s\n", b.Name, b.Desc)
+			fmt.Printf("  %-12s %s\n", b.Name, b.Desc)
+		}
+		fmt.Println("techniques:")
+		for _, name := range vpir.Techniques() {
+			fmt.Printf("  %-12s %s\n", name, vpir.TechniqueDesc(name))
 		}
 		return 0
 	}
@@ -166,13 +179,16 @@ func run() int {
 	fmt.Printf("squashes              %d (%d spurious)\n", res.Squashes, res.SpuriousSquashes)
 	fmt.Printf("branch resolve lat    %.2f cycles\n", res.MeanBranchResolveLatency)
 	fmt.Printf("resource contention   %.4f\n", res.Contention)
-	switch opt.Technique {
-	case vpir.IR:
+	// The technique families share stat blocks: every hybrid reports both
+	// its reuse and its prediction split.
+	name := string(opt.Technique)
+	if name == "ir" || strings.HasPrefix(name, "hybrid") {
 		fmt.Printf("reused results        %.1f%%\n", res.ReuseResultRate)
 		fmt.Printf("reused addresses      %.1f%%\n", res.ReuseAddrRate)
 		fmt.Printf("exec squashed         %.1f%%\n", res.ExecSquashedPct)
 		fmt.Printf("squashed recovered    %.1f%%\n", res.RecoveredPct)
-	case vpir.VP:
+	}
+	if strings.HasPrefix(name, "vp") || strings.HasPrefix(name, "hybrid") {
 		fmt.Printf("results predicted     %.1f%% (+%.1f%% wrong)\n", res.VPResultPred, res.VPResultMispred)
 		fmt.Printf("addresses predicted   %.1f%% (+%.1f%% wrong)\n", res.VPAddrPred, res.VPAddrMispred)
 		fmt.Printf("exec 1/2/3+ times     %.1f%% / %.1f%% / %.1f%%\n",

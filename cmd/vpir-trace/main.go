@@ -14,11 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/vpir-sim/vpir/internal/asm"
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/prog"
-	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/technique"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
@@ -26,9 +27,10 @@ func main() {
 	bench := flag.String("bench", "", "benchmark name")
 	file := flag.String("file", "", "assembly source file")
 	scale := flag.Int("scale", 1, "workload scale")
-	tech := flag.String("tech", "base", "technique: base, vp, ir, hybrid")
-	scheme := flag.String("scheme", "magic", "vp scheme: magic, lvp, stride")
-	resolution := flag.String("resolution", "sb", "vp branch resolution: sb or nsb")
+	tech := flag.String("tech", "base",
+		"technique: "+strings.Join(technique.Names(), ", "))
+	scheme := flag.String("scheme", "", "vp scheme: magic (default), lvp, stride, 2delta or fcm")
+	resolution := flag.String("resolution", "", "vp branch resolution: sb (default) or nsb")
 	vlat := flag.Int("vlat", 0, "vp verification latency")
 	n := flag.Int("n", 48, "number of instructions to trace")
 	cols := flag.Int("cols", 100, "max cycle columns to render")
@@ -56,33 +58,13 @@ func main() {
 		fail(err)
 	}
 
-	var sch vp.Scheme
-	switch *scheme {
-	case "magic":
-		sch = vp.Magic
-	case "lvp":
-		sch = vp.LVP
-	case "stride":
-		sch = vp.Stride
-	default:
-		fail(fmt.Errorf("unknown scheme %q", *scheme))
-	}
-	res := core.SB
-	if *resolution == "nsb" {
-		res = core.NSB
-	}
-	var cfg core.Config
-	switch *tech {
-	case "base":
-		cfg = core.DefaultConfig()
-	case "ir":
-		cfg = core.IRChoice(false)
-	case "vp":
-		cfg = core.VPChoice(sch, res, core.ME, *vlat)
-	case "hybrid":
-		cfg = core.HybridChoice(sch, res, core.ME, *vlat)
-	default:
-		fail(fmt.Errorf("unknown technique %q", *tech))
+	cfg, err := technique.Resolve(*tech, technique.Knobs{
+		Scheme:           *scheme,
+		BranchResolution: *resolution,
+		VerifyLatency:    *vlat,
+	})
+	if err != nil {
+		fail(err)
 	}
 
 	m, err := core.New(p, cfg, 0)

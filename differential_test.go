@@ -4,17 +4,48 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/technique"
+	"github.com/vpir-sim/vpir/internal/workload"
 )
 
+// randOptions draws a random valid knob set for a registered technique:
+// only knobs the technique consumes are set, so every trial resolves (the
+// strict knob validation rejects mismatched combinations by design).
+func randOptions(rng *rand.Rand, tech string) Options {
+	pickS := func(vals ...string) string { return vals[rng.Intn(len(vals))] }
+	opt := Options{Technique: Technique(tech)}
+	switch tech {
+	case "base":
+	case "ir":
+		opt.LateValidation = rng.Intn(2) == 0
+	default: // the VP family: vp, vp_*, hybrid, hybrid_conf
+		switch tech {
+		case "vp", "hybrid", "hybrid_conf":
+			opt.Scheme = pickS("magic", "lvp", "stride", "2delta", "fcm")
+		}
+		opt.BranchResolution = pickS("sb", "nsb")
+		opt.Reexec = pickS("me", "nme")
+		opt.VerifyLatency = rng.Intn(2)
+		if tech == "hybrid" || tech == "hybrid_conf" {
+			opt.LateValidation = rng.Intn(2) == 0
+		}
+	}
+	return opt
+}
+
 // TestSpeculationPerformanceOnly is the public-API differential property:
-// for randomized valid option sets, VP, IR and hybrid runs must produce
-// bit-identical architectural results (Output, ExitCode, committed
-// instruction count) to the base machine — speculation may only change
-// timing, never outcomes. The subtests run in parallel, so `go test -race`
-// (the make check default) also exercises concurrent machines over the
-// shared program cache. internal/core's TestDifferentialRandomConfigs
-// covers the same property under structural (window/table/cache geometry)
-// fuzzing; this test covers every knob reachable through Options.
+// for randomized valid option sets of EVERY registered technique, the run
+// must produce bit-identical architectural results (Output, ExitCode,
+// committed instruction count) to the base machine — speculation may only
+// change timing, never outcomes. The trial list enumerates the technique
+// registry, so a newly registered scheme is differentially validated with
+// no test change. The subtests run in parallel, so `go test -race` (the
+// make check default) also exercises concurrent machines over the shared
+// program cache. internal/core's TestDifferentialRandomConfigs covers the
+// same property under structural (window/table/cache geometry) fuzzing;
+// this test covers every knob reachable through Options.
 func TestSpeculationPerformanceOnly(t *testing.T) {
 	const maxInsts = 25_000
 	rng := rand.New(rand.NewSource(3))
@@ -25,26 +56,17 @@ func TestSpeculationPerformanceOnly(t *testing.T) {
 		opt   Options
 	}
 	var trials []trial
-	for i := 0; i < 8; i++ {
-		bench := benches[rng.Intn(len(benches))]
-		pickS := func(vals ...string) string { return vals[rng.Intn(len(vals))] }
-		opt := Options{
-			Scheme:           pickS("magic", "lvp", "stride"),
-			BranchResolution: pickS("sb", "nsb"),
-			Reexec:           pickS("me", "nme"),
-			VerifyLatency:    rng.Intn(2),
-			LateValidation:   rng.Intn(2) == 0,
-			MaxInsts:         maxInsts,
+	// Two random knob draws per registered technique (base excluded — it is
+	// the oracle side of every comparison), each on a random benchmark.
+	for _, tech := range Techniques() {
+		if tech == "base" {
+			continue
 		}
-		switch rng.Intn(3) {
-		case 0:
-			opt.Technique = VP
-		case 1:
-			opt.Technique = IR
-		default:
-			opt.Technique = Hybrid
+		for i := 0; i < 2; i++ {
+			opt := randOptions(rng, tech)
+			opt.MaxInsts = maxInsts
+			trials = append(trials, trial{benches[rng.Intn(len(benches))], opt})
 		}
-		trials = append(trials, trial{bench, opt})
 	}
 
 	// One base run per distinct benchmark is the shared oracle.
@@ -78,6 +100,63 @@ func TestSpeculationPerformanceOnly(t *testing.T) {
 			}
 			if res.Committed != b.Committed {
 				t.Errorf("%+v: Committed %d != base %d", tr.opt, res.Committed, b.Committed)
+			}
+		})
+	}
+}
+
+// TestResetDeterminismAllTechniques pins Machine.Reset's determinism
+// contract across the registry: for every registered technique (default
+// knobs), a machine that ran once and was Reset must reproduce a fresh
+// machine's Stats, Output and ExitCode bit for bit on the rerun. This is
+// what lets pooled workers reuse machines across requests for any
+// technique a client may name.
+func TestResetDeterminismAllTechniques(t *testing.T) {
+	const maxInsts = 20_000
+	w, err := workload.Get("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Techniques() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := technique.Resolve(name, technique.Knobs{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := core.New(p, cfg, maxInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Run(0); err != nil {
+				t.Fatal(err)
+			}
+
+			reused, err := core.New(p, cfg, maxInsts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Reset(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Run(0); err != nil {
+				t.Fatal(err)
+			}
+
+			if fresh.Stats() != reused.Stats() {
+				t.Errorf("Reset run's Stats diverged from fresh run\n got: %+v\nwant: %+v",
+					reused.Stats(), fresh.Stats())
+			}
+			if fresh.Output() != reused.Output() || fresh.ExitCode() != reused.ExitCode() {
+				t.Errorf("Reset run's Output/ExitCode diverged from fresh run")
 			}
 		})
 	}

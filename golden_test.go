@@ -14,21 +14,28 @@ var updateGolden = flag.Bool("update", false, "rewrite the testdata/golden snaps
 
 // goldenMaxInsts truncates the corpus runs: long enough that every paper
 // metric is exercised on real pipeline behavior, short enough that the
-// whole 28-cell corpus stays in tier-1 time budgets.
+// whole benchmarks × registered-techniques corpus stays in tier-1 time
+// budgets.
 const goldenMaxInsts = 120_000
 
-// goldenConfigs is the corpus axis: every benchmark under the base
-// machine, the paper's default VP machine, the paper's IR machine, and the
-// hybrid machine (IR first, VP on reuse misses) — the hybrid cells pin the
-// interaction of the two techniques, which no single-technique cell covers.
-var goldenConfigs = []struct {
+// goldenConfigs is the corpus axis: every benchmark under every registered
+// technique at default knobs, enumerated from the technique registry. The
+// label is the registry name, so a newly registered scheme gets corpus
+// cells automatically — and TestGoldenCorpusComplete fails until its
+// snapshots are generated and committed, so a new scheme can't merge
+// unvalidated. The hybrid cells pin the interaction of reuse and
+// prediction, which no single-technique cell covers.
+type goldenConfig struct {
 	Label string
 	Opt   Options
-}{
-	{"base", Options{}},
-	{"vp", Options{Technique: VP}},
-	{"ir", Options{Technique: IR}},
-	{"hybrid", Options{Technique: Hybrid}},
+}
+
+func goldenConfigs() []goldenConfig {
+	var out []goldenConfig
+	for _, name := range Techniques() {
+		out = append(out, goldenConfig{name, Options{Technique: Technique(name)}})
+	}
+	return out
 }
 
 // goldenRecord pins every paper-relevant number of one (benchmark,
@@ -105,7 +112,7 @@ func TestGoldenCorpus(t *testing.T) {
 		}
 	}
 	for _, bench := range Benchmarks() {
-		for _, gc := range goldenConfigs {
+		for _, gc := range goldenConfigs() {
 			bench, gc := bench, gc
 			t.Run(bench+"/"+gc.Label, func(t *testing.T) {
 				t.Parallel()
@@ -160,7 +167,7 @@ func TestGoldenCorpusComplete(t *testing.T) {
 	}
 	want := make(map[string]bool)
 	for _, bench := range Benchmarks() {
-		for _, gc := range goldenConfigs {
+		for _, gc := range goldenConfigs() {
 			want[fmt.Sprintf("%s_%s.json", bench, gc.Label)] = true
 		}
 	}

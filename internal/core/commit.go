@@ -26,12 +26,7 @@ func (m *Machine) commit() error {
 			m.dcPortsUsed++
 			m.dcache.Access(e.addr)
 			emu.StoreValue(m.mem, e.in.Op, e.addr, e.srcVal[1])
-			if m.rb != nil {
-				killed := m.rb.InvalidateStores(e.addr, emu.StoreWidth(e.in.Op))
-				if killed > 0 && m.obs != nil {
-					m.obs.reuseInvalidateEvent(m.cycle, e.pc, e.seq, killed)
-				}
-			}
+			m.tech.onStoreCommit(m, e)
 		}
 
 		if err := m.checkOracle(e); err != nil {
@@ -172,8 +167,9 @@ func (m *Machine) commitStats(e *robEntry) {
 	}
 }
 
-// trainPredictors updates the branch predictor, BTB, and value prediction
-// tables with non-speculative outcomes.
+// trainPredictors updates the branch predictor and BTB with non-speculative
+// outcomes, then hands the entry to the active technique to train its own
+// tables (VPT/VPA for the value-predicting techniques).
 func (m *Machine) trainPredictors(e *robEntry) {
 	op := e.in.Op
 	if op.IsCondBranch() {
@@ -183,12 +179,7 @@ func (m *Machine) trainPredictors(e *robEntry) {
 	if op.IsIndirect() {
 		m.bp.UpdateBTB(e.pc, e.actualNext)
 	}
-	if m.vpt != nil && e.in.Dest != isa.NoReg && !op.IsControl() && !op.Serializes() {
-		m.vpt.Train(e.pc, e.result, e.predVal, e.predicted)
-	}
-	if m.vpa != nil && op.IsMem() {
-		m.vpa.Train(e.pc, isa.Word(e.addr), isa.Word(e.predAddrVal), e.addrPred)
-	}
+	m.tech.atCommit(m, e)
 }
 
 // doSyscall applies a system call against committed state; mirrors the

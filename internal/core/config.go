@@ -52,6 +52,28 @@ func (t Technique) String() string {
 	return "base"
 }
 
+// HybridPolicy selects how the hybrid machine arbitrates between the reuse
+// test and the value predictor at decode.
+type HybridPolicy int
+
+const (
+	// HybridSerial is the original fixed policy: reuse when the test
+	// passes, value predict otherwise ("IR first, else VP").
+	HybridSerial HybridPolicy = iota
+	// HybridConf is confidence-aware arbitration: reuse still goes first,
+	// but a value prediction is only accepted at saturated confidence, and
+	// the address table is not consulted when the reuse test already
+	// supplied the address non-speculatively.
+	HybridConf
+)
+
+func (h HybridPolicy) String() string {
+	if h == HybridConf {
+		return "conf"
+	}
+	return "serial"
+}
+
 // BranchResolution says how branches with value-speculative operands are
 // handled (§4.1.4).
 type BranchResolution int
@@ -132,6 +154,9 @@ type Config struct {
 	Bpred  bpred.Config
 
 	Technique Technique
+	// HybridArb selects the hybrid arbitration policy; ignored unless
+	// Technique is TechHybrid.
+	HybridArb HybridPolicy
 	VP        VPConfig
 	IR        IRConfig
 
@@ -209,6 +234,31 @@ func HybridChoice(scheme vp.Scheme, res BranchResolution, re ReexecPolicy, verif
 	return c
 }
 
+// HybridConfChoice builds the hybrid machine with confidence-aware
+// arbitration instead of the fixed "IR first, else VP" policy.
+func HybridConfChoice(scheme vp.Scheme, res BranchResolution, re ReexecPolicy, verifyLat int) Config {
+	c := HybridChoice(scheme, res, re, verifyLat)
+	c.HybridArb = HybridConf
+	return c
+}
+
+// NeedsVPT reports whether this configuration instantiates the result
+// value-prediction table; NeedsVPA the address table; NeedsRB the reuse
+// buffer. buildStructures and the sampling warmer (internal/sample) both
+// key off these, so the structures the checkpoint warmer fills and the
+// structures the timing machine builds can never disagree.
+func (c Config) NeedsVPT() bool {
+	return c.Technique == TechVP || c.Technique == TechHybrid
+}
+
+// NeedsVPA reports whether the effective-address prediction table exists.
+func (c Config) NeedsVPA() bool { return c.NeedsVPT() && c.VP.PredictAddresses }
+
+// NeedsRB reports whether the reuse buffer exists.
+func (c Config) NeedsRB() bool {
+	return c.Technique == TechIR || c.Technique == TechHybrid
+}
+
 // Validate checks internal consistency.
 func (c Config) Validate() error {
 	switch {
@@ -224,6 +274,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: WBWidth must be positive")
 	case c.Technique == TechVP && c.VP.VerifyLat < 0:
 		return fmt.Errorf("core: negative verification latency")
+	case c.Technique < TechNone || c.Technique > TechHybrid:
+		return fmt.Errorf("core: unknown technique %d", c.Technique)
+	case c.HybridArb < HybridSerial || c.HybridArb > HybridConf:
+		return fmt.Errorf("core: unknown hybrid arbitration policy %d", c.HybridArb)
+	case c.NeedsVPT() && (c.VP.Scheme < vp.Magic || c.VP.Scheme > vp.FCM):
+		return fmt.Errorf("core: unknown VP scheme %d", c.VP.Scheme)
 	}
 	return nil
 }
@@ -239,11 +295,11 @@ func (c Config) Validate() error {
 // and fails if a future field is ever left out of the key.
 func (c Config) Key() string {
 	return fmt.Sprintf("fw%d dw%d iw%d cw%d wb%d rob%d lsq%d br%d fq%d "+
-		"alu%d mp%d fpa%d ic%+v dc%+v bp%+v tech%d "+
+		"alu%d mp%d fpa%d ic%+v dc%+v bp%+v tech%d hp%d "+
 		"vp{s%d r%d x%d vl%d pa%t rt%+v at%+v} ir{late%t rb%+v} wd%d",
 		c.FetchWidth, c.DecodeWidth, c.IssueWidth, c.CommitWidth, c.WBWidth,
 		c.ROBSize, c.LSQSize, c.MaxBranches, c.FetchQueue,
-		c.IntALUs, c.MemPorts, c.FPAdders, c.ICache, c.DCache, c.Bpred, c.Technique,
+		c.IntALUs, c.MemPorts, c.FPAdders, c.ICache, c.DCache, c.Bpred, c.Technique, c.HybridArb,
 		c.VP.Scheme, c.VP.Resolution, c.VP.Reexec, c.VP.VerifyLat, c.VP.PredictAddresses,
 		c.VP.ResultTable, c.VP.AddrTable, c.IR.LateValidation, c.IR.Buffer, c.Watchdog)
 }
@@ -260,7 +316,11 @@ func (c Config) Name() string {
 		}
 		return "IR"
 	case TechHybrid:
-		return fmt.Sprintf("IR+%v %v-%v vlat=%d", c.VP.Scheme, c.VP.Reexec, c.VP.Resolution, c.VP.VerifyLat)
+		arb := ""
+		if c.HybridArb == HybridConf {
+			arb = " conf"
+		}
+		return fmt.Sprintf("IR+%v%s %v-%v vlat=%d", c.VP.Scheme, arb, c.VP.Reexec, c.VP.Resolution, c.VP.VerifyLat)
 	}
 	return "base"
 }

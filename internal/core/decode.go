@@ -108,15 +108,10 @@ func (m *Machine) decode() error {
 			}
 		}
 
-		// Technique hooks, in parallel with decode. In the hybrid machine
-		// the reuse test goes first — reuse is non-speculative and free —
-		// and only instructions that miss it are value predicted.
-		if m.rb != nil {
-			m.tryReuse(idx, e)
-		}
-		if m.vpt != nil && !e.reused && !e.predicted {
-			m.tryPredict(e)
-		}
+		// Technique hooks, in parallel with decode (Figure 1). The active
+		// technique decides what runs here — the reuse test, the VPT/VPA
+		// lookups, and how the two arbitrate (see technique.go).
+		m.tech.atDecode(m, idx, e)
 
 		// Destination rename happens after the reuse test / prediction so
 		// that an instruction never sources itself.
@@ -304,14 +299,31 @@ func (m *Machine) finalizeAtDecode(idx int32, e *robEntry) bool {
 	return m.fetchRedirected
 }
 
-// tryPredict consults the VPT (and the address table) at decode.
+// tryPredict consults the VPT (and the address table) at decode, using the
+// table's configured confidence threshold.
 func (m *Machine) tryPredict(e *robEntry) {
+	m.tryPredictAt(e, false, false)
+}
+
+// tryPredictConf is the confidence-arbitrated hybrid's prediction step: a
+// value is only used at saturated confidence, and the address table is not
+// consulted when the reuse test already supplied the address
+// non-speculatively.
+func (m *Machine) tryPredictConf(e *robEntry) {
+	m.tryPredictAt(e, true, true)
+}
+
+func (m *Machine) tryPredictAt(e *robEntry, saturated, skipKnownAddr bool) {
 	in := e.in
-	// The stride scheme projects along the stride by the number of older
+	minConf := m.cfg.VP.ResultTable.ConfThreshold
+	if saturated {
+		minConf = m.cfg.VP.ResultTable.ConfMax
+	}
+	// The stride schemes project along the stride by the number of older
 	// in-flight instances of this pc (each loop iteration in the window
-	// gets its own point); Magic and LVP ignore the count.
+	// gets its own point); Magic, LVP and FCM ignore the count.
 	inflight := 0
-	if m.cfg.VP.Scheme == vp.Stride {
+	if s := m.cfg.VP.Scheme; s == vp.Stride || s == vp.TwoDelta {
 		m.forEachROB(func(_ int32, o *robEntry) bool {
 			if o.pc == e.pc && o.seq < e.seq {
 				inflight++
@@ -327,7 +339,7 @@ func (m *Machine) tryPredict(e *robEntry) {
 			oracleVal = m.oracle.Result[e.traceIdx]
 			have = true
 		}
-		if v, ok := m.vpt.Predict(e.pc, oracleVal, have, inflight); ok {
+		if v, ok := m.vpt.PredictAt(e.pc, oracleVal, have, inflight, minConf); ok {
 			m.traceEvent(e, func(ev *PipeEvent) { ev.Pred = true })
 			e.predicted = true
 			e.predVal = v
@@ -336,14 +348,18 @@ func (m *Machine) tryPredict(e *robEntry) {
 		}
 	}
 	// Addresses of memory operations.
-	if m.vpa != nil && in.Op.IsMem() {
+	if m.vpa != nil && in.Op.IsMem() && !(skipKnownAddr && e.addrKnown) {
+		aMin := m.cfg.VP.AddrTable.ConfThreshold
+		if saturated {
+			aMin = m.cfg.VP.AddrTable.ConfMax
+		}
 		var oracleAddr isa.Word
 		have := false
 		if e.traceIdx >= 0 {
 			oracleAddr = isa.Word(m.oracle.Addr[e.traceIdx])
 			have = true
 		}
-		if v, ok := m.vpa.Predict(e.pc, oracleAddr, have, inflight); ok {
+		if v, ok := m.vpa.PredictAt(e.pc, oracleAddr, have, inflight, aMin); ok {
 			e.addrPred = true
 			e.predAddrVal = uint32(v)
 		}

@@ -41,10 +41,17 @@ type Machine struct {
 	icache *mem.Cache
 	dcache *mem.Cache
 	bp     *bpred.Predictor
-	vpt    *vp.Table // result predictions (nil unless TechVP)
-	vpa    *vp.Table // address predictions (nil unless TechVP)
+	vpt    *vp.Table // result predictions (nil unless Config.NeedsVPT)
+	vpa    *vp.Table // address predictions (nil unless Config.NeedsVPA)
 	rb     *reuse.Buffer
 	oracle *emu.TraceLog
+
+	// tech is the active technique's integration into the cycle loop: the
+	// decode-time reuse/predict arbitration, commit-time training, store
+	// invalidation and stats contribution all dispatch through it (see
+	// technique.go). Selected by buildStructures; stateless, so Reset's
+	// determinism and zero-alloc contracts are unaffected.
+	tech techOps
 
 	cycle uint64
 	seq   uint64
@@ -214,13 +221,11 @@ func (m *Machine) buildStructures(cfg Config) {
 		m.bp = bpred.New(cfg.Bpred)
 	}
 
-	needVPT := cfg.Technique == TechVP || cfg.Technique == TechHybrid
-	needVPA := needVPT && cfg.VP.PredictAddresses
-	needRB := cfg.Technique == TechIR || cfg.Technique == TechHybrid
-	m.vpt = resetTable(m.vpt, cfg.VP.ResultTable, needVPT)
-	m.vpa = resetTable(m.vpa, cfg.VP.AddrTable, needVPA)
+	m.tech = techOpsFor(cfg)
+	m.vpt = resetTable(m.vpt, cfg.VP.ResultTable, cfg.NeedsVPT())
+	m.vpa = resetTable(m.vpa, cfg.VP.AddrTable, cfg.NeedsVPA())
 	switch {
-	case !needRB:
+	case !cfg.NeedsRB():
 		m.rb = nil
 	case m.rb != nil:
 		m.rb.Reset(cfg.IR.Buffer) // reuses storage when the geometry matches
@@ -350,9 +355,7 @@ func (m *Machine) Stats() Stats {
 	is, ds := m.icache.Stats(), m.dcache.Stats()
 	s.ICacheAccesses, s.ICacheMisses = is.Accesses, is.Misses
 	s.DCacheAccesses, s.DCacheMisses = ds.Accesses, ds.Misses
-	if m.rb != nil {
-		s.Recovered = m.rb.Stats().Recovered
-	}
+	m.tech.contributeStats(m, &s)
 	return s
 }
 

@@ -45,7 +45,7 @@ func randomConfig(rng *rand.Rand) Config {
 		BTBSets: pick(256, 512), RASDepth: pick(8, 16),
 	}
 
-	schemes := []vp.Scheme{vp.Magic, vp.LVP, vp.Stride}
+	schemes := []vp.Scheme{vp.Magic, vp.LVP, vp.Stride, vp.TwoDelta, vp.FCM}
 	scheme := schemes[rng.Intn(len(schemes))]
 	res := BranchResolution(rng.Intn(2))
 	re := ReexecPolicy(rng.Intn(2))
@@ -59,6 +59,7 @@ func randomConfig(rng *rand.Rand) Config {
 		c.Technique = TechIR
 	default:
 		c.Technique = TechHybrid
+		c.HybridArb = HybridPolicy(rng.Intn(2))
 	}
 	c.VP.Scheme = scheme
 	c.VP.Resolution = res

@@ -7,14 +7,19 @@ import (
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
-// resetTestConfigs covers all four techniques so Reset is exercised across
-// every structure it may rebuild or reuse (VPT, VPA, RB, caches, predictor).
+// resetTestConfigs covers every technique and VPT scheme family so Reset
+// is exercised across every structure it may rebuild or reuse (VPT —
+// including the FCM history tables — VPA, RB, caches, predictor) and both
+// hybrid arbitration policies.
 func resetTestConfigs() []Config {
 	return []Config{
 		DefaultConfig(),
 		IRChoice(false),
 		VPChoice(vp.Stride, SB, ME, 1),
+		VPChoice(vp.TwoDelta, SB, ME, 1),
+		VPChoice(vp.FCM, NSB, NME, 0),
 		HybridChoice(vp.Stride, SB, ME, 1),
+		HybridConfChoice(vp.FCM, SB, ME, 1),
 	}
 }
 

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// techOps is the technique integration surface of the cycle loop: every
+// point where VP, IR or a hybrid used to hook into decode/commit through
+// hardcoded conditionals is a method here, and the cycle loop calls the
+// selected implementation unconditionally. Adding a scheme means adding an
+// implementation (plus a registration in internal/technique), not editing
+// decode.go or commit.go.
+//
+// Implementations are stateless singletons: all per-run state lives in the
+// Machine's structures (vpt/vpa/rb), which buildStructures provisions from
+// Config.NeedsVPT/NeedsVPA/NeedsRB. That keeps Machine.Reset's zero-alloc
+// and determinism contracts untouched — selecting a technique is just
+// picking a vtable.
+type techOps interface {
+	// atDecode runs in parallel with decode (Figure 1): the reuse test,
+	// the VPT/VPA lookups, and the arbitration between them.
+	atDecode(m *Machine, idx int32, e *robEntry)
+	// atCommit trains the technique's tables with the non-speculative
+	// outcome of a retiring instruction.
+	atCommit(m *Machine, e *robEntry)
+	// onStoreCommit observes a retiring store (after its memory write), so
+	// reuse-style techniques can invalidate stale buffered values.
+	onStoreCommit(m *Machine, e *robEntry)
+	// contributeStats merges technique-owned counters into a Stats copy.
+	contributeStats(m *Machine, s *Stats)
+}
+
+// techOpsFor selects the integration for a validated configuration.
+func techOpsFor(cfg Config) techOps {
+	switch cfg.Technique {
+	case TechVP:
+		return vpOps{}
+	case TechIR:
+		return irOps{}
+	case TechHybrid:
+		if cfg.HybridArb == HybridConf {
+			return hybridConfOps{}
+		}
+		return hybridOps{}
+	}
+	return baseOps{}
+}
+
+// baseOps is the plain superscalar: no technique hooks at all.
+type baseOps struct{}
+
+func (baseOps) atDecode(*Machine, int32, *robEntry) {}
+func (baseOps) atCommit(*Machine, *robEntry)        {}
+func (baseOps) onStoreCommit(*Machine, *robEntry)   {}
+func (baseOps) contributeStats(*Machine, *Stats)    {}
+
+// vpOps integrates value prediction alone (Figure 1(a)).
+type vpOps struct{}
+
+func (vpOps) atDecode(m *Machine, idx int32, e *robEntry) {
+	if !e.reused && !e.predicted {
+		m.tryPredict(e)
+	}
+}
+
+func (vpOps) atCommit(m *Machine, e *robEntry)      { m.trainVP(e) }
+func (vpOps) onStoreCommit(m *Machine, e *robEntry) {}
+func (vpOps) contributeStats(*Machine, *Stats)      {}
+
+// irOps integrates instruction reuse alone (Figure 1(b)).
+type irOps struct{}
+
+func (irOps) atDecode(m *Machine, idx int32, e *robEntry) {
+	m.tryReuse(idx, e)
+}
+
+func (irOps) atCommit(m *Machine, e *robEntry) {}
+
+func (irOps) onStoreCommit(m *Machine, e *robEntry) {
+	m.invalidateReusedStores(e)
+}
+
+func (irOps) contributeStats(m *Machine, s *Stats) {
+	s.Recovered = m.rb.Stats().Recovered
+}
+
+// hybridOps is the legacy serial arbitration: the reuse test goes first —
+// reuse is non-speculative and free — and only instructions that miss it
+// are value predicted.
+type hybridOps struct{}
+
+func (hybridOps) atDecode(m *Machine, idx int32, e *robEntry) {
+	m.tryReuse(idx, e)
+	if !e.reused && !e.predicted {
+		m.tryPredict(e)
+	}
+}
+
+func (hybridOps) atCommit(m *Machine, e *robEntry) { m.trainVP(e) }
+
+func (hybridOps) onStoreCommit(m *Machine, e *robEntry) {
+	m.invalidateReusedStores(e)
+}
+
+func (hybridOps) contributeStats(m *Machine, s *Stats) {
+	s.Recovered = m.rb.Stats().Recovered
+}
+
+// hybridConfOps is the confidence-aware arbitration: reuse still goes
+// first, but a prediction is only accepted at saturated confidence — the
+// reuse buffer already covers the cheap repetition wins, so a marginal
+// prediction risks the misprediction penalty for little upside — and the
+// address table is not consulted when the reuse test already supplied the
+// address non-speculatively.
+type hybridConfOps struct{}
+
+func (hybridConfOps) atDecode(m *Machine, idx int32, e *robEntry) {
+	m.tryReuse(idx, e)
+	if !e.reused && !e.predicted {
+		m.tryPredictConf(e)
+	}
+}
+
+func (hybridConfOps) atCommit(m *Machine, e *robEntry) { m.trainVP(e) }
+
+func (hybridConfOps) onStoreCommit(m *Machine, e *robEntry) {
+	m.invalidateReusedStores(e)
+}
+
+func (hybridConfOps) contributeStats(m *Machine, s *Stats) {
+	s.Recovered = m.rb.Stats().Recovered
+}
+
+// trainVP updates the value and address prediction tables with a retiring
+// instruction's non-speculative outcome.
+func (m *Machine) trainVP(e *robEntry) {
+	op := e.in.Op
+	if e.in.Dest != isa.NoReg && !op.IsControl() && !op.Serializes() {
+		m.vpt.Train(e.pc, e.result, e.predVal, e.predicted)
+	}
+	if m.vpa != nil && op.IsMem() {
+		m.vpa.Train(e.pc, isa.Word(e.addr), isa.Word(e.predAddrVal), e.addrPred)
+	}
+}
+
+// invalidateReusedStores kills reuse-buffer entries made stale by a
+// retiring store's memory write.
+func (m *Machine) invalidateReusedStores(e *robEntry) {
+	killed := m.rb.InvalidateStores(e.addr, emu.StoreWidth(e.in.Op))
+	if killed > 0 && m.obs != nil {
+		m.obs.reuseInvalidateEvent(m.cycle, e.pc, e.seq, killed)
+	}
+}

@@ -15,7 +15,9 @@ func init() {
 	registerExp(Experiment{ID: "ext-hybrid",
 		Title: "Extension: hybrid IR+VP vs its parts", Run: extHybrid})
 	registerExp(Experiment{ID: "ext-stride",
-		Title: "Extension: stride value prediction vs Magic and LVP", Run: extStride})
+		Title: "Extension: VPT scheme comparison (Magic, LVP, stride, 2-delta, FCM)", Run: extStride})
+	registerExp(Experiment{ID: "ext-arb",
+		Title: "Extension: hybrid arbitration, serial vs confidence-aware", Run: extArb})
 	registerExp(Experiment{ID: "ext-rbsize",
 		Title: "Ablation: reuse buffer size", Run: extRBSize})
 	registerExp(Experiment{ID: "ext-instances",
@@ -71,13 +73,15 @@ func extHybrid(r *Runner) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
-// extStride compares the three prediction schemes.
+// extStride compares every registered VPT scheme: correct-prediction rate
+// and speedup over base under identical policy knobs.
 func extStride(r *Runner) ([]*stats.Table, error) {
 	base, err := r.RunAll(core.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	schemes := []vp.Scheme{vp.Magic, vp.LVP, vp.Stride}
+	schemes := []vp.Scheme{vp.Magic, vp.LVP, vp.Stride, vp.TwoDelta, vp.FCM}
+	labels := []string{"Magic", "LVP", "Stride", "2delta", "FCM"}
 	results := make([]map[string]core.Stats, len(schemes))
 	for i, s := range schemes {
 		cfg := core.VPChoice(s, core.SB, core.ME, 0)
@@ -85,9 +89,16 @@ func extStride(r *Runner) ([]*stats.Table, error) {
 			return nil, err
 		}
 	}
+	cols := []string{"bench"}
+	for _, l := range labels {
+		cols = append(cols, l+"%")
+	}
+	for _, l := range labels {
+		cols = append(cols, l+" spd")
+	}
 	t := &stats.Table{ID: "ext-stride",
 		Title:   "Prediction scheme comparison (ME-SB, vlat=0): correct prediction % and speedup",
-		Columns: []string{"bench", "Magic%", "LVP%", "Stride%", "Magic spd", "LVP spd", "Stride spd"}}
+		Columns: cols}
 	for _, b := range workload.Names() {
 		row := []string{b}
 		for i := range schemes {
@@ -99,7 +110,45 @@ func extStride(r *Runner) ([]*stats.Table, error) {
 		}
 		t.AddRow(row...)
 	}
-	t.Note("stride captures the 'derivable' class of Figure 8, which Magic/LVP and IR cannot")
+	t.Note("stride/2-delta capture the 'derivable' class of Figure 8, which Magic/LVP and IR cannot")
+	t.Note("2-delta trades coverage for accuracy (stride adopted on repeat); FCM learns repeating non-arithmetic sequences")
+	return []*stats.Table{t}, nil
+}
+
+// extArb compares the hybrid arbitration policies: the serial "IR first,
+// else VP" policy against confidence-aware arbitration, which accepts a
+// value prediction only at saturated confidence and skips address
+// prediction when the reuse test already supplied the address.
+func extArb(r *Runner) ([]*stats.Table, error) {
+	base, err := r.RunAll(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	serial, err := r.RunAll(core.HybridChoice(vp.TwoDelta, core.SB, core.ME, 0))
+	if err != nil {
+		return nil, err
+	}
+	conf, err := r.RunAll(core.HybridConfChoice(vp.TwoDelta, core.SB, core.ME, 0))
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{ID: "ext-arb",
+		Title:   "Hybrid arbitration (2-delta, ME-SB): speedup and prediction mix, serial vs confidence",
+		Columns: []string{"bench", "serial", "conf", "serial pred%", "conf pred%", "serial wrong%", "conf wrong%"}}
+	var sS, sC []float64
+	for _, b := range workload.Names() {
+		s := serial[b].IPC() / base[b].IPC()
+		c := conf[b].IPC() / base[b].IPC()
+		sS = append(sS, s)
+		sC = append(sC, c)
+		sp, sm := serial[b].VPResultRates()
+		cp, cm := conf[b].VPResultRates()
+		t.AddRow(b, stats.F3(s), stats.F3(c),
+			stats.F(sp), stats.F(cp), stats.F(sm), stats.F(cm))
+	}
+	t.AddRow("HM", stats.F3(stats.HarmonicMean(sS)), stats.F3(stats.HarmonicMean(sC)),
+		"", "", "", "")
+	t.Note("confidence arbitration predicts less but mispredicts less; reuse covers the withheld cases")
 	return []*stats.Table{t}, nil
 }
 

@@ -42,7 +42,7 @@ func TestRunUnknownBench(t *testing.T) {
 func TestExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"ext-hybrid", "ext-instances", "ext-rbsize", "ext-stride", "ext-window"}
+		"ext-arb", "ext-hybrid", "ext-instances", "ext-rbsize", "ext-stride", "ext-window"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(got), len(want))

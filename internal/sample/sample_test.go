@@ -8,19 +8,24 @@ import (
 
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/prog"
-	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/technique"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
-// fourTechniques is the full technique matrix every sampling invariant must
-// hold across: base, VP, IR and the hybrid.
-func fourTechniques() map[string]core.Config {
-	return map[string]core.Config{
-		"base":   core.DefaultConfig(),
-		"vp":     core.VPChoice(vp.Magic, core.SB, core.ME, 0),
-		"ir":     core.IRChoice(false),
-		"hybrid": core.HybridChoice(vp.Magic, core.SB, core.ME, 0),
+// allTechniques is the full technique matrix every sampling invariant must
+// hold across: every registered technique at default knobs, so a newly
+// registered scheme inherits the bit-identity, order-independence and
+// checkpoint round-trip gates with no test change.
+func allTechniques() map[string]core.Config {
+	out := make(map[string]core.Config, 8)
+	for _, name := range technique.Names() {
+		cfg, err := technique.Resolve(name, technique.Knobs{})
+		if err != nil {
+			panic(err)
+		}
+		out[name] = cfg
 	}
+	return out
 }
 
 func loadBench(t *testing.T, name string) *prog.Program {
@@ -100,12 +105,12 @@ func runSampled(t *testing.T, p *prog.Program, cfg core.Config, plan Plan, maxIn
 
 // TestSingleIntervalBitIdentity is the differential gate: a plan covering
 // the whole program in one interval must produce core.Stats bit-identical
-// to a non-sampled run, for all four techniques, plus identical output and
+// to a non-sampled run, for every registered technique, plus identical output and
 // exit code.
 func TestSingleIntervalBitIdentity(t *testing.T) {
 	const maxInsts = 40_000
 	p := loadBench(t, "compress")
-	for name, cfg := range fourTechniques() {
+	for name, cfg := range allTechniques() {
 		t.Run(name, func(t *testing.T) {
 			m, want := runFull(t, p, cfg, maxInsts)
 			sum := runSampled(t, p, cfg, Plan{Interval: 1 << 40}, maxInsts, nil)
@@ -137,7 +142,7 @@ func TestShuffledIntervalDeterminism(t *testing.T) {
 	const maxInsts = 48_000
 	p := loadBench(t, "go")
 	plan := Plan{Interval: 8_000, Every: 1, Warmup: 0}
-	for name, cfg := range fourTechniques() {
+	for name, cfg := range allTechniques() {
 		t.Run(name, func(t *testing.T) {
 			inOrder := runSampled(t, p, cfg, plan, maxInsts, nil)
 			n := inOrder.Intervals
@@ -192,12 +197,12 @@ func TestWarmupSubtraction(t *testing.T) {
 
 // TestCheckpointRoundTrip is the serialization gate: encode → decode →
 // encode must be byte-identical, and a machine restored from the decoded
-// checkpoint must behave identically, across all four techniques.
+// checkpoint must behave identically, across every registered technique.
 func TestCheckpointRoundTrip(t *testing.T) {
 	const maxInsts = 30_000
 	p := loadBench(t, "m88ksim")
 	plan := Plan{Interval: 10_000, Every: 1, Warmup: 1_000}
-	for name, cfg := range fourTechniques() {
+	for name, cfg := range allTechniques() {
 		t.Run(name, func(t *testing.T) {
 			ff, err := FastForward(p, cfg, plan, maxInsts)
 			if err != nil {

@@ -53,14 +53,13 @@ func newWarmer(cfg core.Config) *warmer {
 		lineBytes: uint32(cfg.ICache.LineBytes),
 		lastLine:  ^uint32(0),
 	}
-	needVPT := cfg.Technique == core.TechVP || cfg.Technique == core.TechHybrid
-	if needVPT {
+	if cfg.NeedsVPT() {
 		w.vpt = vp.New(cfg.VP.ResultTable)
-		if cfg.VP.PredictAddresses {
-			w.vpa = vp.New(cfg.VP.AddrTable)
-		}
 	}
-	if cfg.Technique == core.TechIR || cfg.Technique == core.TechHybrid {
+	if cfg.NeedsVPA() {
+		w.vpa = vp.New(cfg.VP.AddrTable)
+	}
+	if cfg.NeedsRB() {
 		w.rb = reuse.New(cfg.IR.Buffer)
 	}
 	return w

@@ -7,21 +7,21 @@
 package server
 
 import (
-	"fmt"
-	"strings"
-
 	"github.com/vpir-sim/vpir/internal/core"
 	"github.com/vpir-sim/vpir/internal/sample"
-	"github.com/vpir-sim/vpir/internal/vp"
+	"github.com/vpir-sim/vpir/internal/technique"
 )
 
 // SimOptions is the wire form of one simulation configuration: the same
 // knobs as the library's Options, as JSON-friendly strings. The zero value
 // is the base machine.
 type SimOptions struct {
-	// Technique is "base" (or empty), "vp", "ir" or "hybrid".
+	// Technique is any registered technique name ("base" when empty):
+	// "base", "vp", "ir", "hybrid", "hybrid_conf", "vp_stride",
+	// "vp_2delta", "vp_fcm", … — see internal/technique.Names.
 	Technique string `json:"technique,omitempty"`
-	// Scheme is the VP scheme: "magic" (default), "lvp" or "stride".
+	// Scheme is the VP scheme for the scheme-selectable techniques:
+	// "magic" (default), "lvp", "stride", "2delta" or "fcm".
 	Scheme string `json:"scheme,omitempty"`
 	// BranchResolution is "sb" (default) or "nsb".
 	BranchResolution string `json:"branch_resolution,omitempty"`
@@ -55,44 +55,13 @@ func (o SimOptions) Config() (core.Config, error) {
 }
 
 func (o SimOptions) baseConfig() (core.Config, error) {
-	switch strings.ToLower(o.Technique) {
-	case "", "base":
-		return core.DefaultConfig(), nil
-	case "ir":
-		return core.IRChoice(o.LateValidation), nil
-	case "vp", "hybrid":
-		scheme := vp.Magic
-		switch strings.ToLower(o.Scheme) {
-		case "", "magic":
-		case "lvp":
-			scheme = vp.LVP
-		case "stride":
-			scheme = vp.Stride
-		default:
-			return core.Config{}, fmt.Errorf("vpir: unknown scheme %q (magic, lvp or stride)", o.Scheme)
-		}
-		res := core.SB
-		switch strings.ToLower(o.BranchResolution) {
-		case "", "sb":
-		case "nsb":
-			res = core.NSB
-		default:
-			return core.Config{}, fmt.Errorf("vpir: unknown branch resolution %q (sb or nsb)", o.BranchResolution)
-		}
-		re := core.ME
-		switch strings.ToLower(o.Reexec) {
-		case "", "me":
-		case "nme":
-			re = core.NME
-		default:
-			return core.Config{}, fmt.Errorf("vpir: unknown reexec policy %q (me or nme)", o.Reexec)
-		}
-		if strings.ToLower(o.Technique) == "hybrid" {
-			return core.HybridChoice(scheme, res, re, o.VerifyLatency), nil
-		}
-		return core.VPChoice(scheme, res, re, o.VerifyLatency), nil
-	}
-	return core.Config{}, fmt.Errorf("vpir: unknown technique %q", o.Technique)
+	return technique.Resolve(o.Technique, technique.Knobs{
+		Scheme:           o.Scheme,
+		BranchResolution: o.BranchResolution,
+		Reexec:           o.Reexec,
+		VerifyLatency:    o.VerifyLatency,
+		LateValidation:   o.LateValidation,
+	})
 }
 
 // RunRequest is the body of POST /v1/run: one benchmark under one

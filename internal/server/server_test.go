@@ -478,6 +478,66 @@ func TestRunTimeout(t *testing.T) {
 	}
 }
 
+// TestUnknownTechniqueStructured400 is the regression test for the silent
+// fallback bug: a misspelled technique or scheme used to resolve to the
+// base machine and return a 200 with base numbers. Both endpoints must now
+// reject it with a structured 400 naming the bad value, and — through the
+// request-id middleware — echo the caller's X-Request-ID in the error body
+// so the failure can be joined against the access log.
+func TestUnknownTechniqueStructured400(t *testing.T) {
+	ts := testServerWithRequestID(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		body string
+		want string // substring the error must carry
+	}{
+		{"run unknown technique", "/v1/run",
+			`{"bench":"vortex","options":{"technique":"warp"}}`,
+			`unknown technique "warp"`},
+		{"run unknown scheme", "/v1/run",
+			`{"bench":"vortex","options":{"technique":"vp","scheme":"psychic"}}`,
+			`unknown scheme "psychic"`},
+		{"run unconsumed knob", "/v1/run",
+			`{"bench":"vortex","options":{"technique":"ir","scheme":"lvp"}}`,
+			`does not take a scheme`},
+		{"sweep grid unknown technique", "/v1/sweep",
+			`{"benches":["vortex"],"options":[{"technique":"warp"}]}`,
+			`unknown technique "warp"`},
+		{"sweep cell unknown scheme", "/v1/sweep",
+			`{"cells":[{"bench":"vortex","options":{"technique":"hybrid","scheme":"psychic"}}]}`,
+			`unknown scheme "psychic"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest("POST", ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(RequestIDHeader, "client-trace-42")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (silent fallback regression)", resp.StatusCode)
+			}
+			var er ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("error body is not structured JSON: %v", err)
+			}
+			if !strings.Contains(er.Error, tc.want) {
+				t.Errorf("error %q does not name the bad value (want substring %q)", er.Error, tc.want)
+			}
+			if er.RequestID != "client-trace-42" {
+				t.Errorf("request_id = %q, want the inbound X-Request-ID echoed", er.RequestID)
+			}
+		})
+	}
+}
+
 func ExampleSimOptions() {
 	cfg, _ := SimOptions{Technique: "vp", Scheme: "lvp"}.Config()
 	fmt.Println(cfg.Name())

@@ -1,0 +1,155 @@
+package technique
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/core"
+	"github.com/vpir-sim/vpir/internal/vp"
+)
+
+func TestNamesStable(t *testing.T) {
+	want := []string{"base", "hybrid", "hybrid_conf", "ir", "vp",
+		"vp_2delta", "vp_fcm", "vp_stride"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, tech := range All() {
+		if tech.Desc == "" {
+			t.Errorf("technique %q has no description", tech.Name)
+		}
+	}
+}
+
+func TestLookupNormalization(t *testing.T) {
+	if tech, ok := Lookup(""); !ok || tech.Name != "base" {
+		t.Errorf("empty name resolved to %q, want base", tech.Name)
+	}
+	if tech, ok := Lookup("Hybrid_Conf"); !ok || tech.Name != "hybrid_conf" {
+		t.Errorf("case-insensitive lookup resolved to %q", tech.Name)
+	}
+	if _, ok := Lookup("warp"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+func TestResolveUnknownNameListsAvailable(t *testing.T) {
+	_, err := Resolve("warp", Knobs{})
+	if err == nil {
+		t.Fatal("unknown technique resolved")
+	}
+	for _, want := range []string{`"warp"`, "base", "hybrid_conf", "vp_fcm"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// TestKnobRejection pins the strict-validation contract: a knob a
+// technique does not consume is an error naming that knob, never a
+// silently different machine.
+func TestKnobRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		tech string
+		k    Knobs
+		want string // error substring; "" = must resolve
+	}{
+		{"base rejects scheme", "base", Knobs{Scheme: "lvp"}, "does not take a scheme"},
+		{"base rejects vlat", "base", Knobs{VerifyLatency: 1}, "verify latency"},
+		{"base rejects late", "base", Knobs{LateValidation: true}, "late validation"},
+		{"ir rejects scheme", "ir", Knobs{Scheme: "magic"}, "does not take a scheme"},
+		{"ir rejects resolution", "ir", Knobs{BranchResolution: "nsb"}, "branch resolution"},
+		{"ir takes late", "ir", Knobs{LateValidation: true}, ""},
+		{"vp rejects late", "vp", Knobs{LateValidation: true}, "late validation"},
+		{"vp bad scheme", "vp", Knobs{Scheme: "psychic"}, `unknown scheme "psychic"`},
+		{"vp bad resolution", "vp", Knobs{BranchResolution: "maybe"}, "branch resolution"},
+		{"vp bad reexec", "vp", Knobs{Reexec: "sometimes"}, "reexec"},
+		{"vp negative vlat", "vp", Knobs{VerifyLatency: -1}, "negative verify latency"},
+		{"vp all knobs", "vp", Knobs{Scheme: "fcm", BranchResolution: "nsb", Reexec: "nme", VerifyLatency: 1}, ""},
+		{"pinned accepts own scheme", "vp_2delta", Knobs{Scheme: "2delta"}, ""},
+		{"pinned accepts alias", "vp_2delta", Knobs{Scheme: "TwoDelta"}, ""},
+		{"pinned rejects other scheme", "vp_fcm", Knobs{Scheme: "lvp"}, `pins scheme "fcm"`},
+		{"hybrid takes late", "hybrid", Knobs{LateValidation: true}, ""},
+		{"hybrid_conf takes scheme and late", "hybrid_conf", Knobs{Scheme: "stride", LateValidation: true}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := Resolve(tc.tech, tc.k)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Resolve(%s, %+v) = %v, want ok", tc.tech, tc.k, err)
+				}
+				if verr := cfg.Validate(); verr != nil {
+					t.Fatalf("resolved config invalid: %v", verr)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Resolve(%s, %+v) accepted, want error containing %q (config %s)",
+					tc.tech, tc.k, tc.want, cfg.Key())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResolvedConfigs spot-checks that names map onto the intended
+// machines (the golden corpus pins the resulting numbers; this pins the
+// structural mapping).
+func TestResolvedConfigs(t *testing.T) {
+	base, _ := Resolve("", Knobs{})
+	if base.Technique != core.TechNone {
+		t.Errorf("empty name built technique %v", base.Technique)
+	}
+	fcm, _ := Resolve("vp_fcm", Knobs{})
+	if fcm.Technique != core.TechVP || fcm.VP.Scheme != vp.FCM {
+		t.Errorf("vp_fcm built %s", fcm.Key())
+	}
+	hc, _ := Resolve("hybrid_conf", Knobs{Scheme: "2delta"})
+	if hc.Technique != core.TechHybrid || hc.HybridArb != core.HybridConf || hc.VP.Scheme != vp.TwoDelta {
+		t.Errorf("hybrid_conf built %s", hc.Key())
+	}
+	hs, _ := Resolve("hybrid", Knobs{})
+	if hs.HybridArb != core.HybridSerial {
+		t.Errorf("hybrid built arbitration %v", hs.HybridArb)
+	}
+	if hc.Key() == hs.Key() {
+		t.Error("serial and conf hybrids share a cache key")
+	}
+}
+
+func TestSchemeNameRoundTrip(t *testing.T) {
+	for _, s := range []vp.Scheme{vp.Magic, vp.LVP, vp.Stride, vp.TwoDelta, vp.FCM} {
+		got, err := ParseScheme(SchemeName(s))
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(SchemeName(%v)) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, tech Technique) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(tech)
+	}
+	mustPanic("empty", Technique{})
+	mustPanic("no configure", Technique{Name: "x"})
+	mustPanic("upper-case", Technique{Name: "VP2",
+		Configure: func(Knobs) (core.Config, error) { return core.Config{}, nil }})
+	mustPanic("duplicate", Technique{Name: "base",
+		Configure: func(Knobs) (core.Config, error) { return core.Config{}, nil }})
+}

@@ -1,0 +1,305 @@
+package vp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// trainSeq feeds a value sequence to the table as actual results (no
+// prediction fed back), the way functional warming trains it.
+func trainSeq(t *Table, pc uint32, vals ...isa.Word) {
+	for _, v := range vals {
+		t.Train(pc, v, 0, false)
+	}
+}
+
+// TestConfidenceStateMachine drives the saturating counter of every scheme
+// through the same script — climb to saturation, decay on mismatches, climb
+// back — and checks the predict gate at each step. The table is the
+// contract docs/techniques.md states for ConfThreshold/ConfMax.
+func TestConfidenceStateMachine(t *testing.T) {
+	pc := uint32(0x400000)
+	cases := []struct {
+		name   string
+		scheme Scheme
+		// seq is trained in order; wantOK[i] says whether a predict after
+		// seq[:i+1] must return a confident prediction.
+		seq    []isa.Word
+		wantOK []bool
+	}{
+		// LVP: conf climbs 1,2,3 and saturates; each changed value decays it
+		// one step (3→2 stays above threshold, 2→1 closes the gate), then a
+		// repeat re-opens it.
+		{"lvp_saturate_decay", LVP,
+			[]isa.Word{7, 7, 7, 7, 9, 5, 5},
+			[]bool{false, true, true, true, true, false, true}},
+		// Stride (eager): first delta restarts conf at 1, second confirms.
+		{"stride_climb", Stride,
+			[]isa.Word{10, 20, 30, 40},
+			[]bool{false, false, true, true}},
+		// TwoDelta: the stride is only adopted on the second sighting of the
+		// same delta, then confidence climbs while it holds.
+		{"2delta_climb", TwoDelta,
+			[]isa.Word{10, 20, 30, 40, 50},
+			[]bool{false, false, false, false, true}},
+		// FCM: the order-4 context register must fill and stabilize, then
+		// the second-level slot must reach threshold, before predictions
+		// flow — a longer warmup than any last-value scheme.
+		{"fcm_climb", FCM,
+			[]isa.Word{5, 5, 5, 5, 5, 5},
+			[]bool{false, false, false, false, false, true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vt := New(small(tc.scheme))
+			for i, v := range tc.seq {
+				vt.Train(pc, v, 0, false)
+				_, ok := vt.Predict(pc, v, false, 0)
+				if ok != tc.wantOK[i] {
+					t.Errorf("after seq[:%d] (%v): predict ok = %v, want %v",
+						i+1, tc.seq[:i+1], ok, tc.wantOK[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTwoDeltaArithmeticSequences checks stride learning on arithmetic
+// sequences: once confident, the predictor tracks value+stride exactly, and
+// in-flight instances project further along the stride.
+func TestTwoDeltaArithmeticSequences(t *testing.T) {
+	for _, stride := range []isa.Word{1, 4, 1000, ^isa.Word(0) /* -1 */} {
+		vt := New(small(TwoDelta))
+		pc := uint32(0x400100)
+		v := isa.Word(100_000)
+		for i := 0; i < 6; i++ {
+			vt.Train(pc, v, 0, false)
+			v += stride
+		}
+		got, ok := vt.Predict(pc, 0, false, 0)
+		if !ok || got != v {
+			t.Errorf("stride %d: predict = %d, %v; want %d", int64(stride), got, ok, v)
+		}
+		// Two older in-flight instances: the prediction projects 3 strides.
+		got, ok = vt.Predict(pc, 0, false, 2)
+		if !ok || got != v+2*stride {
+			t.Errorf("stride %d inflight=2: predict = %d, %v; want %d", int64(stride), got, ok, v+2*stride)
+		}
+	}
+}
+
+// TestTwoDeltaResistsOneIrregularDelta is the scheme's reason to exist: a
+// single off-stride value (loop epilogue, reseed) decays confidence but
+// must not replace the established stride — the eager Stride scheme adopts
+// it immediately and mispredicts the next value.
+func TestTwoDeltaResistsOneIrregularDelta(t *testing.T) {
+	pc := uint32(0x400200)
+	twoDelta := New(small(TwoDelta))
+	eager := New(small(Stride))
+	seq := []isa.Word{10, 20, 30, 40, 99, 109, 119} // stride 10 with one glitch
+	trainSeq(twoDelta, pc, seq...)
+	trainSeq(eager, pc, seq...)
+
+	// 2-delta kept stride 10 throughout (the glitch delta 59 appeared once).
+	if got, ok := twoDelta.Predict(pc, 0, false, 0); !ok || got != 129 {
+		t.Errorf("2delta after glitch: predict = %d, %v; want 129", got, ok)
+	}
+
+	// And after the glitch the eager scheme had thrown its stride away at
+	// least once: immediately post-glitch it was not confident.
+	eager2 := New(small(Stride))
+	trainSeq(eager2, pc, 10, 20, 30, 40, 99)
+	if _, ok := eager2.Predict(pc, 0, false, 0); ok {
+		t.Error("eager stride stayed confident across the glitch; premise broken")
+	}
+	twoDelta2 := New(small(TwoDelta))
+	trainSeq(twoDelta2, pc, 10, 20, 30, 40, 99)
+	if s := twoDelta2.entries[twoDelta2.findIdx(pc)].stride; s != 10 {
+		t.Errorf("2delta immediately after glitch: stride = %d; want 10 (kept, not replaced)", int64(s))
+	}
+}
+
+// TestFCMRepeatingSequence: FCM must learn a repeating non-arithmetic
+// sequence that defeats every stride scheme — after warmup, each context
+// predicts the value that follows it.
+func TestFCMRepeatingSequence(t *testing.T) {
+	// A larger second level than small() keeps the 8 distinct contexts of
+	// the period from colliding (aliasing is tested separately below).
+	vt := New(Config{Entries: 4096, Ways: 4, Scheme: FCM, ConfThreshold: 2, ConfMax: 3})
+	pc := uint32(0x400300)
+	period := []isa.Word{3, 1, 4, 1, 5, 9, 2, 6}
+	// Warm several periods.
+	for round := 0; round < 6; round++ {
+		trainSeq(vt, pc, period...)
+	}
+	// One more period: every value must now be predicted from its context.
+	for i, v := range period {
+		got, ok := vt.Predict(pc, 0, false, 0)
+		if !ok || got != v {
+			t.Errorf("pos %d: predict = %d, %v; want %d", i, got, ok, v)
+		}
+		vt.Train(pc, v, 0, false)
+	}
+
+	// The same sequence defeats a stride predictor (sanity of the premise).
+	st := New(small(TwoDelta))
+	for round := 0; round < 6; round++ {
+		trainSeq(st, pc, period...)
+	}
+	correct := 0
+	for _, v := range period {
+		if got, ok := st.Predict(pc, 0, false, 0); ok && got == v {
+			correct++
+		}
+		st.Train(pc, v, 0, false)
+	}
+	if correct == len(period) {
+		t.Error("2-delta predicted the non-arithmetic sequence perfectly; FCM premise broken")
+	}
+}
+
+// TestFCMHistoryTableAliasing pins the second-level capacity trade-off:
+// two instructions whose contexts hash to the same slot fight over it, and
+// the interference decays the incumbent's confidence.
+func TestFCMHistoryTableAliasing(t *testing.T) {
+	vt := New(small(FCM))
+	pcA, pcB := uint32(0x400400), uint32(0x400404)
+
+	// Stabilize A on a constant value: its context register fills and the
+	// shared slot saturates.
+	trainSeq(vt, pcA, 7, 7, 7, 7, 7, 7, 7)
+	if got, ok := vt.Predict(pcA, 0, false, 0); !ok || got != 7 {
+		t.Fatalf("A warm: predict = %d, %v; want 7", got, ok)
+	}
+	histA := vt.entries[vt.findIdx(pcA)].hist
+
+	// Give B a level-1 entry, then force its context register equal to A's
+	// (white-box: aliasing is a hash collision, and constructing one through
+	// value choices would couple the test to the hash function).
+	trainSeq(vt, pcB, 1000, 1000, 1000)
+	bIdx := vt.findIdx(pcB)
+	vt.entries[bIdx].hist = histA
+
+	// B now trains different values through the shared slot: A's confidence
+	// decays below threshold as the slot is fought over.
+	for i := 0; i < 4; i++ {
+		vt.Train(pcB, 5000, 0, false)
+		vt.entries[bIdx].hist = histA // keep B pinned to the contested slot
+	}
+	if _, ok := vt.Predict(pcA, 0, false, 0); ok {
+		t.Error("A still predicts after aliasing interference; level-2 conf did not decay")
+	}
+}
+
+// findIdx locates the level-1 entry index for pc (test helper).
+func (t *Table) findIdx(pc uint32) int {
+	set := t.set(pc)
+	for w := range set {
+		if set[w].valid && set[w].tag == pc {
+			s := (pc >> 2) & t.setMask
+			return int(s)*t.ways + w
+		}
+	}
+	return -1
+}
+
+// TestSnapshotRoundTripByteIdentity is the checkpoint contract
+// internal/sample relies on: serialize → restore → serialize must be
+// byte-identical for every scheme, including the FCM second-level table.
+func TestSnapshotRoundTripByteIdentity(t *testing.T) {
+	for _, scheme := range []Scheme{Magic, LVP, Stride, TwoDelta, FCM} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			vt := New(small(scheme))
+			// Mixed training: arithmetic runs, repeats, and conflicting pcs
+			// that exercise eviction, so every entry field is populated.
+			for pc := uint32(0x400000); pc < 0x400000+64*4; pc += 4 {
+				trainSeq(vt, pc, 1, 2, 3, isa.Word(pc), isa.Word(pc)+10, isa.Word(pc)+20)
+			}
+			snap1 := vt.Snapshot()
+			enc1 := mustGob(t, snap1)
+
+			fresh := New(small(scheme))
+			if err := fresh.RestoreSnapshot(snap1); err != nil {
+				t.Fatal(err)
+			}
+			enc2 := mustGob(t, fresh.Snapshot())
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("serialize→restore→serialize drifted (%d vs %d bytes)", len(enc1), len(enc2))
+			}
+
+			// And the restored table behaves identically: same prediction
+			// for every trained pc.
+			for pc := uint32(0x400000); pc < 0x400000+64*4; pc += 4 {
+				v1, ok1 := vt.Predict(pc, 0, false, 0)
+				v2, ok2 := fresh.Predict(pc, 0, false, 0)
+				if v1 != v2 || ok1 != ok2 {
+					t.Fatalf("pc %#x: restored table predicts (%d,%v), original (%d,%v)",
+						pc, v2, ok2, v1, ok1)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotGeometryMismatch: restoring across scheme or size changes
+// must fail loudly, never corrupt silently.
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	src := New(small(FCM))
+	trainSeq(src, 0x400000, 1, 2, 3)
+	snap := src.Snapshot()
+	if err := New(small(Magic)).RestoreSnapshot(snap); err == nil {
+		t.Error("restoring an FCM snapshot into a Magic table must fail")
+	}
+	big := small(FCM)
+	big.Entries *= 2
+	if err := New(big).RestoreSnapshot(snap); err == nil {
+		t.Error("restoring into a larger table must fail")
+	}
+}
+
+// TestResetClearsFCMState: a same-geometry Reset must clear the second
+// level table too — stale context values leaking across pooled-machine runs
+// would break Reset determinism.
+func TestResetClearsFCMState(t *testing.T) {
+	vt := New(small(FCM))
+	trainSeq(vt, 0x400000, 7, 7, 7, 7)
+	vt.Reset(vt.Config())
+	if _, ok := vt.Predict(0x400000, 0, false, 0); ok {
+		t.Error("prediction survives Reset")
+	}
+	for i := range vt.fcm {
+		if vt.fcm[i] != (fcmEntry{}) {
+			t.Fatalf("fcm[%d] = %+v survives Reset", i, vt.fcm[i])
+		}
+	}
+}
+
+// TestResetZeroAllocs pins the contract the sweep workers and the server
+// pool rely on: a same-geometry Reset clears the entry array — and, for
+// FCM, the second-level context table — in place without allocating.
+func TestResetZeroAllocs(t *testing.T) {
+	for _, s := range []Scheme{Magic, LVP, Stride, TwoDelta, FCM} {
+		t.Run(s.String(), func(t *testing.T) {
+			vt := New(small(s))
+			for i := uint32(0); i < 64; i++ {
+				trainSeq(vt, 0x400000+i*4, 7, 14, 21, 28)
+			}
+			cfg := vt.Config()
+			if allocs := testing.AllocsPerRun(10, func() { vt.Reset(cfg) }); allocs != 0 {
+				t.Errorf("Reset with matching geometry allocated %.0f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+func mustGob(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -12,6 +12,11 @@
 //   - VP_LVP: a classic last-value predictor buffering a single instance
 //     per instruction.
 //
+// Beyond the paper's two schemes, the table also implements three computed
+// predictors (§4.1.4's VPT design space): VP_Stride (eager stride),
+// VP_2Delta (classic 2-delta stride) and VP_FCM (two-level finite context
+// method). All carry saturating confidence counters gated by ConfThreshold.
+//
 // The table is 4-way set associative with LRU replacement; the base
 // configuration (16 K entries) comes from §4.1.3. The same structure is
 // instantiated twice by the core: once for results and once for the
@@ -35,11 +40,25 @@ const (
 	// LVP is the last-value predictor: one instance per instruction,
 	// replaced on every new result.
 	LVP
-	// Stride is a two-delta stride predictor: one instance per instruction
-	// predicting lastValue + stride. It captures the paper's "derivable"
+	// Stride is an eager stride predictor: one instance per instruction
+	// predicting lastValue + stride, adopting every new stride immediately
+	// (one confirmation away from use). It captures the paper's "derivable"
 	// class (Figure 8) that neither Magic nor LVP can, and that IR can
 	// never reuse — an extension beyond the paper's two schemes.
 	Stride
+	// TwoDelta is the classic 2-delta stride predictor: the predicted
+	// stride is only replaced when the same new stride is observed twice in
+	// a row, so a single irregular value (a loop epilogue, a reseed) does
+	// not throw away an established stride. Confidence tracks whether the
+	// predicted stride held.
+	TwoDelta
+	// FCM is a two-level finite-context-method predictor: a per-instruction
+	// first-level entry maintains a hash of the last few result values, and
+	// a shared second-level value table maps that context to the value that
+	// followed it last time, with its own saturating confidence counter.
+	// FCM captures repeating non-arithmetic sequences (pointer chases,
+	// table-driven state machines) that no stride scheme can.
+	FCM
 )
 
 func (s Scheme) String() string {
@@ -48,6 +67,10 @@ func (s Scheme) String() string {
 		return "VP_LVP"
 	case Stride:
 		return "VP_Stride"
+	case TwoDelta:
+		return "VP_2Delta"
+	case FCM:
+		return "VP_FCM"
 	}
 	return "VP_Magic"
 }
@@ -73,9 +96,24 @@ type entry struct {
 	valid  bool
 	tag    uint32
 	value  isa.Word
-	stride isa.Word // Stride scheme only
-	conf   uint8
-	tick   uint64
+	stride isa.Word // predicted stride (Stride and TwoDelta schemes)
+	// lastStride is the most recently observed delta; TwoDelta promotes it
+	// into stride only when the same delta repeats.
+	lastStride isa.Word
+	// hist is the FCM first-level context: a hash of the last few result
+	// values of this instruction.
+	hist uint32
+	conf uint8
+	tick uint64
+}
+
+// fcmEntry is one slot of the FCM second-level value table, shared by every
+// instruction: context hash → the value that followed that context, with a
+// saturating confidence counter. Distinct instructions whose histories hash
+// to the same slot alias — by design, the classic FCM capacity trade-off.
+type fcmEntry struct {
+	value isa.Word
+	conf  uint8
 }
 
 // Stats counts table activity. Prediction correctness is judged by the
@@ -94,6 +132,10 @@ type Table struct {
 	setMask uint32
 	ways    int
 	entries []entry // sets*ways, laid out set-major
+	// fcm is the second-level value table, allocated only for the FCM
+	// scheme; its size equals cfg.Entries (a power of two).
+	fcm     []fcmEntry
+	fcmMask uint32
 	tick    uint64
 	stats   Stats
 }
@@ -101,12 +143,37 @@ type Table struct {
 // New builds an empty table.
 func New(cfg Config) *Table {
 	sets := cfg.Entries / cfg.Ways
-	return &Table{
+	t := &Table{
 		cfg:     cfg,
 		setMask: uint32(sets - 1),
 		ways:    cfg.Ways,
 		entries: make([]entry, sets*cfg.Ways),
 	}
+	if cfg.Scheme == FCM {
+		t.fcm = make([]fcmEntry, cfg.Entries)
+		t.fcmMask = uint32(cfg.Entries - 1)
+	}
+	return t
+}
+
+// fcmHash folds a new value into the FCM context register: an order-4
+// shift register holding one folded byte per recent value, so a repeating
+// value sequence produces a repeating context once the window is full —
+// the property that lets the level-2 table learn periodic sequences.
+func fcmHash(hist uint32, v isa.Word) uint32 {
+	f := uint32(v) ^ uint32(v>>32)
+	return hist<<8 | (f^f>>8^f>>16^f>>24)&0xff
+}
+
+// fcmIndex mixes the full context register before the level-2 mask is
+// applied, so every value in the window — not just the most recent byte —
+// steers the slot choice even for small tables.
+func fcmIndex(hist uint32) uint32 {
+	h := hist
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return h
 }
 
 // Config returns the table configuration.
@@ -131,13 +198,21 @@ func (t *Table) set(pc uint32) []entry {
 // value + stride*(inflight+1) so each instance of an unrolled-in-the-window
 // loop gets its own point on the stride. Magic and LVP ignore it.
 func (t *Table) Predict(pc uint32, oracle isa.Word, haveOracle bool, inflight int) (isa.Word, bool) {
+	return t.PredictAt(pc, oracle, haveOracle, inflight, t.cfg.ConfThreshold)
+}
+
+// PredictAt is Predict with an explicit confidence floor: minConf replaces
+// the configured ConfThreshold for this lookup, letting a caller demand
+// saturated confidence (the confidence-arbitrated hybrid) without building
+// a separate table.
+func (t *Table) PredictAt(pc uint32, oracle isa.Word, haveOracle bool, inflight int, minConf uint8) (isa.Word, bool) {
 	t.stats.Lookups++
 	set := t.set(pc)
 
-	if t.cfg.Scheme == Stride {
+	if t.cfg.Scheme == Stride || t.cfg.Scheme == TwoDelta {
 		for w := range set {
 			e := &set[w]
-			if e.valid && e.tag == pc && e.conf >= t.cfg.ConfThreshold {
+			if e.valid && e.tag == pc && e.conf >= minConf {
 				t.stats.Predictions++
 				return e.value + e.stride*isa.Word(inflight+1), true
 			}
@@ -145,10 +220,30 @@ func (t *Table) Predict(pc uint32, oracle isa.Word, haveOracle bool, inflight in
 		return 0, false
 	}
 
+	if t.cfg.Scheme == FCM {
+		// Level 1: the instruction's current context; level 2: the value
+		// that followed it last time. Both the context (level-1 conf) and
+		// the value (level-2 conf) must be confident: a freshly allocated
+		// context or a value slot in an aliasing tug-of-war stays quiet.
+		for w := range set {
+			e := &set[w]
+			if !e.valid || e.tag != pc || e.conf < minConf {
+				continue
+			}
+			f := &t.fcm[fcmIndex(e.hist)&t.fcmMask]
+			if f.conf >= minConf {
+				t.stats.Predictions++
+				return f.value, true
+			}
+			return 0, false
+		}
+		return 0, false
+	}
+
 	var best *entry
 	for w := range set {
 		e := &set[w]
-		if !e.valid || e.tag != pc || e.conf < t.cfg.ConfThreshold {
+		if !e.valid || e.tag != pc || e.conf < minConf {
 			continue
 		}
 		if t.cfg.Scheme == Magic && haveOracle && e.value == oracle {
@@ -197,7 +292,7 @@ func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredict
 	}
 
 	if t.cfg.Scheme == Stride {
-		// Two-delta: confidence follows whether the stride held.
+		// Eager stride: confidence follows whether the stride held.
 		for w := range set {
 			e := &set[w]
 			if e.valid && e.tag == pc {
@@ -207,8 +302,8 @@ func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredict
 						e.conf++
 					}
 				} else {
-					// Two-delta: adopt the new stride and restart the
-					// confidence climb; one confirmation away from use.
+					// Adopt the new stride and restart the confidence
+					// climb; one confirmation away from use.
 					e.stride = newStride
 					e.conf = 1
 				}
@@ -218,6 +313,72 @@ func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredict
 			}
 		}
 		t.insert(set, pc, actual)
+		return
+	}
+
+	if t.cfg.Scheme == TwoDelta {
+		// Classic 2-delta: the predicted stride is only replaced when the
+		// same new delta is seen twice in a row, so one irregular value
+		// cannot evict an established stride. Confidence saturates while
+		// the predicted stride holds and decays while it does not.
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == pc {
+				newStride := actual - e.value
+				if newStride == e.stride {
+					if e.conf < t.cfg.ConfMax {
+						e.conf++
+					}
+				} else {
+					if e.conf > 0 {
+						e.conf--
+					}
+					if newStride == e.lastStride {
+						e.stride = newStride
+					}
+				}
+				e.lastStride = newStride
+				e.value = actual
+				e.tick = t.tick
+				return
+			}
+		}
+		t.insert(set, pc, actual)
+		return
+	}
+
+	if t.cfg.Scheme == FCM {
+		// Level 2 learns "this context was followed by this value" with a
+		// saturating counter (mismatches decay it; only an exhausted
+		// counter lets an aliasing instruction capture the slot). Level 1
+		// then folds the actual value into the context hash, and its own
+		// counter saturates as the context warms up.
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == pc {
+				f := &t.fcm[fcmIndex(e.hist)&t.fcmMask]
+				switch {
+				case f.value == actual:
+					if f.conf < t.cfg.ConfMax {
+						f.conf++
+					}
+				case f.conf > 0:
+					f.conf--
+				default:
+					f.value = actual
+					f.conf = 1
+				}
+				e.hist = fcmHash(e.hist, actual)
+				if e.conf < t.cfg.ConfMax {
+					e.conf++
+				}
+				e.value = actual
+				e.tick = t.tick
+				return
+			}
+		}
+		e := t.insert(set, pc, actual)
+		e.hist = fcmHash(0, actual)
 		return
 	}
 
@@ -252,7 +413,7 @@ func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredict
 	}
 }
 
-func (t *Table) insert(set []entry, pc uint32, value isa.Word) {
+func (t *Table) insert(set []entry, pc uint32, value isa.Word) *entry {
 	t.stats.Inserts++
 	victim := 0
 	for w := range set {
@@ -268,6 +429,7 @@ func (t *Table) insert(set []entry, pc uint32, value isa.Word) {
 		t.stats.Evictions++
 	}
 	set[victim] = entry{valid: true, tag: pc, value: value, conf: 1, tick: t.tick}
+	return &set[victim]
 }
 
 // Instances returns the values currently buffered for pc (most recent
@@ -318,7 +480,7 @@ func (t *Table) CorruptValue(r *rand.Rand) (desc string, ok bool) {
 	e := &t.entries[victim]
 	mask := isa.Word(r.Uint32() | 1) // non-zero: the value always changes
 	e.value ^= mask
-	if t.cfg.Scheme == Stride {
+	if t.cfg.Scheme == Stride || t.cfg.Scheme == TwoDelta {
 		e.stride ^= isa.Word(r.Uint32() | 1)
 	}
 	return fmt.Sprintf("vpt[%d] pc=%#x value^=%#x", victim, e.tag, uint32(mask)), true
@@ -326,20 +488,33 @@ func (t *Table) CorruptValue(r *rand.Rand) (desc string, ok bool) {
 
 // SnapEntry is the exported form of one table entry, used by Snapshot.
 type SnapEntry struct {
-	Valid  bool
-	Tag    uint32
-	Value  isa.Word
-	Stride isa.Word
-	Conf   uint8
-	Tick   uint64
+	Valid      bool
+	Tag        uint32
+	Value      isa.Word
+	Stride     isa.Word
+	LastStride isa.Word
+	Hist       uint32
+	Conf       uint8
+	Tick       uint64
+}
+
+// FCMSnapEntry is the exported form of one second-level FCM slot.
+type FCMSnapEntry struct {
+	Value isa.Word
+	Conf  uint8
 }
 
 // Snapshot is the complete warm state of a Table, entries in set-major
-// order. Statistics are not captured: a restored table counts from zero.
+// order (plus the FCM second-level table for that scheme). Statistics are
+// not captured: a restored table counts from zero. Every field is a flat
+// slice or scalar, so a fresh encoder over equal state serializes
+// byte-identically — the property internal/sample's content-addressable
+// checkpoints rely on.
 type Snapshot struct {
 	Cfg     Config
 	Tick    uint64
 	Entries []SnapEntry
+	FCM     []FCMSnapEntry
 }
 
 // Snapshot captures the table's warm state.
@@ -348,7 +523,14 @@ func (t *Table) Snapshot() *Snapshot {
 	for i := range t.entries {
 		e := &t.entries[i]
 		s.Entries[i] = SnapEntry{Valid: e.valid, Tag: e.tag, Value: e.value,
-			Stride: e.stride, Conf: e.conf, Tick: e.tick}
+			Stride: e.stride, LastStride: e.lastStride, Hist: e.hist,
+			Conf: e.conf, Tick: e.tick}
+	}
+	if t.fcm != nil {
+		s.FCM = make([]FCMSnapEntry, len(t.fcm))
+		for i := range t.fcm {
+			s.FCM[i] = FCMSnapEntry{Value: t.fcm[i].value, Conf: t.fcm[i].conf}
+		}
 	}
 	return s
 }
@@ -356,14 +538,18 @@ func (t *Table) Snapshot() *Snapshot {
 // RestoreSnapshot rewinds the table to a captured warm state (geometry must
 // match); statistics are zeroed.
 func (t *Table) RestoreSnapshot(s *Snapshot) error {
-	if s.Cfg != t.cfg || len(s.Entries) != len(t.entries) {
-		return fmt.Errorf("vp: snapshot geometry mismatch (snapshot %+v/%d entries, table %+v/%d)",
-			s.Cfg, len(s.Entries), t.cfg, len(t.entries))
+	if s.Cfg != t.cfg || len(s.Entries) != len(t.entries) || len(s.FCM) != len(t.fcm) {
+		return fmt.Errorf("vp: snapshot geometry mismatch (snapshot %+v/%d entries/%d fcm, table %+v/%d/%d)",
+			s.Cfg, len(s.Entries), len(s.FCM), t.cfg, len(t.entries), len(t.fcm))
 	}
 	for i := range t.entries {
 		se := &s.Entries[i]
 		t.entries[i] = entry{valid: se.Valid, tag: se.Tag, value: se.Value,
-			stride: se.Stride, conf: se.Conf, tick: se.Tick}
+			stride: se.Stride, lastStride: se.LastStride, hist: se.Hist,
+			conf: se.Conf, tick: se.Tick}
+	}
+	for i := range t.fcm {
+		t.fcm[i] = fcmEntry{value: s.FCM[i].Value, conf: s.FCM[i].Conf}
 	}
 	t.tick = s.Tick
 	t.stats = Stats{}
@@ -380,6 +566,9 @@ func (t *Table) Reset(cfg Config) {
 	}
 	for i := range t.entries {
 		t.entries[i] = entry{}
+	}
+	for i := range t.fcm {
+		t.fcm[i] = fcmEntry{}
 	}
 	t.tick = 0
 	t.stats = Stats{}

@@ -34,27 +34,60 @@ import (
 	"github.com/vpir-sim/vpir/internal/redundancy"
 	"github.com/vpir-sim/vpir/internal/sample"
 	"github.com/vpir-sim/vpir/internal/server"
+	"github.com/vpir-sim/vpir/internal/technique"
 	"github.com/vpir-sim/vpir/internal/workload"
 )
 
 // Technique selects the redundancy mechanism integrated into the pipeline.
+// Any name registered in the technique registry is valid; the constants
+// below name the built-in set (see Techniques for the live list).
 type Technique string
 
 const (
 	Base   Technique = "base"   // plain superscalar
-	VP     Technique = "vp"     // value prediction
+	VP     Technique = "vp"     // value prediction (scheme selectable)
 	IR     Technique = "ir"     // instruction reuse
 	Hybrid Technique = "hybrid" // IR first, VP on reuse misses (extension)
+
+	// Scheme-pinned value predictors (extensions beyond the paper's Magic
+	// and LVP schemes; equivalent to VP with the matching Scheme knob).
+	VPStride Technique = "vp_stride" // eager stride predictor
+	VP2Delta Technique = "vp_2delta" // 2-delta stride (adopt stride on repeat)
+	VPFCM    Technique = "vp_fcm"    // two-level finite context method
+
+	// HybridConf arbitrates reuse vs. prediction by confidence: a value
+	// prediction is only used at saturated confidence, and address
+	// prediction is skipped when the reuse test already supplied the
+	// address.
+	HybridConf Technique = "hybrid_conf"
 )
+
+// Techniques lists every registered technique name (sorted). New schemes
+// registered through internal/technique appear here automatically, and the
+// golden corpus enumerates exactly this list.
+func Techniques() []string { return technique.Names() }
+
+// TechniqueDesc returns the one-line description of a registered technique
+// ("" for unknown names).
+func TechniqueDesc(name string) string {
+	t, ok := technique.Lookup(name)
+	if !ok {
+		return ""
+	}
+	return t.Desc
+}
 
 // Options configures a simulation. The zero value is the base machine.
 type Options struct {
 	Technique Technique
 
 	// VP knobs (§4.1.4 of the paper). Scheme is "magic" (default), "lvp",
-	// or "stride" (an extension scheme covering the paper's "derivable"
-	// class); BranchResolution is "sb" (default) or "nsb"; Reexec is "me"
-	// (default) or "nme"; VerifyLatency is the VP-verification latency.
+	// "stride", "2delta" or "fcm" (the computed extension schemes covering
+	// the paper's "derivable" class); BranchResolution is "sb" (default) or
+	// "nsb"; Reexec is "me" (default) or "nme"; VerifyLatency is the
+	// VP-verification latency. Knob validation is strict: setting a knob
+	// the selected technique does not consume is an error, never silently
+	// ignored.
 	Scheme           string
 	BranchResolution string
 	Reexec           string
@@ -118,9 +151,10 @@ type MetricsOptions struct {
 	EventCap int
 }
 
-// config maps the public Options onto a machine configuration. The string
-// spelling of every knob lives in internal/server's SimOptions — one
-// mapping shared by the library and the HTTP API, so they cannot drift.
+// config maps the public Options onto a machine configuration via the
+// wire options, which resolve through the technique registry — one
+// name/knob mapping shared by the library, the HTTP API and the CLIs,
+// so they cannot drift.
 func (o Options) config() (core.Config, error) {
 	return server.SimOptions{
 		Technique:        string(o.Technique),

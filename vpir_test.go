@@ -167,7 +167,7 @@ func TestAnalyzeRedundancy(t *testing.T) {
 
 func TestExperimentsList(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
+	if len(exps) != 20 {
 		t.Fatalf("experiments = %v", exps)
 	}
 	if exps[0] != "table1" || exps[13] != "fig10" {
