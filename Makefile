@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden fuzz-smoke ui-smoke sample-smoke cover check bench bench-all bench-check profile clean
+.PHONY: all build fmt vet test test-race test-race-hot test-short smoke chaos-smoke golden skip-smoke fuzz-smoke ui-smoke sample-smoke cover check bench bench-all bench-check profile clean
 
 all: build
 
@@ -65,6 +65,12 @@ chaos-smoke:
 golden:
 	$(GO) test -run 'TestGoldenCorpus' .
 
+# Skip-invariance smoke: the same corpus forced through the legacy
+# cycle-by-cycle loop (VPIR_NO_SKIP=1) must reproduce identical numbers —
+# the quiescence-aware skipper's invisibility contract (docs/performance.md).
+skip-smoke:
+	VPIR_NO_SKIP=1 $(GO) test -run 'TestGoldenCorpus' -count 1 .
+
 # Short coverage-guided fuzz runs of the assembler and the end-to-end
 # RunSource path: both must never panic on arbitrary input. New crashers
 # land in testdata/fuzz/ as permanent regression seeds.
@@ -97,7 +103,7 @@ cover:
 	echo "total coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { if (t+0 < 75) { print "cover: $$total% is below the 75% floor"; exit 1 } }'
 
-check: fmt vet build test-race-hot test-race smoke chaos-smoke golden fuzz-smoke ui-smoke sample-smoke
+check: fmt vet build test-race-hot test-race smoke chaos-smoke golden skip-smoke fuzz-smoke ui-smoke sample-smoke
 	@echo "check: all gates passed"
 
 # Simulator throughput benchmarks, recorded as the perf baseline: the text

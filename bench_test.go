@@ -58,11 +58,15 @@ func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
 // variant measures the observability overhead against them (the budget is
 // <3% with instrumentation detached — see docs/observability.md).
 func benchMachine(b *testing.B, cfg core.Config, observed bool) {
+	benchMachineOn(b, "compress", cfg, observed)
+}
+
+func benchMachineOn(b *testing.B, bench string, cfg core.Config, observed bool) {
 	b.Helper()
 	if testing.Short() {
 		b.Skip("full-kernel machine benchmark skipped in -short mode")
 	}
-	w, err := workload.Get("compress")
+	w, err := workload.Get(bench)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -91,7 +95,23 @@ func benchMachine(b *testing.B, cfg core.Config, observed bool) {
 }
 
 func BenchmarkSimBase(b *testing.B) { benchMachine(b, core.DefaultConfig(), false) }
-func BenchmarkSimIR(b *testing.B)   { benchMachine(b, core.IRChoice(false), false) }
+
+// BenchmarkSimBaseStall is the stall-heavy counterpart of BenchmarkSimBase:
+// the base machine on the chase kernel, whose serial cache-missing loads
+// keep the pipeline quiescent for most of its simulated cycles. The miss
+// penalty is raised from the paper's 6 cycles to a realistic 60 so the run
+// is genuinely memory-bound (the event wheel caps schedulable delays at 63,
+// so total load latency — 1 cycle of address generation plus the access —
+// must stay under that). This is the cell that guards the quiescence-aware
+// cycle skipper's payoff — it must stay well ahead of the same run under
+// VPIR_NO_SKIP=1 (see docs/performance.md).
+func BenchmarkSimBaseStall(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.DCache.MissLatency = 60
+	benchMachineOn(b, "chase", cfg, false)
+}
+
+func BenchmarkSimIR(b *testing.B) { benchMachine(b, core.IRChoice(false), false) }
 func BenchmarkSimVP(b *testing.B) {
 	benchMachine(b, core.VPChoice(vp.Magic, core.SB, core.ME, 1), false)
 }

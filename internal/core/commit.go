@@ -12,7 +12,8 @@ import (
 // per-instruction statistics, and cross-checking every retired instruction
 // against the functional oracle.
 func (m *Machine) commit() error {
-	for n := 0; n < m.cfg.CommitWidth && m.robCount > 0 && !m.halted; n++ {
+	width := m.cfg.CommitWidth
+	for n := 0; n < width && m.robCount > 0 && !m.halted; n++ {
 		idx := m.robHead
 		e := &m.rob[idx]
 		if !e.final || (e.isCtl && !e.finalResolved) {
@@ -72,6 +73,7 @@ func (m *Machine) commit() error {
 		m.commitCursor++
 		m.stats.Committed++
 		m.lastRetire = m.cycle
+		m.itersAtRetire = m.activeIters
 		if m.commitCursor == int64(m.oracle.Len()) {
 			m.halted = true
 		}

@@ -160,11 +160,16 @@ type Config struct {
 	VP        VPConfig
 	IR        IRConfig
 
-	// Watchdog is the livelock/deadlock detector: when more than this many
-	// cycles pass without a single retirement, Machine.Run aborts with a
-	// structured *SimError instead of spinning forever (0 disables). The
-	// base machine retires something every few dozen cycles at worst, so
-	// the default threshold is conservative by several orders of magnitude.
+	// Watchdog is the livelock/deadlock detector threshold (0 disables);
+	// Machine.Run aborts with a structured *SimError instead of spinning
+	// forever. It has two arms. A livelock trips when more than Watchdog
+	// *active* iterations — cycles in which some stage actually did work —
+	// pass without a single retirement, so a long but legitimate stall
+	// (say a string of cache misses with events pending) never trips no
+	// matter how many raw cycles it spans. A hard deadlock — nothing
+	// in flight, no event ever coming — trips once the machine is
+	// Watchdog cycles past its last retirement. Both arms behave
+	// identically whether the quiescence skipper is on or off.
 	Watchdog uint64
 }
 

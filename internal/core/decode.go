@@ -11,10 +11,13 @@ import (
 // into the ROB: rename, checkpoint allocation, the IR reuse test (in
 // parallel with decode, per Figure 1(b)) and the VPT lookup (Figure 1(a)).
 func (m *Machine) decode() error {
-	for n := 0; n < m.cfg.DecodeWidth && m.fetchCount > 0; n++ {
+	// Loop-invariant structure sizes, hoisted: the compiler must otherwise
+	// reload them through m.cfg after every call in the body.
+	width, robSize, lsqSize := m.cfg.DecodeWidth, int32(m.cfg.ROBSize), int32(m.cfg.LSQSize)
+	for n := 0; n < width && m.fetchCount > 0; n++ {
 		f := &m.fetchQ[m.fetchHead]
 		in := f.in
-		if m.robCount == int32(m.cfg.ROBSize) {
+		if m.robCount == robSize {
 			return nil
 		}
 		if m.serialize >= 0 {
@@ -23,7 +26,7 @@ func (m *Machine) decode() error {
 		if in.Op.Serializes() && m.robCount > 0 {
 			return nil // a serializing op dispatches only into an empty ROB
 		}
-		if in.Op.IsMem() && m.lsqCount == int32(m.cfg.LSQSize) {
+		if in.Op.IsMem() && m.lsqCount == lsqSize {
 			return nil
 		}
 		if f.needCkpt && m.unresolved >= m.cfg.MaxBranches {

@@ -16,9 +16,22 @@ func (m *Machine) processEvents() error {
 	// the slices being walked. The swap keeps both backing arrays alive —
 	// the cycle loop allocates and copies nothing here in steady state.
 	slot := m.cycle % wheelSize
+	if len(m.wbCarry) == 0 && m.eventMask&(1<<slot) == 0 {
+		// Nothing carried over and nothing scheduled for this cycle (a clear
+		// occupancy bit implies the slot slice is empty — events only append
+		// together with setting the bit). Skip the buffer-swap dance.
+		if len(m.finalQ) != 0 {
+			m.drainFinalQ()
+		}
+		return nil
+	}
 	carry := m.wbCarry
 	m.wbCarry = m.evScratch[:0]
 	slotEvs := m.wheel[slot]
+	// The slot is about to drain; clearing its occupancy bit before the
+	// walk keeps the mask correct even for events scheduled mid-drain
+	// (those land in later slots and set their own bits).
+	m.eventMask &^= 1 << slot
 	busUsed := 0
 	for pass := 0; pass < 2; pass++ {
 		evs := carry

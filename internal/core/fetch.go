@@ -12,7 +12,8 @@ func (m *Machine) fetch() {
 		return
 	}
 	firstPC := m.fetchPC
-	for n := 0; n < m.cfg.FetchWidth && int(m.fetchCount) < len(m.fetchQ); n++ {
+	width := m.cfg.FetchWidth
+	for n := 0; n < width && int(m.fetchCount) < len(m.fetchQ); n++ {
 		pc := m.fetchPC
 		in := m.instAt(pc)
 		if in == nil || in.Op == isa.OpInvalid {

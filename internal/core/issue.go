@@ -78,6 +78,7 @@ func (m *Machine) issue() {
 		}
 		q[j] = it
 	}
+	width := m.cfg.IssueWidth
 	issued := 0
 	kept := q[:0]
 	for i := 0; i < len(q); i++ {
@@ -86,7 +87,7 @@ func (m *Machine) issue() {
 		if !e.valid || e.seq != it.seq {
 			continue // squashed; a recycled slot re-enqueues at dispatch
 		}
-		if issued >= m.cfg.IssueWidth {
+		if issued >= width {
 			kept = append(kept, q[i:]...) // in-place suffix move, len(kept) <= i
 			break
 		}

@@ -82,9 +82,14 @@ type Machine struct {
 	unresolved  int
 	serialize   int32 // ROB slot of a dispatched serializing op, -1 if none
 
-	wheel   [wheelSize][]event
-	finalQ  []int32 // entries whose finality must be re-examined this cycle
-	wbCarry []event // completions deferred by result-bus contention
+	wheel [wheelSize][]event
+	// eventMask has bit s set when wheel[s] may hold events: set on
+	// schedule, cleared when the slot drains. Conservative (a slot holding
+	// only squash-orphaned events keeps its bit until it drains), which is
+	// the safe direction for the quiescence skipper (see skip.go).
+	eventMask uint64
+	finalQ    []int32 // entries whose finality must be re-examined this cycle
+	wbCarry   []event // completions deferred by result-bus contention
 	// issueQ holds the instructions that may be able to start an execution,
 	// fed by dependency-driven wakeups (dispatch, operand broadcast,
 	// finalization, re-execution demands) instead of a per-cycle scan of the
@@ -122,8 +127,23 @@ type Machine struct {
 	stats Stats
 
 	// lastRetire is the cycle of the most recent retirement (or machine
-	// start); the watchdog measures no-progress stretches against it.
+	// start); the deadlock arm of the watchdog measures against it.
 	lastRetire uint64
+	// activeIters counts the executed non-quiescent cycles of the run;
+	// itersAtRetire snapshots it at each retirement. The livelock arm of
+	// the watchdog measures lack of retirement progress across *active*
+	// iterations — never across skipped or idle cycles — so a legitimate
+	// long stall (serialized miss chains) cannot trip it (see skip.go).
+	activeIters   uint64
+	itersAtRetire uint64
+
+	// skipIdleCycles enables the quiescence-aware cycle skipper; see
+	// skip.go. Defaults from the VPIR_NO_SKIP environment escape hatch,
+	// per-machine override via SetCycleSkipping. cyclesSkipped counts the
+	// cycles fast-forwarded rather than executed (kept out of Stats so the
+	// skipping and legacy loops stay bit-identical).
+	skipIdleCycles bool
+	cyclesSkipped  uint64
 
 	// cycleHooks run at the top of every cycle; fault-injection campaigns
 	// use them to corrupt microarchitectural state mid-run.
@@ -144,13 +164,14 @@ type Machine struct {
 // New builds a machine for the program. The functional emulator is run
 // first (up to maxInsts instructions, 0 = to completion) to produce the
 // correct-path oracle trace; the timing simulation then reproduces exactly
-// that instruction stream and is checked against it at commit.
+// that instruction stream and is checked against it at commit. The trace
+// depends only on (program, maxInsts), so it is collected once and shared
+// by every machine built for the same program (see oracle.go).
 func New(p *prog.Program, cfg Config, maxInsts uint64) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cpu := emu.New(p)
-	oracle, err := emu.CollectTrace(cpu, maxInsts)
+	oracle, err := collectOracle(p, maxInsts)
 	if err != nil {
 		return nil, fmt.Errorf("core: functional pre-run failed: %w", err)
 	}
@@ -302,6 +323,7 @@ func (m *Machine) resetRunState() {
 	for i := range m.wheel {
 		m.wheel[i] = m.wheel[i][:0]
 	}
+	m.eventMask = 0
 	m.finalQ = m.finalQ[:0]
 	m.wbCarry = m.wbCarry[:0]
 	m.issueQ = m.issueQ[:0]
@@ -314,6 +336,10 @@ func (m *Machine) resetRunState() {
 	m.output.Reset()
 	m.stats = Stats{}
 	m.lastRetire = 0
+	m.activeIters = 0
+	m.itersAtRetire = 0
+	m.skipIdleCycles = !noSkipDefault
+	m.cyclesSkipped = 0
 
 	// Per-run attachments: hooks, observers and tracers do not survive a
 	// Reset (fault campaigns and metrics exports attach per run).
@@ -403,17 +429,57 @@ func (m *Machine) OnCycle(fn func(cycle uint64)) {
 	m.cycleHooks = append(m.cycleHooks, fn)
 }
 
+// noLimit is the Run cycle budget of an unbounded call.
+const noLimit = ^uint64(0)
+
 // Run simulates up to maxCycles further cycles (0 = no limit), stopping
 // early when the program halts. It returns an error only on an internal
 // consistency failure: a *SimError divergence from the functional oracle,
-// or a *SimError watchdog trip when Config.Watchdog cycles pass without a
-// retirement (livelock/deadlock detection).
+// or a *SimError watchdog trip when the pipeline stops making retirement
+// progress (livelock/deadlock detection).
+//
+// Quiescent cycles — cycles in which no stage can change any state — are
+// fast-forwarded in bulk instead of executed one at a time (see skip.go);
+// results are bit-identical to the legacy loop, which VPIR_NO_SKIP=1 or
+// SetCycleSkipping(false) forces. Fault-injection cycleHooks must observe
+// every cycle, so any registered hook disables skipping for the run.
+//
+// The watchdog (Config.Watchdog, 0 disables) has two arms, identical under
+// both loops: a livelock trips when more than Watchdog *active* iterations
+// pass without a retirement (a wedged instruction retrying every cycle),
+// and a hard deadlock — quiescent with no event pending and fetch on a
+// dead path — trips when Watchdog cycles pass without a retirement.
 func (m *Machine) Run(maxCycles uint64) error {
-	limit := m.cycle + maxCycles
+	limit := noLimit
+	if maxCycles > 0 {
+		limit = m.cycle + maxCycles
+	}
+	wd := m.cfg.Watchdog
+	skip := m.skipIdleCycles && len(m.cycleHooks) == 0
 	for !m.halted {
-		if maxCycles > 0 && m.cycle >= limit {
+		if m.cycle >= limit {
 			return nil
 		}
+		if m.quiescent() {
+			deadlocked := m.eventMask == 0 && m.cycle >= m.fetchReady
+			if skip && m.skipIdle(limit, deadlocked) {
+				continue
+			}
+			if err := m.step(); err != nil {
+				m.flushObs()
+				return err
+			}
+			if m.obs != nil {
+				m.maybeSample()
+			}
+			if wd > 0 && deadlocked && m.cycle-m.lastRetire > wd {
+				err := m.watchdogError(m.cycle - m.lastRetire)
+				m.flushObs()
+				return err
+			}
+			continue
+		}
+		m.activeIters++
 		if err := m.step(); err != nil {
 			m.flushObs()
 			return err
@@ -421,7 +487,7 @@ func (m *Machine) Run(maxCycles uint64) error {
 		if m.obs != nil {
 			m.maybeSample()
 		}
-		if wd := m.cfg.Watchdog; wd > 0 && m.cycle-m.lastRetire > wd {
+		if wd > 0 && m.activeIters-m.itersAtRetire > wd {
 			err := m.watchdogError(m.cycle - m.lastRetire)
 			m.flushObs()
 			return err
@@ -488,6 +554,7 @@ func (m *Machine) schedule(delay uint64, ev event) {
 	}
 	slot := (m.cycle + delay) % wheelSize
 	m.wheel[slot] = append(m.wheel[slot], ev)
+	m.eventMask |= 1 << slot
 }
 
 // scheduleThisCycle runs an event during the current cycle's event

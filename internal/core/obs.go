@@ -32,6 +32,7 @@ type Observer struct {
 	cInval     *obs.Counter
 	cWatchdog  *obs.Counter
 	cFault     *obs.Counter
+	cSkipped   *obs.Counter
 	hBrLat     *obs.Histogram
 	hROBOcc    *obs.Histogram
 	hLSQOcc    *obs.Histogram
@@ -72,6 +73,7 @@ func NewObserver(interval uint64, eventCap int) *Observer {
 		cInval:     reg.Counter("reuse.invalidations"),
 		cWatchdog:  reg.Counter("watchdog.trips"),
 		cFault:     reg.Counter("faults.detected"),
+		cSkipped:   reg.Counter("core.cycles.skipped"),
 		hBrLat:     reg.Histogram("branch.resolve_latency", []float64{1, 2, 4, 8, 16, 32, 64}),
 		hROBOcc:    reg.Histogram("rob.occupancy", []float64{0, 4, 8, 16, 24, 31}),
 		hLSQOcc:    reg.Histogram("lsq.occupancy", []float64{0, 4, 8, 16, 24, 31}),

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"weak"
+
+	"github.com/vpir-sim/vpir/internal/emu"
+	"github.com/vpir-sim/vpir/internal/prog"
+)
+
+// Oracle trace cache.
+//
+// The functional pre-run that New performs depends only on the program and
+// the instruction cap — never on the timing configuration — yet it is the
+// single most expensive part of constructing a machine (the emulator runs
+// the whole workload). Sweeps, fault-injection campaigns, server pools and
+// differential tests all build many machines for the same program, so the
+// collected TraceLog is shared: it is immutable after collection (the
+// machine only ever reads it), which makes one log safe to hand to any
+// number of machines on any goroutine.
+//
+// The cache key holds the program weakly so the cache never extends a
+// program's lifetime — a workload's multi-megabyte trace dies with the
+// program, reclaimed by the cleanup registered at insertion.
+
+// oracleKey identifies one collected trace: the program identity (weak, so
+// the cache never keeps a program or its trace alive) and the cap given to
+// New.
+type oracleKey struct {
+	p        weak.Pointer[prog.Program]
+	maxInsts uint64
+}
+
+var oracleCache sync.Map // oracleKey -> *emu.TraceLog
+
+// collectOracle returns the functional execution log for (p, maxInsts),
+// collecting it on first use. Concurrent first uses may both run the
+// emulator; the log is deterministic, so whichever store wins is correct.
+func collectOracle(p *prog.Program, maxInsts uint64) (*emu.TraceLog, error) {
+	key := oracleKey{p: weak.Make(p), maxInsts: maxInsts}
+	if v, ok := oracleCache.Load(key); ok {
+		return v.(*emu.TraceLog), nil
+	}
+	cpu := emu.New(p)
+	oracle, err := emu.CollectTrace(cpu, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if _, loaded := oracleCache.LoadOrStore(key, oracle); !loaded {
+		runtime.AddCleanup(p, func(k oracleKey) { oracleCache.Delete(k) }, key)
+	}
+	return oracle, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"github.com/vpir-sim/vpir/internal/bpred"
@@ -134,6 +135,84 @@ func TestDifferentialRandomConfigs(t *testing.T) {
 		if m.Stats().Committed != base.Stats().Committed {
 			t.Errorf("round %d (%s, %s): Committed %d != base %d",
 				round, bench, cfg.Key(), m.Stats().Committed, base.Stats().Committed)
+		}
+	}
+}
+
+// TestSkipInvarianceRandomConfigs is the quiescence skipper's invisibility
+// contract under configuration fuzzing: for any machine shape and
+// technique, a run with cycle skipping must be bit-identical to the legacy
+// cycle-by-cycle loop in everything externally visible — Stats, Output,
+// ExitCode, the pipetrace schedule, the interval samples and the
+// structured event log. CyclesSkipped is the one value allowed (and, on
+// stalling workloads, required) to differ. Every fourth round runs the
+// chase stall kernel uncapped so the skipper actually fires hard; the
+// paper kernels mostly pin the "skipping rarely applies but never hurts"
+// side.
+func TestSkipInvarianceRandomConfigs(t *testing.T) {
+	const (
+		maxInsts = 25_000
+		rounds   = 8
+	)
+	benches := workload.Names()
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < rounds; round++ {
+		bench := benches[rng.Intn(len(benches))]
+		cap := uint64(maxInsts)
+		if round%4 == 0 {
+			bench, cap = "chase", 0 // full stall run: heavy skipping
+		}
+		cfg := randomConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("round %d: invalid random config: %v", round, err)
+		}
+		w, err := workload.Get(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Load(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(skip bool) (*Machine, *PipeTracer, *Observer) {
+			m, err := New(p, cfg, cap)
+			if err != nil {
+				t.Fatalf("round %d (%s, %s): New: %v", round, bench, cfg.Key(), err)
+			}
+			m.SetCycleSkipping(skip)
+			tr := &PipeTracer{Max: 512, Ring: true}
+			m.Trace(tr)
+			o := NewObserver(1000, 0)
+			m.AttachObserver(o)
+			if err := m.Run(0); err != nil {
+				t.Fatalf("round %d (%s, %s, skip=%v): Run: %v", round, bench, cfg.Key(), skip, err)
+			}
+			return m, tr, o
+		}
+		fast, fastTr, fastObs := run(true)
+		slow, slowTr, slowObs := run(false)
+
+		if slow.CyclesSkipped() != 0 {
+			t.Fatalf("round %d: legacy loop skipped %d cycles", round, slow.CyclesSkipped())
+		}
+		if bench == "chase" && fast.CyclesSkipped() == 0 {
+			t.Errorf("round %d: chase run skipped nothing; the property is vacuous", round)
+		}
+		if fast.Stats() != slow.Stats() {
+			t.Errorf("round %d (%s, %s): Stats diverge\n skip:   %+v\n legacy: %+v",
+				round, bench, cfg.Key(), fast.Stats(), slow.Stats())
+		}
+		if fast.Output() != slow.Output() || fast.ExitCode() != slow.ExitCode() {
+			t.Errorf("round %d (%s, %s): architectural results diverge", round, bench, cfg.Key())
+		}
+		if !reflect.DeepEqual(fastTr.Ordered(), slowTr.Ordered()) {
+			t.Errorf("round %d (%s, %s): pipetrace schedules diverge", round, bench, cfg.Key())
+		}
+		if !reflect.DeepEqual(fastObs.Series().Samples(), slowObs.Series().Samples()) {
+			t.Errorf("round %d (%s, %s): interval samples diverge", round, bench, cfg.Key())
+		}
+		if !reflect.DeepEqual(fastObs.Events().Events(), slowObs.Events().Events()) {
+			t.Errorf("round %d (%s, %s): structured event logs diverge", round, bench, cfg.Key())
 		}
 	}
 }

@@ -95,6 +95,45 @@ func TestWatchdogDisabled(t *testing.T) {
 	}
 }
 
+// TestWatchdogIgnoresLongStalls pins down the livelock detector's unit of
+// progress: *active* iterations, not raw cycles. The chase kernel with a
+// 60-cycle miss penalty retires nothing for 60+ consecutive cycles of every
+// hop — a legitimate stall, with a pending completion event the whole time —
+// while the watchdog threshold sits far below that gap. A detector counting
+// raw cycles (as an earlier version did) trips on the first miss; counting
+// active iterations, the run must complete cleanly. The contract has to hold
+// identically whether the quiescence skipper executes those idle cycles or
+// jumps them, so both loops are pinned here.
+func TestWatchdogIgnoresLongStalls(t *testing.T) {
+	w, err := workload.Get("chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DCache.MissLatency = 60 // raw retirement gaps of 60+ cycles per hop
+	cfg.Watchdog = 50           // far under the gap: a cycle-counting rule trips
+	for _, skip := range []bool{true, false} {
+		m, err := New(p, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetCycleSkipping(skip)
+		if err := m.Run(0); err != nil {
+			t.Fatalf("skip=%v: watchdog tripped on a legitimate stall: %v", skip, err)
+		}
+		if !m.Halted() {
+			t.Fatalf("skip=%v: chase did not halt", skip)
+		}
+		if skip && m.CyclesSkipped() == 0 {
+			t.Fatal("chase run skipped no cycles; the stall scenario is not exercising the skipper")
+		}
+	}
+}
+
 // TestOracleCatchesRBResultCorruption forces the VP-vs-IR asymmetry the
 // fault campaign is built on: the reuse buffer's result field is the one
 // state element the reuse test does not guard, so corrupting it produces

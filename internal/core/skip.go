@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/bits"
+	"os"
+
+	"github.com/vpir-sim/vpir/internal/isa"
+)
+
+// Quiescence-aware cycle skipping.
+//
+// The paper's interesting configurations spend most of their simulated
+// cycles waiting: I-cache and D-cache miss latency, multi-cycle functional
+// units and the VP-verification delay are exactly the stall sources the
+// study varies. A cycle in which no pipeline stage can change any machine
+// state (including the statistics counters) is quiescent, and the cycle
+// loop may jump m.cycle directly to the next cycle at which anything can
+// happen instead of iterating the empty cycles one at a time.
+//
+// The invisibility contract: with skipping enabled, Stats, Output,
+// ExitCode, pipetrace records, interval samples, structured events and
+// watchdog behaviour are bit-identical to the legacy cycle-by-cycle loop.
+// The predicate below is therefore conservative — misjudging an active
+// cycle as quiescent would corrupt results, misjudging a quiescent cycle
+// as active merely skips less — and the skip target is clamped to every
+// cycle with an externally visible side effect (the next interval-sampler
+// boundary, the watchdog deadline, the Run cycle budget). Fault-injection
+// cycleHooks must observe every cycle, so any registered hook disables
+// skipping for the run. See docs/performance.md for the full contract.
+
+// noSkipDefault is the process-wide escape hatch: VPIR_NO_SKIP=1 forces
+// the legacy cycle-by-cycle loop everywhere (the skip-invariance smoke in
+// scripts/check.sh runs the golden corpus under it). It is deliberately
+// not a Config field: skipping is invisible to results, so it must never
+// contribute to Config.Key cache identities.
+var noSkipDefault = os.Getenv("VPIR_NO_SKIP") == "1"
+
+// SetCycleSkipping enables or disables quiescence-aware cycle skipping on
+// this machine (overriding the VPIR_NO_SKIP process default). Results are
+// bit-identical either way; the differential suites use the override to
+// prove it. Reset returns the machine to the process default.
+func (m *Machine) SetCycleSkipping(on bool) { m.skipIdleCycles = on }
+
+// CyclesSkipped reports how many of this run's cycles were fast-forwarded
+// by the quiescence skipper rather than executed. The counter is kept out
+// of core.Stats on purpose: Stats (and the interval samples flattened from
+// it) are part of the bit-identity contract between the skipping and
+// legacy loops, and a skip counter is precisely the one value that must
+// differ between them.
+func (m *Machine) CyclesSkipped() uint64 { return m.cyclesSkipped }
+
+// quiescent reports whether the upcoming cycle provably changes no machine
+// state: no event (carried or scheduled) fires, the finality and issue
+// queues are empty, commit is head-blocked, decode is head-blocked or
+// empty, and fetch is stalled. Every condition mirrors the corresponding
+// stage's own early-out, so a quiescent step() is a pure
+// cycle++/Cycles++ — which is exactly what skipIdle replays in bulk.
+func (m *Machine) quiescent() bool {
+	// Pending writeback carry-overs, finality re-checks or issue retries
+	// all mutate state (the issue queue's denial retries even charge
+	// ResourceRequests/Denials every cycle).
+	if len(m.wbCarry) != 0 || len(m.finalQ) != 0 || len(m.issueQ) != 0 {
+		return false
+	}
+	// Events scheduled for this cycle (the occupancy bit is conservative:
+	// it may cover only squash-orphaned events, which drain as no-ops).
+	if m.eventMask&(1<<(m.cycle%wheelSize)) != 0 {
+		return false
+	}
+	// Commit: the head would retire (or a head store would at least consume
+	// a D-cache port) unless it is non-final or an unresolved control op.
+	if m.robCount > 0 {
+		if e := &m.rob[m.robHead]; e.final && !(e.isCtl && !e.finalResolved) {
+			return false
+		}
+	}
+	// Decode: dispatches unless the head instruction is structurally
+	// blocked (same conditions, same order as decode's early returns).
+	if m.fetchCount > 0 {
+		op := m.fetchQ[m.fetchHead].in.Op
+		switch {
+		case m.robCount == int32(m.cfg.ROBSize):
+		case m.serialize >= 0:
+		case op.Serializes() && m.robCount > 0:
+		case op.IsMem() && m.lsqCount == int32(m.cfg.LSQSize):
+		case m.fetchQ[m.fetchHead].needCkpt && m.unresolved >= m.cfg.MaxBranches:
+		default:
+			return false
+		}
+	}
+	// Fetch: touches I-cache and branch-predictor state unless stalled on a
+	// miss, out of buffer space, or off the text segment (wrong path).
+	if m.cycle >= m.fetchReady && int(m.fetchCount) < len(m.fetchQ) {
+		if in := m.instAt(m.fetchPC); in != nil && in.Op != isa.OpInvalid {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEventDelta returns how many cycles from now the earliest scheduled
+// wheel event fires (1..wheelSize-1), or 0 when the wheel is empty. The
+// occupancy mask has one bit per wheel slot (wheelSize is 64), so the
+// search is a rotate plus a trailing-zero count.
+func (m *Machine) nextEventDelta() uint64 {
+	if m.eventMask == 0 {
+		return 0
+	}
+	r := bits.RotateLeft64(m.eventMask, -int((m.cycle+1)%wheelSize))
+	return 1 + uint64(bits.TrailingZeros64(r))
+}
+
+// skipIdle advances a quiescent machine directly to the next cycle at
+// which anything can happen: the earliest wheel event, the end of an
+// I-cache miss stall, the next interval-sampler boundary, the watchdog
+// deadline of a hard-deadlocked machine, or the Run cycle budget. The
+// skipped cycles are accounted exactly as the legacy loop would have
+// (stats.Cycles advances with m.cycle); everything else is untouched by
+// construction. Returns false when no finite target lies ahead.
+func (m *Machine) skipIdle(limit uint64, deadlocked bool) bool {
+	target := limit
+	if d := m.nextEventDelta(); d != 0 && m.cycle+d < target {
+		target = m.cycle + d
+	}
+	if m.cycle < m.fetchReady && m.fetchReady < target {
+		target = m.fetchReady
+	}
+	if o := m.obs; o != nil && o.interval > 0 {
+		// The sampler fires after the step that makes m.cycle a multiple of
+		// the interval, so the cycle that must still execute is b with
+		// (b+1) % interval == 0.
+		if b := m.cycle + (o.interval-(m.cycle+1)%o.interval)%o.interval; b < target {
+			target = b
+		}
+	}
+	if wd := m.cfg.Watchdog; deadlocked && wd > 0 {
+		// Execute the deadline cycle itself so the trip happens at the same
+		// cycle, with the same error, as the legacy loop.
+		if b := m.lastRetire + wd; b < target {
+			target = b
+		}
+	}
+	if target == noLimit || target <= m.cycle {
+		return false
+	}
+	delta := target - m.cycle
+	m.cycle = target
+	m.stats.Cycles += delta
+	m.cyclesSkipped += delta
+	if m.obs != nil {
+		m.obs.cSkipped.Add(delta)
+	}
+	return true
+}

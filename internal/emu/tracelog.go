@@ -32,14 +32,28 @@ func (l *TraceLog) Len() int { return len(l.PC) }
 // instructions (0 = until halt) and returns the execution log.
 func CollectTrace(c *CPU, maxInsts uint64) (*TraceLog, error) {
 	log := &TraceLog{}
-	if maxInsts > 0 {
-		log.PC = make([]uint32, 0, maxInsts)
-		log.Result = make([]isa.Word, 0, maxInsts)
-		log.Addr = make([]uint32, 0, maxInsts)
-		log.Taken = make([]bool, 0, maxInsts)
+	// Pre-size for the capped case; otherwise start at 64 K entries and
+	// double all four columns in lockstep. Doubling by hand matters for
+	// long uncapped runs: the runtime grows large slices by only 1.25x,
+	// which roughly doubles the total bytes copied across the run, and the
+	// columns stay capacity-synchronized (one length check per retirement).
+	capHint := int(maxInsts)
+	if capHint == 0 {
+		capHint = 1 << 16
 	}
+	log.PC = make([]uint32, 0, capHint)
+	log.Result = make([]isa.Word, 0, capHint)
+	log.Addr = make([]uint32, 0, capHint)
+	log.Taken = make([]bool, 0, capHint)
 	prev := c.TraceFn
 	c.TraceFn = func(t *Trace) {
+		if len(log.PC) == cap(log.PC) {
+			n := 2 * cap(log.PC)
+			log.PC = append(make([]uint32, 0, n), log.PC...)
+			log.Result = append(make([]isa.Word, 0, n), log.Result...)
+			log.Addr = append(make([]uint32, 0, n), log.Addr...)
+			log.Taken = append(make([]bool, 0, n), log.Taken...)
+		}
 		log.PC = append(log.PC, t.PC)
 		log.Result = append(log.Result, t.DestVal)
 		log.Addr = append(log.Addr, t.Addr)

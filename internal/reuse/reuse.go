@@ -126,14 +126,23 @@ type Stats struct {
 	Recovered  uint64 // hits on wrong-path entries
 }
 
+// noTag is the probe-filter value of an invalid entry. PCs are word-aligned
+// text addresses, so no real tag can collide with it.
+const noTag = ^uint32(0)
+
 // Buffer is the reuse buffer.
 type Buffer struct {
 	cfg     Config
 	setMask uint32
 	ways    int
 	entries []entry
-	tick    uint64
-	stats   Stats
+	// tags mirrors entries[i].tag (noTag while invalid). Test and Insert
+	// probe every way of a set for every decoded/completed instruction;
+	// the sidecar keeps a whole set's tags in one cache line so the common
+	// non-matching ways are rejected without touching their entry structs.
+	tags  []uint32
+	tick  uint64
+	stats Stats
 
 	// Intrusive load index: valid load entries link themselves into
 	// per-word hash chains (nodes embedded in the entry structs) so a
@@ -157,8 +166,12 @@ func New(cfg Config) *Buffer {
 		setMask:    uint32(sets - 1),
 		ways:       cfg.Ways,
 		entries:    make([]entry, n),
+		tags:       make([]uint32, n),
 		heads:      make([]int32, buckets),
 		bucketMask: uint32(buckets - 1),
+	}
+	for i := range b.tags {
+		b.tags[i] = noTag
 	}
 	for i := range b.heads {
 		b.heads[i] = -1
@@ -225,8 +238,11 @@ func (b *Buffer) Test(pc uint32, in *isa.Inst, op1, op2 Operand) TestResult {
 
 	for w := 0; w < b.ways; w++ {
 		idx := base + int32(w)
+		if b.tags[idx] != pc {
+			continue
+		}
 		e := &b.entries[idx]
-		if !e.valid || e.tag != pc || e.op != in.Op {
+		if e.op != in.Op {
 			continue
 		}
 		ok1, ch1 := b.operandOK(e.src1Name, e.src1Val, e.src1Link, op1)
@@ -345,14 +361,17 @@ func (b *Buffer) Insert(pc uint32, in *isa.Inst, src1Val, src2Val isa.Word,
 	var victim int32 = -1
 	for w := 0; w < b.ways; w++ {
 		idx := base + int32(w)
-		e := &b.entries[idx]
-		if !e.valid {
+		if b.tags[idx] == noTag {
 			if victim < 0 {
 				victim = idx
 			}
 			continue
 		}
-		if e.tag == pc && e.op == in.Op && e.src1Val == src1Val && e.src2Val == src2Val {
+		if b.tags[idx] != pc {
+			continue
+		}
+		e := &b.entries[idx]
+		if e.op == in.Op && e.src1Val == src1Val && e.src2Val == src2Val {
 			// Identical instance: refresh result and revalidate memory. A
 			// changed result (possible only for loads: same address, new
 			// memory contents) invalidates inbound dependence pointers by
@@ -396,6 +415,7 @@ func (b *Buffer) Insert(pc uint32, in *isa.Inst, src1Val, src2Val isa.Word,
 	// just retired (idxOn false; the cursors are dead until the next link).
 	e.valid = true
 	e.tag = pc
+	b.tags[victim] = pc
 	e.gen = gen
 	e.tick = b.nextTick()
 	e.op = in.Op
@@ -728,6 +748,10 @@ func (b *Buffer) RestoreSnapshot(s *Snapshot) error {
 	}
 	for i := range b.entries {
 		se := &s.Entries[i]
+		b.tags[i] = noTag
+		if se.Valid {
+			b.tags[i] = se.Tag
+		}
 		b.entries[i] = entry{
 			valid: se.Valid, tag: se.Tag, gen: se.Gen, tick: se.Tick,
 			op: se.Op, result: se.Result,
@@ -760,6 +784,7 @@ func (b *Buffer) Reset(cfg Config) {
 	}
 	for i := range b.entries {
 		b.entries[i] = entry{gen: b.entries[i].gen}
+		b.tags[i] = noTag
 	}
 	for i := range b.heads {
 		b.heads[i] = -1

@@ -46,9 +46,13 @@ type poolResult struct {
 	stats    core.Stats
 	output   string
 	exitCode int
-	tracer   *core.PipeTracer
-	obs      *core.Observer
-	err      error
+	// skipped is the run's quiescence-skipped cycle count, kept beside
+	// rather than inside stats (which must stay bit-identical whether or
+	// not the skipper ran).
+	skipped uint64
+	tracer  *core.PipeTracer
+	obs     *core.Observer
+	err     error
 }
 
 // pool is the bounded worker pool behind POST /v1/run. Each worker owns a
@@ -179,7 +183,7 @@ func runJob(j *poolJob, machines map[string]*core.Machine) (res poolResult) {
 	}
 	return poolResult{
 		stats: m.Stats(), output: m.Output(), exitCode: m.ExitCode(),
-		tracer: tracer, obs: observer,
+		skipped: m.CyclesSkipped(), tracer: tracer, obs: observer,
 	}
 }
 

@@ -75,15 +75,19 @@ type TraceSeries struct {
 // dashboard renders. Identical requests get byte-identical responses —
 // the marshaled body is what the result cache stores.
 type TraceResponse struct {
-	Bench    string           `json:"bench"`
-	Scale    int              `json:"scale"`
-	MaxInsts uint64           `json:"max_insts,omitempty"`
-	Stats    SimStats         `json:"stats"`
-	Output   string           `json:"output"`
-	ExitCode int              `json:"exit_code"`
-	Window   TraceWindow      `json:"window"`
-	Events   obs.EventLogJSON `json:"events"`
-	Series   TraceSeries      `json:"series"`
+	Bench    string   `json:"bench"`
+	Scale    int      `json:"scale"`
+	MaxInsts uint64   `json:"max_insts,omitempty"`
+	Stats    SimStats `json:"stats"`
+	Output   string   `json:"output"`
+	ExitCode int      `json:"exit_code"`
+	// CyclesSkipped is how many of the run's cycles the quiescence-aware
+	// skipper fast-forwarded (simulator performance only; the stats above
+	// are identical with skipping off).
+	CyclesSkipped uint64           `json:"cycles_skipped"`
+	Window        TraceWindow      `json:"window"`
+	Events        obs.EventLogJSON `json:"events"`
+	Series        TraceSeries      `json:"series"`
 }
 
 // clampTrace applies the capture bounds to a request's knobs.
@@ -183,12 +187,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		series := res.obs.Series().JSON()
 		resp := TraceResponse{
-			Bench:    req.Bench,
-			Scale:    scale,
-			MaxInsts: maxInsts,
-			Stats:    statsFrom(cfg, res.stats),
-			Output:   res.output,
-			ExitCode: res.exitCode,
+			Bench:         req.Bench,
+			Scale:         scale,
+			MaxInsts:      maxInsts,
+			Stats:         statsFrom(cfg, res.stats),
+			Output:        res.output,
+			ExitCode:      res.exitCode,
+			CyclesSkipped: res.skipped,
 			Window: TraceWindow{
 				Max:       tp.window,
 				Overwrote: res.tracer.Overwrote(),

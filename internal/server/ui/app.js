@@ -130,11 +130,20 @@ function renderTrace(resp) {
   renderSparklines(resp);
 }
 
+// skipDetail describes how much of the run the simulator's quiescence
+// skipper fast-forwarded (a simulator-speed observation: results are
+// identical either way). Hidden when the run skipped nothing.
+function skipDetail(resp) {
+  const skipped = resp.cycles_skipped;
+  if (!skipped || !resp.stats.cycles) return "";
+  return "skipped " + fmt(skipped) + " (" + fmt((100 * skipped) / resp.stats.cycles, 1) + "%)";
+}
+
 function renderTiles(resp) {
   const s = resp.stats;
   const tiles = [
     ["IPC", fmt(s.ipc, 3), resp.bench + " · " + s.config],
-    ["cycles", fmt(s.cycles), ""],
+    ["cycles", fmt(s.cycles), skipDetail(resp)],
     ["committed", fmt(s.committed), "executed " + fmt(s.executed)],
     ["reuse rate", fmt(s.reuse_result_rate, 1) + "%", "addr " + fmt(s.reuse_addr_rate, 1) + "%"],
     ["VP pred / mispred", fmt(s.vp_result_pred, 1) + "% / " + fmt(s.vp_result_mispred, 1) + "%", ""],

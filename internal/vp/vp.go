@@ -382,14 +382,28 @@ func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredict
 		return
 	}
 
-	// Magic: up to 'ways' unique instances.
-	var match *entry
+	// Magic: up to 'ways' unique instances. One scan finds both the
+	// matching instance and (when a wrong prediction was made) the instance
+	// to penalise; instances are unique per pc, so the two never collide.
+	penalise := wasPredicted && predicted != actual
+	var match, wrong *entry
 	for w := range set {
 		e := &set[w]
-		if e.valid && e.tag == pc && e.value == actual {
-			match = e
-			break
+		if !e.valid || e.tag != pc {
+			continue
 		}
+		if e.value == actual {
+			match = e
+		} else if penalise && e.value == predicted {
+			wrong = e
+		}
+	}
+	// Penalty first: if the wrong instance happens to be the LRU victim the
+	// insert below replaces, the decrement is erased by the overwrite —
+	// exactly the state the old scan-after-insert produced by not finding
+	// the evicted value.
+	if wrong != nil && wrong.conf > 0 {
+		wrong.conf--
 	}
 	if match != nil {
 		if match.conf < t.cfg.ConfMax {
@@ -398,18 +412,6 @@ func (t *Table) Train(pc uint32, actual isa.Word, predicted isa.Word, wasPredict
 		match.tick = t.tick
 	} else {
 		t.insert(set, pc, actual)
-	}
-	// Penalise the instance that supplied a wrong prediction.
-	if wasPredicted && predicted != actual {
-		for w := range set {
-			e := &set[w]
-			if e.valid && e.tag == pc && e.value == predicted {
-				if e.conf > 0 {
-					e.conf--
-				}
-				break
-			}
-		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package workload
+
+import "fmt"
+
+// chase: serialized pointer chasing around a strided ring. Each ring node
+// holds the address of the next node, so the whole chase is one load per
+// hop — `lw $t4, 0($t4)` — whose address depends on the previous load's
+// value. Nothing overlaps, and with the ring sized past the D-cache every
+// hop is a capacity miss: the pipeline spends almost all of its simulated
+// cycles with one load outstanding and nothing else to do. That is the
+// stall-heavy extreme the quiescence-aware cycle skipper (see core/skip.go)
+// is built for, and the pathological retirement-gap shape that used to
+// false-trip cycle-counting watchdogs.
+//
+// The scale knob tunes the miss rate through the working set: scale 1 is a
+// 32 K-node (128 KB) ring whose walk touches 4 K distinct lines — twice the
+// D-cache's 2 K-line capacity — so the cyclic walk is LRU's worst case and
+// misses on essentially every hop. A half-size ring would be cache-resident
+// and hit. Hops scale alongside so the chase dominates the run at every
+// scale.
+//
+// chase is a synthetic diagnostic, not one of the paper's seven kernels:
+// it registers for Get() (benchmarks, tests, the server) but is deliberately
+// absent from Names(), so paper tables and the golden corpus are unaffected.
+func init() {
+	register(&Workload{
+		Name: "chase",
+		Desc: "serial pointer chase, cache-defeating strided ring",
+		Source: func(scale int) string {
+			nodes := 32768 * scale
+			return fmt.Sprintf(chaseAsm, nodes*4, chaseBlocks*scale)
+		},
+		Golden: goldenChase,
+	})
+}
+
+// chaseBlocks is the scale-1 iteration count of the unrolled chase loop;
+// each block is chaseUnroll dependent hops plus two bookkeeping
+// instructions, keeping the committed-instruction overhead per miss near
+// its floor of one.
+const (
+	chaseBlocks = 6000
+	chaseUnroll = 8
+)
+
+const chaseAsm = `
+# chase: ring[i] holds the ADDRESS of the node one cache line (8 words)
+# ahead, mod the ring size. Successive hops therefore touch a fresh line
+# every time, cycling over NODES/8 distinct lines; sized past the D-cache,
+# a cyclic scan is LRU's worst case, so every hop misses. (The stride must
+# be a whole line: a sub-line stride revisits each line several hops apart
+# and turns most of the chase into hits.) The loop is unrolled so nearly
+# every committed instruction is a serially dependent load.
+RINGBYTES = %d
+BLOCKS = %d
+        .data
+ring:   .space RINGBYTES
+        .text
+main:   la    $s0, ring
+        li    $t0, RINGBYTES
+        addu  $s5, $s0, $t0   # s5 = one past the last node
+        addiu $s4, $s5, -32   # s4 = &ring[NODES-8], where next wraps
+        addiu $t1, $s0, 32    # value: &ring[i+8]
+        move  $t2, $s0        # addr: &ring[i]
+init1:  sw    $t1, 0($t2)
+        addiu $t1, $t1, 4
+        addiu $t2, $t2, 4
+        bne   $t2, $s4, init1
+        move  $t1, $s0        # the last 8 nodes wrap to ring[0..7]
+init2:  sw    $t1, 0($t2)
+        addiu $t1, $t1, 4
+        addiu $t2, $t2, 4
+        bne   $t2, $s5, init2
+
+        li    $t8, BLOCKS
+        move  $t4, $s0        # start the walk at node 0
+chase:  lw    $t4, 0($t4)    # the serial dependence: address <- memory
+        lw    $t4, 0($t4)
+        lw    $t4, 0($t4)
+        lw    $t4, 0($t4)
+        lw    $t4, 0($t4)
+        lw    $t4, 0($t4)
+        lw    $t4, 0($t4)
+        lw    $t4, 0($t4)
+        addiu $t8, $t8, -1
+        bnez  $t8, chase
+
+        subu  $a0, $t4, $s0   # final node index proves the walk's path
+        srl   $a0, $a0, 2
+        li    $v0, 1
+        syscall
+        li    $v0, 10
+        syscall
+`
+
+func goldenChase(scale int) string {
+	nodes := 32768 * scale
+	hops := chaseBlocks * chaseUnroll * scale
+	idx := 0
+	for s := 0; s < hops; s++ {
+		idx += chaseUnroll
+		if idx >= nodes {
+			idx -= nodes
+		}
+	}
+	return fmt.Sprintf("%d", idx)
+}

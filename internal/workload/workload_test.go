@@ -77,6 +77,23 @@ func TestKernelSizes(t *testing.T) {
 	}
 }
 
+// TestChaseMatchesGolden covers the chase stall diagnostic separately: it
+// is registered (reachable through Get) but deliberately off the Names()
+// roster, so the loops above never see it.
+func TestChaseMatchesGolden(t *testing.T) {
+	w, err := Get("chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []int{1, 2} {
+		got := runKernel(t, "chase", scale)
+		want := w.Golden(scale)
+		if got != want {
+			t.Errorf("scale %d: output %q, want %q", scale, got, want)
+		}
+	}
+}
+
 func TestGetUnknown(t *testing.T) {
 	if _, err := Get("nope"); err == nil {
 		t.Error("unknown workload accepted")

@@ -46,6 +46,12 @@ echo "== golden-result corpus =="
 # go test -run TestGoldenCorpus -update . (then review the JSON diff).
 go test -run 'TestGoldenCorpus' .
 
+echo "== skip-invariance smoke (golden corpus under VPIR_NO_SKIP=1) =="
+# The quiescence-aware cycle skipper must be invisible: the same corpus,
+# forced through the legacy cycle-by-cycle loop, must reproduce the exact
+# same numbers (see docs/performance.md).
+VPIR_NO_SKIP=1 go test -run 'TestGoldenCorpus' -count 1 .
+
 echo "== fuzz smoke (assembler + end-to-end RunSource) =="
 go test -run '^$' -fuzz FuzzAssemble -fuzztime 10s ./internal/asm
 go test -run '^$' -fuzz FuzzRunSource -fuzztime 10s .

@@ -176,6 +176,13 @@ type Result struct {
 	Executed  uint64
 	IPC       float64
 
+	// CyclesSkipped is how many of Cycles the quiescence-aware skipper
+	// fast-forwarded instead of simulating cycle by cycle. Purely a
+	// simulator-performance observation — results are bit-identical with
+	// skipping off — and zero for sampled runs, whose stitched statistics
+	// have no single underlying machine.
+	CyclesSkipped uint64
+
 	BranchPredRate float64 // %
 	ReturnPredRate float64 // %
 
@@ -270,6 +277,7 @@ func (ob *Obs) WritePrometheus(w io.Writer) error { return ob.o.Registry().Write
 
 func resultFrom(m *core.Machine) Result {
 	res := resultFromStats(m.Config().Name(), m.Stats(), m.Output(), m.ExitCode())
+	res.CyclesSkipped = m.CyclesSkipped()
 	if o := m.Observer(); o != nil {
 		res.Obs = &Obs{o: o}
 	}
